@@ -1,0 +1,52 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench prints the rows/series of one paper figure or table and
+// writes the same rows as CSV under ./bench_results/. Simulated cells
+// use the host-calibrated kernel costs rescaled to the paper's Python
+// pipelines (perf::python_pipeline_costs); absolute values therefore
+// differ from the paper's testbed, but the shapes — who wins, by what
+// factor, where the crossovers fall — are the reproduction target
+// (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "mdtask/common/table.h"
+#include "mdtask/sim/simulation.h"
+
+namespace mdtask::bench {
+
+/// Paper-style Wrangler allocation: 32 cores/node (figure labels
+/// "32/1 64/2 128/4 256/8" and "16/1 64/2 256/8" imply 32 used cores
+/// per hyper-threaded node).
+inline sim::ClusterSpec wrangler_alloc(std::size_t cores) {
+  return sim::ClusterSpec{sim::wrangler(),
+                          std::max<std::size_t>(1, cores / 32), cores};
+}
+
+/// Paper-style Comet allocation: 16 cores/node ("16/1 64/4 256/16").
+inline sim::ClusterSpec comet_alloc(std::size_t cores) {
+  return sim::ClusterSpec{sim::comet(),
+                          std::max<std::size_t>(1, cores / 16), cores};
+}
+
+/// Prints the table and writes it to ./bench_results/<stem>.csv.
+inline void emit(const Table& table, const std::string& stem) {
+  std::printf("%s\n", table.render().c_str());
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  const std::string path = "bench_results/" + stem + ".csv";
+  if (auto status = table.write_csv(path); !status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.error().to_string().c_str());
+  } else {
+    std::printf("(csv: %s)\n\n", path.c_str());
+  }
+}
+
+inline std::string fmt_runtime(double seconds) {
+  return Table::fmt(seconds, seconds < 10 ? 2 : 1);
+}
+
+}  // namespace mdtask::bench

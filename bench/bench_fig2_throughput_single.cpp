@@ -1,0 +1,35 @@
+// Fig. 2 — Task throughput by framework (single node, Wrangler).
+//
+// Zero-workload tasks (the paper submits /bin/hostname); task counts
+// 16..131072. Reports execution time and throughput for Spark, Dask and
+// RADICAL-Pilot. Expected shape: Dask best and first to saturate, Spark
+// next, RP lowest with a plateau below 100 tasks/s and failure beyond
+// 16k tasks.
+#include "bench_common.h"
+#include "mdtask/perf/workloads.h"
+
+using namespace mdtask;
+using namespace mdtask::perf;
+
+int main() {
+  const auto cluster = bench::wrangler_alloc(32);
+  const FrameworkModel models[] = {spark_model(), dask_model(), rp_model()};
+
+  Table table("Fig. 2: single-node task throughput (Wrangler, 32 cores)");
+  table.set_header({"tasks", "framework", "time_s", "tasks_per_s"});
+  for (std::size_t tasks = 16; tasks <= 131072; tasks *= 2) {
+    for (const auto& model : models) {
+      const auto outcome = simulate_throughput(model, cluster, tasks);
+      if (!outcome.feasible) {
+        table.add_row({std::to_string(tasks), model.name, "FAIL",
+                       outcome.failure});
+        continue;
+      }
+      table.add_row({std::to_string(tasks), model.name,
+                     bench::fmt_runtime(outcome.makespan_s),
+                     Table::fmt(outcome.tasks_per_s, 1)});
+    }
+  }
+  bench::emit(table, "fig2_throughput_single");
+  return 0;
+}

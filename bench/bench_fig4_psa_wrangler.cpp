@@ -1,0 +1,41 @@
+// Fig. 4 — PSA Hausdorff runtimes on Wrangler.
+//
+// 128 and 256 trajectories x {small 3341, medium 6682, large 13364}
+// atoms x {16/1, 64/2, 256/8} cores for MPI4py, Spark, Dask and
+// RADICAL-Pilot. Expected shape: all frameworks within ~2x of each other
+// (embarrassingly parallel), MPI fastest, every framework scaling ~6x
+// from 16 to 256 cores.
+#include "bench_common.h"
+#include "mdtask/perf/workloads.h"
+#include "mdtask/traj/catalog.h"
+
+using namespace mdtask;
+using namespace mdtask::perf;
+
+int main() {
+  const auto costs = python_pipeline_costs(host_kernel_costs());
+  const FrameworkModel models[] = {mpi_model(), spark_model(), dask_model(),
+                                   rp_model()};
+  Table table("Fig. 4: PSA Hausdorff on Wrangler");
+  table.set_header({"trajectories", "size", "cores/nodes", "framework",
+                    "runtime_s"});
+  for (std::size_t count : {128u, 256u}) {
+    for (traj::PsaSize size : traj::all_psa_sizes()) {
+      for (std::size_t cores : {16u, 64u, 256u}) {
+        const auto cluster = bench::wrangler_alloc(cores);
+        const PsaWorkload workload{count, traj::psa_atoms(size), 102};
+        const std::string alloc = std::to_string(cores) + "/" +
+                                  std::to_string(cluster.nodes);
+        for (const auto& model : models) {
+          const auto outcome =
+              simulate_psa(model, cluster, workload, costs);
+          table.add_row({std::to_string(count), traj::to_string(size),
+                         alloc, model.name,
+                         bench::fmt_runtime(outcome.makespan_s)});
+        }
+      }
+    }
+  }
+  bench::emit(table, "fig4_psa_wrangler");
+  return 0;
+}

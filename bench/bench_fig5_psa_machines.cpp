@@ -1,0 +1,42 @@
+// Fig. 5 — PSA Hausdorff on Comet vs Wrangler: runtime and speedup for
+// 128 large (13364-atom) trajectories.
+//
+// Expected shape: comparable runtimes on both machines, with Comet
+// giving better speedup at 256 cores because Wrangler's hyper-threaded
+// allocation packs 32 logical cores onto each node (Sec. 4.2).
+#include "bench_common.h"
+#include "mdtask/perf/workloads.h"
+
+using namespace mdtask;
+using namespace mdtask::perf;
+
+int main() {
+  const auto costs = python_pipeline_costs(host_kernel_costs());
+  const FrameworkModel models[] = {mpi_model(), spark_model(), dask_model(),
+                                   rp_model()};
+  const PsaWorkload workload{128, 13364, 102};
+
+  Table table("Fig. 5: PSA, 128 large trajectories, Comet vs Wrangler");
+  table.set_header(
+      {"machine", "cores/nodes", "framework", "runtime_s", "speedup"});
+  for (bool is_comet : {true, false}) {
+    for (std::size_t cores : {16u, 64u, 256u}) {
+      const auto cluster = is_comet ? bench::comet_alloc(cores)
+                                    : bench::wrangler_alloc(cores);
+      const auto base_cluster =
+          is_comet ? bench::comet_alloc(16) : bench::wrangler_alloc(16);
+      const std::string alloc =
+          std::to_string(cores) + "/" + std::to_string(cluster.nodes);
+      for (const auto& model : models) {
+        const auto outcome = simulate_psa(model, cluster, workload, costs);
+        const auto base =
+            simulate_psa(model, base_cluster, workload, costs);
+        table.add_row({cluster.machine.name, alloc, model.name,
+                       bench::fmt_runtime(outcome.makespan_s),
+                       Table::fmt(base.makespan_s / outcome.makespan_s, 2)});
+      }
+    }
+  }
+  bench::emit(table, "fig5_psa_machines");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 7 — Leaflet Finder: runtimes and speedups of the four
+// architectural approaches for Spark, Dask and MPI4py over the
+// 131k/262k/524k/4M-atom membranes at 32..256 cores on Wrangler.
+//
+// Expected shape: approach 1 worst and limited to small systems (Dask's
+// broadcast dies at 524k; everyone dies at 4M); approach 3 ~20% better
+// than approach 2 for Spark/Dask and able to run 4M with the 42k-task
+// repartition (except Dask: worker restarts); tree-search (approach 4)
+// slower than 3 for 131k/262k, faster for 524k/4M; MPI speedup almost
+// linear, Spark/Dask capped near 5.
+#include "bench_common.h"
+#include "mdtask/perf/workloads.h"
+#include "mdtask/traj/catalog.h"
+
+using namespace mdtask;
+using namespace mdtask::perf;
+
+int main() {
+  const auto costs = python_pipeline_costs(host_kernel_costs());
+  const FrameworkModel models[] = {spark_model(), dask_model(), mpi_model()};
+  const char* approach_names[] = {
+      "1: Broadcast & 1-D", "2: Task API & 2-D",
+      "3: Parallel Connected Components", "4: Tree-Search"};
+
+  Table table("Fig. 7: Leaflet Finder runtimes (Wrangler)");
+  table.set_header({"approach", "framework", "atoms", "cores/nodes",
+                    "runtime_s", "speedup_vs_32"});
+  for (int approach = 1; approach <= 4; ++approach) {
+    for (const auto& model : models) {
+      for (traj::LfSize size : traj::all_lf_sizes()) {
+        // The paper repartitions the 4M dataset into 42k tasks for
+        // approach 3 (cdist memory); all other cells use 1024 tasks.
+        const bool is_4m = size == traj::LfSize::k4M;
+        const LfWorkload workload{
+            traj::lf_atoms(size), traj::lf_paper_edges(size),
+            approach == 3 && is_4m ? std::size_t{42435}
+                                   : std::size_t{1024}};
+        double base = 0.0;
+        for (std::size_t cores : {32u, 64u, 128u, 256u}) {
+          const auto cluster = bench::wrangler_alloc(cores);
+          const auto outcome =
+              simulate_leaflet(model, cluster, approach, workload, costs);
+          const std::string alloc =
+              std::to_string(cores) + "/" + std::to_string(cluster.nodes);
+          if (!outcome.feasible) {
+            table.add_row({approach_names[approach - 1], model.name,
+                           traj::to_string(size), alloc, "FAIL",
+                           outcome.failure});
+            break;  // larger allocations fail the same way
+          }
+          if (cores == 32) base = outcome.makespan_s;
+          table.add_row({approach_names[approach - 1], model.name,
+                         traj::to_string(size), alloc,
+                         bench::fmt_runtime(outcome.makespan_s),
+                         Table::fmt(base / outcome.makespan_s, 2)});
+        }
+      }
+    }
+  }
+  bench::emit(table, "fig7_leaflet");
+  return 0;
+}

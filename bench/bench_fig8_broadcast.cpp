@@ -1,0 +1,50 @@
+// Fig. 8 — Broadcast & 1-D partitioned Leaflet Finder (approach 1):
+// total runtime vs broadcast time for 131k and 262k atoms across
+// 32..256 cores, Spark vs Dask vs MPI4py.
+//
+// Expected shape: MPI's broadcast grows linearly with node count but
+// stays a small fraction of the runtime (<1-10%); Spark's and Dask's
+// stay ~constant, with Spark's costing 3-15% of edge-discovery time and
+// Dask's 40-65% (its list-based broadcast).
+#include "bench_common.h"
+#include "mdtask/perf/workloads.h"
+#include "mdtask/traj/catalog.h"
+
+using namespace mdtask;
+using namespace mdtask::perf;
+
+int main() {
+  const auto costs = python_pipeline_costs(host_kernel_costs());
+  const FrameworkModel models[] = {spark_model(), dask_model(), mpi_model()};
+
+  Table table("Fig. 8: approach-1 broadcast vs runtime");
+  table.set_header({"atoms", "cores/nodes", "framework", "runtime_s",
+                    "broadcast_s", "bcast_share_of_compute"});
+  for (traj::LfSize size : {traj::LfSize::k131k, traj::LfSize::k262k}) {
+    const LfWorkload workload{traj::lf_atoms(size),
+                              traj::lf_paper_edges(size), 1024};
+    for (std::size_t cores : {32u, 64u, 128u, 256u}) {
+      const auto cluster = bench::wrangler_alloc(cores);
+      const std::string alloc =
+          std::to_string(cores) + "/" + std::to_string(cluster.nodes);
+      for (const auto& model : models) {
+        const auto outcome =
+            simulate_leaflet(model, cluster, 1, workload, costs);
+        if (!outcome.feasible) {
+          table.add_row({traj::to_string(size), alloc, model.name, "FAIL",
+                         outcome.failure, "-"});
+          continue;
+        }
+        const double edge_time =
+            outcome.compute_s / static_cast<double>(cluster.total_cores());
+        table.add_row(
+            {traj::to_string(size), alloc, model.name,
+             bench::fmt_runtime(outcome.makespan_s),
+             Table::fmt(outcome.bcast_s, 3),
+             Table::fmt(100.0 * outcome.bcast_s / edge_time, 1) + "%"});
+      }
+    }
+  }
+  bench::emit(table, "fig8_broadcast");
+  return 0;
+}

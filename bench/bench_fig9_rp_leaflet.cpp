@@ -1,0 +1,45 @@
+// Fig. 9 — RADICAL-Pilot, Task-API + 2-D partitioned Leaflet Finder
+// (approach 2): runtimes for 131k/262k/524k atoms over 32..256 cores.
+//
+// Expected shape: overhead-dominated — runtimes are similar despite 4x
+// system-size differences, far above the other frameworks, improving as
+// cores absorb the per-unit execution costs.
+#include "bench_common.h"
+#include "mdtask/perf/workloads.h"
+#include "mdtask/traj/catalog.h"
+
+using namespace mdtask;
+using namespace mdtask::perf;
+
+int main() {
+  const auto costs = python_pipeline_costs(host_kernel_costs());
+  const auto model = rp_model();
+
+  Table table("Fig. 9: RADICAL-Pilot approach-2 Leaflet Finder");
+  table.set_header({"atoms", "cores/nodes", "runtime_s", "db_dominated"});
+  for (traj::LfSize size :
+       {traj::LfSize::k131k, traj::LfSize::k262k, traj::LfSize::k524k}) {
+    const LfWorkload workload{traj::lf_atoms(size),
+                              traj::lf_paper_edges(size), 1024};
+    for (std::size_t cores : {32u, 64u, 128u, 256u}) {
+      const auto cluster = bench::wrangler_alloc(cores);
+      const auto outcome =
+          simulate_leaflet(model, cluster, 2, workload, costs);
+      const std::string alloc =
+          std::to_string(cores) + "/" + std::to_string(cluster.nodes);
+      if (!outcome.feasible) {
+        table.add_row(
+            {traj::to_string(size), alloc, "FAIL", outcome.failure});
+        continue;
+      }
+      const double compute_share =
+          outcome.compute_s / static_cast<double>(cluster.total_cores()) /
+          outcome.makespan_s;
+      table.add_row({traj::to_string(size), alloc,
+                     bench::fmt_runtime(outcome.makespan_s),
+                     compute_share < 0.5 ? "yes" : "no"});
+    }
+  }
+  bench::emit(table, "fig9_rp_leaflet");
+  return 0;
+}

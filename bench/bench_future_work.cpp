@@ -1,0 +1,47 @@
+// Sec. 6 future-work features, implemented and measured:
+//  (a) straggler mitigation via speculative execution — makespan with
+//      and without speculation under a heavy-tailed straggler mix;
+//  (b) dynamic resource-pool scaling — makespan as nodes are added to a
+//      running Leaflet-Finder-sized task wave at different times.
+#include "bench_common.h"
+#include "mdtask/perf/workloads.h"
+
+using namespace mdtask;
+using namespace mdtask::perf;
+
+int main() {
+  {
+    Table table("Future work (a): speculative execution vs stragglers "
+                "(1024 x 1 s tasks, 64 cores)");
+    table.set_header({"straggler_fraction", "straggler_factor", "plain_s",
+                      "speculative_s", "improvement"});
+    const auto cluster = bench::wrangler_alloc(64);
+    for (double fraction : {0.01, 0.05, 0.10}) {
+      for (double factor : {4.0, 10.0}) {
+        const double plain = simulate_straggler_makespan(
+            cluster, 1024, 1.0, fraction, factor, SpeculationPolicy{});
+        const double spec = simulate_straggler_makespan(
+            cluster, 1024, 1.0, fraction, factor,
+            SpeculationPolicy{.enabled = true, .threshold_factor = 1.5});
+        table.add_row({Table::fmt(fraction, 2), Table::fmt(factor, 0),
+                       Table::fmt(plain, 2), Table::fmt(spec, 2),
+                       Table::fmt(100.0 * (1.0 - spec / plain), 1) + "%"});
+      }
+    }
+    bench::emit(table, "future_speculation");
+  }
+  {
+    Table table("Future work (b): elastic resource pool "
+                "(1024 x 1 s tasks, 32 -> 64 cores)");
+    table.set_header({"grow_at_s", "makespan_s", "vs_fixed"});
+    const double fixed = simulate_elastic_makespan(1024, 1.0, 32, 0, 0.0);
+    table.add_row({"never", Table::fmt(fixed, 2), "1.00x"});
+    for (double at : {0.0, 4.0, 8.0, 16.0, 24.0}) {
+      const double grown = simulate_elastic_makespan(1024, 1.0, 32, 32, at);
+      table.add_row({Table::fmt(at, 0), Table::fmt(grown, 2),
+                     Table::fmt(fixed / grown, 2) + "x"});
+    }
+    bench::emit(table, "future_elastic");
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Kernel microbenchmarks (google-benchmark): the per-unit costs that
+// feed the calibration layer, reported per element so they can be
+// compared directly against perf::host_kernel_costs().
+#include <benchmark/benchmark.h>
+
+#include "mdtask/analysis/balltree.h"
+#include "mdtask/analysis/graph.h"
+#include "mdtask/analysis/hausdorff.h"
+#include "mdtask/analysis/rmsd.h"
+#include "mdtask/analysis/pairwise.h"
+#include "mdtask/common/rng.h"
+#include "mdtask/cpptraj/rmsd2d.h"
+#include "mdtask/traj/generators.h"
+
+namespace {
+
+using namespace mdtask;
+
+std::vector<traj::Vec3> cloud(std::size_t n, std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<traj::Vec3> pts(n);
+  for (auto& p : pts) {
+    p = {static_cast<float>(rng.uniform(0, 40)),
+         static_cast<float>(rng.uniform(0, 40)),
+         static_cast<float>(rng.uniform(0, 40))};
+  }
+  return pts;
+}
+
+void BM_FrameRmsd(benchmark::State& state) {
+  const auto atoms = static_cast<std::size_t>(state.range(0));
+  const auto a = cloud(atoms, 1), b = cloud(atoms, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::frame_rmsd(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(atoms));
+}
+BENCHMARK(BM_FrameRmsd)->Arg(512)->Arg(3341)->Arg(13364);
+
+void BM_HausdorffNaive(benchmark::State& state) {
+  traj::ProteinTrajectoryParams p;
+  p.frames = static_cast<std::size_t>(state.range(0));
+  p.atoms = 256;
+  p.seed = 1;
+  const auto a = traj::make_protein_trajectory(p);
+  p.seed = 2;
+  const auto b = traj::make_protein_trajectory(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::hausdorff_naive(a, b));
+  }
+}
+BENCHMARK(BM_HausdorffNaive)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_HausdorffEarlyBreak(benchmark::State& state) {
+  traj::ProteinTrajectoryParams p;
+  p.frames = static_cast<std::size_t>(state.range(0));
+  p.atoms = 256;
+  p.seed = 1;
+  const auto a = traj::make_protein_trajectory(p);
+  p.seed = 2;
+  const auto b = traj::make_protein_trajectory(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::hausdorff_early_break(a, b));
+  }
+}
+BENCHMARK(BM_HausdorffEarlyBreak)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Cdist(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto xs = cloud(n, 3), ys = cloud(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::cdist(xs, ys));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Cdist)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_BallTreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = cloud(n, 5);
+  for (auto _ : state) {
+    analysis::BallTree tree(pts, 32);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BallTreeBuild)->Arg(4096)->Arg(32768);
+
+void BM_BallTreeQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = cloud(n, 6);
+  const analysis::BallTree tree(pts, 32);
+  std::vector<std::uint32_t> hits;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hits.clear();
+    tree.query_radius(pts[i++ % n], 2.5, hits);
+    benchmark::DoNotOptimize(hits.size());
+  }
+}
+BENCHMARK(BM_BallTreeQuery)->Arg(4096)->Arg(32768);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const auto n_edges = static_cast<std::size_t>(state.range(0));
+  Xoshiro256StarStar rng(7);
+  std::vector<analysis::Edge> edges(n_edges);
+  for (auto& e : edges) {
+    auto a = static_cast<std::uint32_t>(rng.bounded(100000));
+    auto b = static_cast<std::uint32_t>(rng.bounded(100000));
+    if (a == b) b = (b + 1) % 100000;
+    e = {std::min(a, b), std::max(a, b)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::connected_components_union_find(100000, edges));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n_edges));
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(100000)->Arg(1000000);
+
+void BM_Rmsd2dReference(benchmark::State& state) {
+  traj::ProteinTrajectoryParams p;
+  p.frames = 16;
+  p.atoms = static_cast<std::size_t>(state.range(0));
+  p.seed = 8;
+  const auto a = traj::make_protein_trajectory(p);
+  p.seed = 9;
+  const auto b = traj::make_protein_trajectory(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpptraj::rmsd2d_block_reference(a, b));
+  }
+}
+BENCHMARK(BM_Rmsd2dReference)->Arg(512)->Arg(3341);
+
+void BM_Rmsd2dOptimized(benchmark::State& state) {
+  traj::ProteinTrajectoryParams p;
+  p.frames = 16;
+  p.atoms = static_cast<std::size_t>(state.range(0));
+  p.seed = 8;
+  const auto a = traj::make_protein_trajectory(p);
+  p.seed = 9;
+  const auto b = traj::make_protein_trajectory(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpptraj::rmsd2d_block_optimized(a, b));
+  }
+}
+BENCHMARK(BM_Rmsd2dOptimized)->Arg(512)->Arg(3341);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Table 3 — Decision framework: criteria and ranking for framework
+// selection, derived from this repository's measured/modelled metrics
+// rather than restated opinion: each quantitative criterion names the
+// bench that backs it.
+#include "bench_common.h"
+#include "mdtask/perf/workloads.h"
+
+using namespace mdtask;
+using namespace mdtask::perf;
+
+int main() {
+  const auto cluster = bench::wrangler_alloc(32);
+  const auto rank = [](double value, double mid, double high,
+                       bool higher_better) {
+    const double v = higher_better ? value : -value;
+    const double m = higher_better ? mid : -mid;
+    const double h = higher_better ? high : -high;
+    if (v >= h) return "++";
+    if (v >= m) return "+";
+    return "o";
+  };
+
+  Table table("Table 3: decision framework (criteria and ranking)");
+  table.set_header({"criterion", "RADICAL-Pilot", "Spark", "Dask",
+                    "backing bench"});
+  // Throughput: measured at 8192 tasks, single node (Fig. 2 cell).
+  const double tp_rp =
+      simulate_throughput(rp_model(), cluster, 8192).tasks_per_s;
+  const double tp_spark =
+      simulate_throughput(spark_model(), cluster, 8192).tasks_per_s;
+  const double tp_dask =
+      simulate_throughput(dask_model(), cluster, 8192).tasks_per_s;
+  table.add_row({"throughput (tasks/s)", rank(tp_rp, 300, 2000, true),
+                 rank(tp_spark, 300, 2000, true),
+                 rank(tp_dask, 300, 2000, true), "fig2"});
+  table.add_row({"  measured", Table::fmt(tp_rp, 0),
+                 Table::fmt(tp_spark, 0), Table::fmt(tp_dask, 0), ""});
+  // Low latency: per-task dispatch.
+  const double d_rp = rp_model().effective_dispatch_s(1);
+  const double d_spark = spark_model().effective_dispatch_s(1);
+  const double d_dask = dask_model().effective_dispatch_s(1);
+  table.add_row({"low latency", rank(d_rp, 5e-3, 1e-3, false),
+                 rank(d_spark, 5e-3, 1e-3, false),
+                 rank(d_dask, 5e-3, 1e-3, false), "fig2"});
+  table.add_row({"large task counts",
+                 rp_model().max_tasks ? "--" : "++", "++", "++", "fig2"});
+  // Broadcast & shuffle: approach-1/3 communication phases.
+  const auto costs = python_pipeline_costs(host_kernel_costs());
+  const LfWorkload w{262144, 1750000, 1024};
+  const double b_spark =
+      simulate_leaflet(spark_model(), cluster, 1, w, costs).bcast_s;
+  const double b_dask =
+      simulate_leaflet(dask_model(), cluster, 1, w, costs).bcast_s;
+  table.add_row({"broadcast", "-", rank(b_spark, 0.5, 0.05, false),
+                 rank(b_dask, 0.5, 0.05, false), "fig8"});
+  const double s_spark =
+      simulate_leaflet(spark_model(), cluster, 3, w, costs).shuffle_s;
+  const double s_dask =
+      simulate_leaflet(dask_model(), cluster, 3, w, costs).shuffle_s;
+  table.add_row({"shuffle", "-", rank(s_spark, 0.5, 0.01, false),
+                 rank(s_dask, 0.5, 0.01, false), "fig7/tab2"});
+  // Qualitative rows from the paper.
+  table.add_row({"MPI/HPC tasks", "+", "o", "o", "(Sec. 4.4)"});
+  table.add_row({"task API", "+", "o", "++", "(Sec. 4.4)"});
+  table.add_row({"Python/native code", "++", "o", "+", "(Sec. 4.4)"});
+  table.add_row({"Java", "o", "++", "o", "(Sec. 4.4)"});
+  table.add_row({"higher-level abstraction", "-", "++", "+", "(Sec. 4.4)"});
+  table.add_row({"caching", "-", "++", "o", "(Sec. 4.4)"});
+  bench::emit(table, "tab3_decision");
+  return 0;
+}

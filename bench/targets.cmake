@@ -1,0 +1,32 @@
+# Benchmark targets — included from the top-level CMakeLists (not via
+# add_subdirectory) so that build/bench/ holds ONLY the bench
+# executables and `for b in build/bench/*; do $b; done` runs clean.
+
+set(MDTASK_BENCH_DIR ${CMAKE_SOURCE_DIR}/bench)
+
+function(mdtask_bench name)
+  add_executable(${name} ${MDTASK_BENCH_DIR}/${name}.cpp)
+  target_include_directories(${name} PRIVATE ${MDTASK_BENCH_DIR})
+  target_link_libraries(${name} PRIVATE ${ARGN} mdtask_warnings)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+mdtask_bench(bench_fig2_throughput_single mdtask_perf)
+mdtask_bench(bench_fig3_throughput_nodes mdtask_perf)
+mdtask_bench(bench_fig4_psa_wrangler mdtask_perf)
+mdtask_bench(bench_fig5_psa_machines mdtask_perf)
+mdtask_bench(bench_fig6_cpptraj mdtask_perf)
+mdtask_bench(bench_fig7_leaflet mdtask_perf)
+mdtask_bench(bench_fig8_broadcast mdtask_perf)
+mdtask_bench(bench_fig9_rp_leaflet mdtask_perf)
+mdtask_bench(bench_tab1_properties mdtask_perf)
+mdtask_bench(bench_tab2_shuffle_volumes mdtask_workflows)
+mdtask_bench(bench_tab3_decision mdtask_perf)
+mdtask_bench(bench_ablations mdtask_workflows mdtask_cpptraj)
+mdtask_bench(bench_kernels mdtask_analysis mdtask_cpptraj)
+target_link_libraries(bench_kernels PRIVATE benchmark::benchmark)
+mdtask_bench(bench_real_engines mdtask_workflows)
+mdtask_bench(bench_future_work mdtask_perf)
+mdtask_bench(bench_iterative_caching mdtask_analysis mdtask_engines)
+mdtask_bench(bench_utilization mdtask_perf)

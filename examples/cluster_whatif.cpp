@@ -1,0 +1,52 @@
+// What-if cluster explorer: replay a PSA or Leaflet Finder campaign on a
+// hypothetical cluster before burning an allocation.
+//
+// This drives the same virtual-time layer the figure benches use: pick a
+// machine, node count, framework and workload, and see the predicted
+// makespan with its phase breakdown.
+//
+// Usage: cluster_whatif [nodes=8] [atoms=524288]
+#include <cstdio>
+#include <cstdlib>
+
+#include "mdtask/common/table.h"
+#include "mdtask/perf/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace mdtask;
+  using namespace mdtask::perf;
+  const std::size_t nodes =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8;
+  const std::size_t atoms =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 524288;
+
+  const auto costs = python_pipeline_costs(host_kernel_costs());
+  const LfWorkload workload{atoms, atoms * 7, 1024};
+
+  Table table("Predicted Leaflet Finder campaign, " +
+              std::to_string(nodes) + " Wrangler nodes (32 cores each), " +
+              std::to_string(atoms) + " atoms");
+  table.set_header({"framework", "approach", "makespan_s", "bcast_s",
+                    "shuffle_s", "driver_s", "verdict"});
+  for (const auto& model :
+       {mpi_model(), spark_model(), dask_model(), rp_model()}) {
+    for (int approach = 1; approach <= 4; ++approach) {
+      const sim::ClusterSpec cluster{sim::wrangler(), nodes, nodes * 32};
+      const auto outcome =
+          simulate_leaflet(model, cluster, approach, workload, costs);
+      if (!outcome.feasible) {
+        table.add_row({model.name, std::to_string(approach), "-", "-", "-",
+                       "-", outcome.failure});
+        continue;
+      }
+      table.add_row({model.name, std::to_string(approach),
+                     Table::fmt(outcome.makespan_s, 1),
+                     Table::fmt(outcome.bcast_s, 2),
+                     Table::fmt(outcome.shuffle_s, 2),
+                     Table::fmt(outcome.driver_s, 2), "ok"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(pick the row with the smallest makespan that says 'ok')\n");
+  return 0;
+}

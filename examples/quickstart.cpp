@@ -1,0 +1,72 @@
+// Quickstart: the 60-second tour of the mdtask public API.
+//
+//  1. Generate a synthetic trajectory ensemble (the PSA input).
+//  2. Compute one Hausdorff distance directly.
+//  3. Run the full Path Similarity Analysis in parallel on the Dask-like
+//     engine and print a corner of the distance matrix.
+//  4. Build a membrane and find its leaflets with the tree-search
+//     Leaflet Finder on the Spark-like engine.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "mdtask/analysis/hausdorff.h"
+#include "mdtask/traj/generators.h"
+#include "mdtask/workflows/leaflet_runner.h"
+#include "mdtask/workflows/psa_runner.h"
+
+int main() {
+  using namespace mdtask;
+
+  // 1. An ensemble of 8 small trajectories (32 atoms x 24 frames each).
+  traj::ProteinTrajectoryParams params;
+  params.atoms = 32;
+  params.frames = 24;
+  const traj::Ensemble ensemble = traj::make_protein_ensemble(8, params);
+  std::printf("ensemble: %zu trajectories, %zu atoms x %zu frames each\n",
+              ensemble.size(), ensemble[0].atoms(), ensemble[0].frames());
+
+  // 2. One pairwise Hausdorff distance (Alg. 1).
+  const double d01 = analysis::hausdorff_naive(ensemble[0], ensemble[1]);
+  std::printf("hausdorff(traj0, traj1) = %.4f Angstrom\n", d01);
+
+  // 3. Parallel PSA on the Dask-like engine (all engines give the same
+  //    matrix; try kMpi / kSpark / kRp).
+  workflows::PsaRunConfig psa_config;
+  psa_config.workers = 4;
+  const auto psa = workflows::run_psa(workflows::EngineKind::kDask,
+                                      ensemble, psa_config);
+  std::printf("\nPSA on %s: %llu tasks in %.3f s; D[0..3][0..3]:\n", "Dask",
+              static_cast<unsigned long long>(psa.metrics.tasks),
+              psa.metrics.wall_seconds);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      std::printf("  %7.3f", psa.matrix.at(i, j));
+    }
+    std::printf("\n");
+  }
+
+  // 4. Leaflet Finder (Alg. 3), tree-search approach, Spark-like engine.
+  traj::BilayerParams bilayer_params;
+  bilayer_params.atoms = 5000;
+  const auto membrane = traj::make_bilayer(bilayer_params);
+  workflows::LfRunConfig lf_config;
+  lf_config.workers = 4;
+  lf_config.target_tasks = 16;
+  const auto lf = workflows::run_leaflet_finder(
+      workflows::EngineKind::kSpark, /*approach=*/4, membrane.positions,
+      traj::default_cutoff(bilayer_params), lf_config);
+  if (!lf.ok()) {
+    std::printf("leaflet finder failed: %s\n",
+                lf.error().to_string().c_str());
+    return 1;
+  }
+  std::printf(
+      "\nleaflet finder: %zu components; leaflets of %zu and %zu atoms "
+      "(%zu stray) in %.3f s\n",
+      lf.value().leaflets.component_count,
+      lf.value().leaflets.leaflet_a_size, lf.value().leaflets.leaflet_b_size,
+      lf.value().leaflets.unassigned, lf.value().metrics.wall_seconds);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Per-frame and per-atom MD observables.
+//
+// These are the "per frame data acquisition" kernels of HiMach-style
+// frame map-reduce analysis (the paper's Related Work, Sec. 5): cheap
+// functions of one conformation that downstream reductions aggregate
+// into time series or fluctuations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mdtask/traj/trajectory.h"
+
+namespace mdtask::analysis {
+
+/// Unweighted centroid of a frame.
+traj::Vec3 center_of_geometry(std::span<const traj::Vec3> frame);
+
+/// Mass-weighted center; `masses` must match the frame size. Zero total
+/// mass falls back to the unweighted centroid.
+traj::Vec3 center_of_mass(std::span<const traj::Vec3> frame,
+                          std::span<const float> masses);
+
+/// Radius of gyration about the centroid:
+///   sqrt( (1/N) * sum |r_i - r_mean|^2 ).
+double radius_of_gyration(std::span<const traj::Vec3> frame);
+
+/// Largest distance of any atom from the centroid (bounding radius).
+double bounding_radius(std::span<const traj::Vec3> frame);
+
+/// Per-atom root-mean-square fluctuation about each atom's time-mean
+/// position: RMSF_i = sqrt( <|r_i(t) - <r_i>|^2> ). The classic
+/// flexibility profile. Empty trajectory yields an empty vector.
+std::vector<double> rmsf(const traj::Trajectory& trajectory);
+
+}  // namespace mdtask::analysis

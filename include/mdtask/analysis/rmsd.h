@@ -1,0 +1,33 @@
+// Frame-to-frame distance metrics.
+//
+// PSA's Hausdorff computation (Alg. 1) compares frames with dRMS — the
+// root-mean-square deviation between corresponding atom positions of two
+// conformations. We provide the plain positional RMSD used by the paper's
+// pipeline and, as an extension, the rotationally-minimized Kabsch RMSD.
+#pragma once
+
+#include <span>
+
+#include "mdtask/traj/vec3.h"
+
+namespace mdtask::analysis {
+
+/// Positional RMSD between two equally-sized frames (no superposition):
+///   sqrt( (1/N) * sum_i |a_i - b_i|^2 ).
+/// Precondition: a.size() == b.size() and both non-empty.
+double frame_rmsd(std::span<const traj::Vec3> a,
+                  std::span<const traj::Vec3> b) noexcept;
+
+/// Squared-sum variant used by inner loops to postpone the sqrt.
+double frame_sumsq(std::span<const traj::Vec3> a,
+                   std::span<const traj::Vec3> b) noexcept;
+
+/// RMSD after optimal rigid superposition (translation + rotation),
+/// computed with the Kabsch algorithm via a 3x3 SVD-free closed form
+/// (eigen decomposition of the quaternion Davenport matrix).
+/// Extension beyond the paper's pipeline; used by the `rmsd_matrix`
+/// example.
+double kabsch_rmsd(std::span<const traj::Vec3> a,
+                   std::span<const traj::Vec3> b);
+
+}  // namespace mdtask::analysis

@@ -1,0 +1,94 @@
+// Error handling primitives for the mdtask library.
+//
+// The library reports recoverable failures through Result<T> rather than
+// exceptions so that hot kernels and the task engines can stay
+// exception-free on the fast path (C++ Core Guidelines E.3, E.6 applied to
+// a context where callers always inspect the outcome).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mdtask {
+
+/// Error category used across the library.
+enum class ErrorCode {
+  kInvalidArgument,
+  kOutOfRange,
+  kIoError,
+  kFormatError,
+  kResourceExhausted,  ///< e.g. simulated worker memory limit exceeded
+  kUnavailable,        ///< e.g. simulated database unreachable
+  kCancelled,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode.
+const char* to_string(ErrorCode code) noexcept;
+
+/// A recoverable error: a code plus a context message.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "kIoError: could not open file" style rendering.
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Minimal expected-like result type. Holds either a value or an Error.
+///
+/// Usage:
+///   Result<Trajectory> r = read_trajectory(path);
+///   if (!r.ok()) return r.error();
+///   use(r.value());
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(implicit)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const Error& error() const { return std::get<Error>(data_); }
+
+  /// Returns the value or a fallback if this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;                                   // success
+  Status(Error error) : error_(std::move(error)) {}     // NOLINT(implicit)
+
+  bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+  const Error& error() const { return *error_; }
+
+  static Status success() { return Status(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace mdtask

@@ -1,0 +1,41 @@
+// Minimal leveled logging. Off by default so benches stay quiet; examples
+// turn it on for narration.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mdtask {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (thread-safe; relaxed atomics).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if `level` >= the global level.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, out_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+#define MDTASK_LOG(level) ::mdtask::detail::LogStream(level)
+#define MDTASK_LOG_INFO MDTASK_LOG(::mdtask::LogLevel::kInfo)
+#define MDTASK_LOG_WARN MDTASK_LOG(::mdtask::LogLevel::kWarn)
+#define MDTASK_LOG_ERROR MDTASK_LOG(::mdtask::LogLevel::kError)
+
+}  // namespace mdtask

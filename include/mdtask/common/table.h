@@ -1,0 +1,49 @@
+// Console table and CSV rendering for the benchmark harness.
+//
+// Every bench binary prints an aligned table mirroring a paper figure or
+// table, and writes the same rows as CSV for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mdtask/common/error.h"
+
+namespace mdtask {
+
+/// A simple column-aligned text table with a title and CSV export.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Column count of subsequent rows must match.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; throws std::invalid_argument on column mismatch
+  /// (construction-time programming error, not a runtime condition).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  /// Formats a byte count as B/KB/MB/GB with binary units.
+  static std::string fmt_bytes(double bytes);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  const std::string& title() const noexcept { return title_; }
+
+  /// Renders the aligned table with a title banner.
+  std::string render() const;
+
+  /// Renders RFC-4180-ish CSV (header + rows, quoted when needed).
+  std::string to_csv() const;
+
+  /// Writes CSV to the given path.
+  Status write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mdtask

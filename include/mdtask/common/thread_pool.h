@@ -1,0 +1,59 @@
+// A fixed-size thread pool used as the real execution backend for the
+// task-parallel engines (Spark/Dask/RP mini-runtimes run their partitions
+// here when executing for correctness rather than in simulated time).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdtask {
+
+/// Fixed-size FIFO thread pool. Tasks are std::function<void()>; submit()
+/// also offers a future-returning overload for result-bearing jobs.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a fire-and-forget job. Safe from multiple threads.
+  void post(std::function<void()> job);
+
+  /// Enqueues a result-bearing job and returns its future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    post([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Blocks until every queued and running job has finished.
+  void wait_idle();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mdtask

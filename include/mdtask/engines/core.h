@@ -1,0 +1,63 @@
+// Shared vocabulary for the mini task-parallel engines.
+//
+// Each engine (spark, dask, rp) is a real, working runtime executing
+// closures on a thread pool with its framework's scheduling semantics.
+// They share the metrics vocabulary below so benches and tests can
+// compare communication volumes and task counts across frameworks
+// (Table 2 / Fig. 8 report these measured numbers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mdtask::engines {
+
+/// Counters every engine maintains while executing. All atomics: engines
+/// update them from worker threads.
+struct EngineMetrics {
+  std::atomic<std::uint64_t> tasks_executed{0};
+  std::atomic<std::uint64_t> stages_executed{0};
+  std::atomic<std::uint64_t> shuffle_bytes{0};     ///< map->reduce traffic
+  std::atomic<std::uint64_t> shuffle_records{0};
+  std::atomic<std::uint64_t> broadcast_bytes{0};   ///< driver->workers
+  std::atomic<std::uint64_t> staged_bytes{0};      ///< file staging (RP)
+  std::atomic<std::uint64_t> db_roundtrips{0};     ///< MongoDB ops (RP)
+
+  void reset() noexcept {
+    tasks_executed = 0;
+    stages_executed = 0;
+    shuffle_bytes = 0;
+    shuffle_records = 0;
+    broadcast_bytes = 0;
+    staged_bytes = 0;
+    db_roundtrips = 0;
+  }
+};
+
+/// Thrown by engines when a simulated per-task memory limit is exceeded
+/// (reproduces the paper's cdist OOM behaviour: approach 1-2 cannot run
+/// the 4M-atom dataset; Dask approach 3 restarts workers at 95% memory).
+class TaskMemoryExceeded : public std::bad_alloc {
+ public:
+  TaskMemoryExceeded(std::uint64_t requested, std::uint64_t limit) noexcept
+      : requested_(requested), limit_(limit) {}
+  const char* what() const noexcept override {
+    return "simulated task memory limit exceeded";
+  }
+  std::uint64_t requested() const noexcept { return requested_; }
+  std::uint64_t limit() const noexcept { return limit_; }
+
+ private:
+  std::uint64_t requested_;
+  std::uint64_t limit_;
+};
+
+/// Checks a task's declared transient allocation against a limit;
+/// limit == 0 means unlimited.
+inline void check_task_memory(std::uint64_t requested, std::uint64_t limit) {
+  if (limit != 0 && requested > limit) {
+    throw TaskMemoryExceeded(requested, limit);
+  }
+}
+
+}  // namespace mdtask::engines

@@ -1,0 +1,79 @@
+// Mini Ensemble Toolkit (EnTK) — the higher-level abstraction the paper
+// lists for RADICAL-Pilot (Table 1, Ref. [3]).
+//
+// EnTK structures ensemble applications as Pipelines of sequential
+// Stages, each stage a set of Tasks executed concurrently. The
+// AppManager maps tasks onto Compute-Units of a shared UnitManager:
+// stages form barriers within a pipeline, while independent pipelines
+// make progress concurrently (their stages interleave on the pilot).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mdtask/engines/rp/pilot.h"
+
+namespace mdtask::rp {
+
+/// A task inside a stage: one Compute-Unit description.
+struct EnsembleTask {
+  std::string name;
+  std::function<void(SharedFilesystem&)> executable;
+  std::vector<std::string> input_staging;
+  std::vector<std::string> output_staging;
+};
+
+/// A stage: tasks that run concurrently; the stage completes when all
+/// of them have (a barrier within the owning pipeline).
+struct Stage {
+  std::string name;
+  std::vector<EnsembleTask> tasks;
+};
+
+/// A pipeline: stages executed strictly in order.
+struct Pipeline {
+  std::string name;
+  std::vector<Stage> stages;
+};
+
+/// Outcome of one executed task.
+struct TaskReport {
+  std::string pipeline;
+  std::string stage;
+  std::string task;
+  UnitState state = UnitState::kDone;
+  std::string failure;
+};
+
+/// Outcome of a whole run.
+struct EnsembleReport {
+  std::vector<TaskReport> tasks;
+  bool ok() const noexcept {
+    for (const auto& t : tasks) {
+      if (t.state != UnitState::kDone) return false;
+    }
+    return true;
+  }
+  std::size_t failed_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& t : tasks) n += t.state != UnitState::kDone;
+    return n;
+  }
+};
+
+/// Executes pipelines on a UnitManager. Stages within a pipeline are
+/// sequential; pipelines run concurrently. A failed task fails its
+/// stage; by default the owning pipeline stops at the failed stage
+/// (remaining stages are not executed) while other pipelines continue.
+class AppManager {
+ public:
+  explicit AppManager(UnitManager& units) : units_(&units) {}
+
+  /// Runs all pipelines to completion and reports per-task outcomes.
+  EnsembleReport run(std::vector<Pipeline> pipelines);
+
+ private:
+  UnitManager* units_;
+};
+
+}  // namespace mdtask::rp

@@ -1,0 +1,110 @@
+// Virtual-time replays of the paper's experiments.
+//
+// Each simulate_* function builds the workload's task set, charges every
+// task its calibrated kernel cost (perf/calibration.h), schedules the
+// tasks through the framework model's dispatch pipeline onto a simulated
+// cluster (sim/simulation.h), adds the communication phases the
+// architecture implies (Table 2), and returns the virtual makespan plus
+// a phase breakdown. Infeasible configurations — the paper's OOM and
+// scaling failures — are reported with the documented cause instead of a
+// number (Secs. 4.1, 4.3.1-4.3.3).
+#pragma once
+
+#include <string>
+
+#include "mdtask/perf/calibration.h"
+#include "mdtask/perf/framework_model.h"
+#include "mdtask/sim/simulation.h"
+
+namespace mdtask::perf {
+
+/// Result of one simulated experiment cell.
+struct SimOutcome {
+  bool feasible = true;
+  std::string failure;      ///< paper-documented cause when !feasible
+
+  double makespan_s = 0.0;  ///< virtual wall time, including startup
+  double compute_s = 0.0;   ///< aggregate task compute (core-seconds)
+  double bcast_s = 0.0;     ///< broadcast phase (Fig. 8 decomposition)
+  double shuffle_s = 0.0;   ///< shuffle / gather phase
+  double driver_s = 0.0;    ///< serial driver work (final CC, min-max)
+  double tasks_per_s = 0.0; ///< throughput where applicable
+  std::size_t tasks = 0;
+};
+
+// ---- Figs. 2-3: zero-workload task throughput ----
+
+SimOutcome simulate_throughput(const FrameworkModel& model,
+                               const sim::ClusterSpec& cluster,
+                               std::size_t n_tasks);
+
+// ---- Figs. 4-5: PSA Hausdorff ----
+
+struct PsaWorkload {
+  std::size_t trajectories = 128;
+  std::size_t atoms = 3341;
+  std::size_t frames = 102;
+};
+
+SimOutcome simulate_psa(const FrameworkModel& model,
+                        const sim::ClusterSpec& cluster,
+                        const PsaWorkload& workload,
+                        const KernelCosts& costs);
+
+// ---- Fig. 6: CPPTraj 2D-RMSD ----
+
+/// `atom_cost` selects the build: costs.rmsd2d_atom_naive (GNU -O0) or
+/// costs.rmsd2d_atom_optimized (Intel -O3).
+SimOutcome simulate_cpptraj(const sim::ClusterSpec& cluster,
+                            const PsaWorkload& workload, double atom_cost);
+
+// ---- Figs. 7-9: Leaflet Finder ----
+
+struct LfWorkload {
+  std::size_t atoms = 131072;
+  std::size_t edges = 896000;     ///< contact-graph edges (Sec. 4.3)
+  std::size_t target_tasks = 1024;
+};
+
+SimOutcome simulate_leaflet(const FrameworkModel& model,
+                            const sim::ClusterSpec& cluster, int approach,
+                            const LfWorkload& workload,
+                            const KernelCosts& costs);
+
+/// Replays one Leaflet Finder cell and returns the per-bucket core
+/// utilization over the compute phase (the straggler structure behind
+/// Fig. 7's speedup caps). Returns an empty vector for infeasible cells.
+std::vector<double> leaflet_utilization_timeline(
+    const FrameworkModel& model, const sim::ClusterSpec& cluster,
+    int approach, const LfWorkload& workload, const KernelCosts& costs,
+    std::size_t buckets);
+
+// ---- Sec. 6 future-work extensions (ablation benches) ----
+
+/// Straggler-mitigation policy: when a task has run longer than
+/// `threshold_factor` x the nominal duration, a speculative copy is
+/// launched on another core and the earlier finisher wins (Spark's
+/// speculative execution; the paper's "strategies that mitigate issues
+/// occurring at large scale, e.g. stragglers").
+struct SpeculationPolicy {
+  bool enabled = false;
+  double threshold_factor = 1.5;
+};
+
+/// Replays `n_tasks` of nominal duration `task_s` with heavy-tailed
+/// straggler jitter (a fraction of tasks run `straggler_factor` x
+/// longer) with and without speculation support. Returns the makespan.
+double simulate_straggler_makespan(const sim::ClusterSpec& cluster,
+                                   std::size_t n_tasks, double task_s,
+                                   double straggler_fraction,
+                                   double straggler_factor,
+                                   const SpeculationPolicy& policy);
+
+/// Elastic-pool what-if ("dynamically scale the resource pool"): run
+/// `n_tasks` x `task_s` on `initial_cores`, adding `added_cores` at
+/// time `grow_at_s`. Returns the makespan.
+double simulate_elastic_makespan(std::size_t n_tasks, double task_s,
+                                 std::size_t initial_cores,
+                                 std::size_t added_cores, double grow_at_s);
+
+}  // namespace mdtask::perf

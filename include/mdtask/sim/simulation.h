@@ -1,0 +1,200 @@
+// Discrete-event simulation core.
+//
+// The paper's experiments ran on multi-node XSEDE clusters (SDSC Comet,
+// TACC Wrangler) at up to 256 cores. This DES substitutes for that
+// hardware: workloads are replayed in virtual time against a cluster
+// specification, with per-task compute costs calibrated from the real
+// C++ kernels on the host (see perf/calibration.h) and framework
+// overheads from the models in perf/framework_model.h.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mdtask::sim {
+
+/// An event-driven virtual clock. Events fire in time order; ties fire in
+/// schedule order (stable), which makes every simulation deterministic.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now).
+  void at(double t, Callback fn);
+  /// Schedules `fn` `dt` seconds from now.
+  void after(double dt, Callback fn) { at(now_ + dt, std::move(fn)); }
+
+  /// Runs until the event queue drains. Returns the final clock value.
+  double run();
+
+  /// Events executed so far (exposed for tests).
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+/// One recorded service interval: [start, end) in virtual time.
+struct ServiceInterval {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// A multi-server resource (a pool of cores, or a single-server database).
+/// Requests hold one server for a duration; excess requests queue FIFO.
+class Resource {
+ public:
+  Resource(Simulation& simulation, std::size_t servers)
+      : simulation_(&simulation), free_(servers) {}
+
+  /// Starts recording every service interval into `out` (not owned;
+  /// must outlive the simulation). Pass nullptr to stop.
+  void set_trace(std::vector<ServiceInterval>* out) noexcept {
+    trace_ = out;
+  }
+
+  /// Requests one server for `duration` seconds; `on_complete` fires when
+  /// the hold ends. May queue.
+  void acquire(double duration, Simulation::Callback on_complete);
+
+  /// Elastic scaling (the paper's Sec.-6 future-work item: dynamically
+  /// grow/shrink the resource pool). Added servers immediately start
+  /// draining the queue; removals take effect lazily as busy servers
+  /// finish their current hold.
+  void add_servers(std::size_t count);
+  void remove_servers(std::size_t count);
+
+  std::size_t free_servers() const noexcept { return free_; }
+  std::size_t queued() const noexcept { return pending_.size(); }
+  /// Total busy time accumulated across servers (for utilization).
+  double busy_time() const noexcept { return busy_time_; }
+
+ private:
+  struct Pending {
+    double duration;
+    Simulation::Callback on_complete;
+  };
+  void start(double duration, Simulation::Callback on_complete);
+
+  Simulation* simulation_;
+  std::size_t free_;
+  std::size_t to_remove_ = 0;  ///< lazy removals pending
+  std::deque<Pending> pending_;
+  double busy_time_ = 0.0;
+  std::vector<ServiceInterval>* trace_ = nullptr;
+};
+
+/// Alpha-beta network cost model plus collective algorithms.
+struct NetworkModel {
+  double latency_s = 1e-5;          ///< per-message alpha
+  double bandwidth_Bps = 5e9;       ///< per-link beta^-1 (~40 Gbit)
+  double bisection_Bps = 2e10;      ///< cluster bisection bandwidth
+
+  double point_to_point_s(std::uint64_t bytes) const noexcept {
+    return latency_s + static_cast<double>(bytes) / bandwidth_Bps;
+  }
+  /// Root sends the payload to each of (peers) receivers sequentially —
+  /// the flat algorithm whose cost grows linearly with P (MPI in Fig. 8).
+  double bcast_linear_s(std::uint64_t bytes, std::size_t peers) const {
+    return static_cast<double>(peers) * point_to_point_s(bytes);
+  }
+  /// Binomial-tree broadcast: ceil(log2 P) rounds.
+  double bcast_tree_s(std::uint64_t bytes, std::size_t ranks) const;
+  /// BitTorrent-style broadcast (Spark): pipelined chunks, near-constant
+  /// in P beyond the tree depth term.
+  double bcast_torrent_s(std::uint64_t bytes, std::size_t ranks) const;
+  /// Gather of per-source payloads at one root (sequential arrivals).
+  double gather_s(std::uint64_t total_bytes, std::size_t sources) const {
+    return static_cast<double>(sources) * latency_s +
+           static_cast<double>(total_bytes) / bandwidth_Bps;
+  }
+  /// All-to-all shuffle of `total_bytes` across `ranks` participants,
+  /// limited by bisection bandwidth.
+  double shuffle_s(std::uint64_t total_bytes, std::size_t ranks) const {
+    return static_cast<double>(ranks) * latency_s +
+           static_cast<double>(total_bytes) / bisection_Bps;
+  }
+};
+
+/// A machine family (one paper testbed).
+struct MachineProfile {
+  const char* name = "generic";
+  std::size_t cores_per_node = 24;
+  /// Compute speed relative to the calibration host (1.0 = host speed).
+  double core_speed = 1.0;
+  /// Wrangler's 24 cores/node are hyper-threaded (12 physical): the
+  /// second thread on a core contributes only this fraction of extra
+  /// throughput. Comet's 24 are physical (factor 1).
+  double hyperthread_efficiency = 1.0;
+  std::size_t physical_cores_per_node = 24;
+  NetworkModel network;
+  double filesystem_Bps = 5e9;  ///< shared parallel filesystem bandwidth
+};
+
+/// SDSC Comet: 24 physical Haswell cores/node, 128 GB/node (Sec. 4).
+MachineProfile comet();
+/// TACC Wrangler: 24 hyper-threaded cores/node (12 physical), 128 GB.
+MachineProfile wrangler();
+
+/// A concrete allocation: nodes x machine.
+struct ClusterSpec {
+  MachineProfile machine;
+  std::size_t nodes = 1;
+  /// Cores actually used (0 = all cores of every node). Fig. 6 sweeps
+  /// core counts below one full node.
+  std::size_t cores_used = 0;
+
+  std::size_t total_cores() const noexcept {
+    return cores_used != 0 ? cores_used : nodes * machine.cores_per_node;
+  }
+  /// Effective compute throughput of one node in "host cores",
+  /// accounting for hyper-threading and relative core speed, when every
+  /// logical core is in use.
+  double effective_cores_per_node() const noexcept;
+  /// Effective throughput of the cores actually used: the physical cores
+  /// of each node fill up first; extra logical (hyper-thread) cores
+  /// contribute at the machine's hyperthread_efficiency.
+  double total_effective_cores() const noexcept;
+  /// Memory available to each task slot: 128 GB/node split across the
+  /// cores actually used per node (the paper runs 32 processes/node on
+  /// Wrangler, giving each ~4 GB).
+  double memory_per_core_bytes() const noexcept {
+    const double used_per_node =
+        static_cast<double>(total_cores()) / static_cast<double>(nodes);
+    return 128.0 * (1ull << 30) / used_per_node;
+  }
+};
+
+/// Utilization timeline from recorded service intervals: the fraction
+/// of `servers` busy in each of `buckets` equal slices of [0, horizon].
+/// horizon <= 0 uses the latest interval end.
+std::vector<double> utilization_timeline(
+    const std::vector<ServiceInterval>& intervals, std::size_t servers,
+    std::size_t buckets, double horizon = 0.0);
+
+/// Builds a cluster with the requested total core count on a machine
+/// (cores must divide into whole nodes; partial nodes are rounded up,
+/// mirroring how allocations work on the real systems).
+ClusterSpec cluster_for_cores(const MachineProfile& machine,
+                              std::size_t cores);
+
+}  // namespace mdtask::sim

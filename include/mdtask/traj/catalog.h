@@ -1,0 +1,48 @@
+// Dataset catalog mirroring the paper's evaluation datasets.
+//
+// PSA (Sec. 4.2): trajectories with 3341 (small), 6682 (medium) and 13364
+// (large) atoms per frame, 102 frames, in ensembles of 128 and 256.
+// Leaflet Finder (Sec. 4.3): membranes of 131k, 262k, 524k and 4M atoms
+// with ~896k, ~1.75M, ~3.52M and ~44.6M contact edges.
+//
+// Each entry also carries a `scale` knob so tests and laptop-sized runs
+// can use geometrically shrunken versions of the same dataset family.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mdtask/traj/generators.h"
+
+namespace mdtask::traj {
+
+/// PSA dataset family sizes from the paper.
+enum class PsaSize { kSmall, kMedium, kLarge };
+
+/// Atom count per frame for a PSA dataset size (3341 / 6682 / 13364).
+std::size_t psa_atoms(PsaSize size) noexcept;
+const char* to_string(PsaSize size) noexcept;
+
+/// Generator parameters for a paper PSA dataset, optionally scaled down by
+/// `scale` (atoms and frames divided by `scale`, minimum 4 / 4).
+ProteinTrajectoryParams psa_params(PsaSize size, std::size_t scale = 1);
+
+/// Leaflet Finder dataset family from the paper.
+enum class LfSize { k131k, k262k, k524k, k4M };
+
+/// Total atom count of an LF dataset (131072 / 262144 / 524288 / 4194304).
+std::size_t lf_atoms(LfSize size) noexcept;
+const char* to_string(LfSize size) noexcept;
+
+/// Approximate edge count the paper reports for each LF dataset.
+std::size_t lf_paper_edges(LfSize size) noexcept;
+
+/// Generator parameters for a paper LF dataset, optionally scaled down.
+BilayerParams lf_params(LfSize size, std::size_t scale = 1);
+
+/// All PSA sizes / LF sizes, for sweeps.
+std::vector<PsaSize> all_psa_sizes();
+std::vector<LfSize> all_lf_sizes();
+
+}  // namespace mdtask::traj

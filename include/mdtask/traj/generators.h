@@ -1,0 +1,86 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on real biomolecular data we cannot redistribute:
+// protein trajectory ensembles (3341 / 6682 / 13364 atoms x 102 frames)
+// for PSA, and lipid membranes (131k / 262k / 524k / 4M atoms) for the
+// Leaflet Finder. These generators produce synthetic systems with the
+// same shapes and — for the membranes — the same graph densities, which is
+// what the algorithms' cost depends on (see DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mdtask/traj/trajectory.h"
+
+namespace mdtask::traj {
+
+/// Parameters for the correlated-random-walk protein trajectory generator.
+struct ProteinTrajectoryParams {
+  std::size_t atoms = 3341;   ///< paper "small" = 3341 atoms/frame
+  std::size_t frames = 102;   ///< paper trajectories have 102 frames
+  double coil_radius = 20.0;  ///< initial random-coil radius (Angstrom)
+  double step_sigma = 0.15;   ///< per-frame per-atom displacement stddev
+  double drift = 0.5;         ///< slow collective drift magnitude per frame
+  std::uint64_t seed = 1;
+};
+
+/// Generates one smooth synthetic trajectory: atoms start in a Gaussian
+/// coil and move by correlated small steps plus a slow collective drift,
+/// producing paths whose pairwise Hausdorff distances are non-degenerate.
+Trajectory make_protein_trajectory(const ProteinTrajectoryParams& params);
+
+/// Generates an ensemble of `count` trajectories with distinct seeds
+/// (seed, seed+1, ...). Each member is independent, as in the paper where
+/// ensemble members come from different simulation runs.
+Ensemble make_protein_ensemble(std::size_t count,
+                               const ProteinTrajectoryParams& params);
+
+/// Parameters for the lipid-bilayer generator.
+struct BilayerParams {
+  std::size_t atoms = 131072;     ///< total atoms across both leaflets
+  double spacing = 1.0;           ///< in-plane lattice spacing (Angstrom)
+  double jitter = 0.18;           ///< positional noise stddev (x spacing)
+  double leaflet_gap = 4.0;       ///< z distance between leaflets (x spacing)
+  double curvature = 0.05;        ///< gentle sheet curvature amplitude
+  std::uint64_t seed = 7;
+};
+
+/// A generated membrane: positions plus ground-truth leaflet labels.
+struct Bilayer {
+  std::vector<Vec3> positions;
+  std::vector<std::uint8_t> leaflet;  ///< 0 = lower sheet, 1 = upper sheet
+
+  std::size_t atoms() const noexcept { return positions.size(); }
+};
+
+/// Builds two locally-parallel curved sheets of jittered lattice points.
+/// With the default parameters and `cutoff = 1.5 * spacing`, the contact
+/// graph's average degree is ~13.7, matching the paper's edge counts
+/// (131k atoms -> ~896k edges, ..., 4M atoms -> ~44.6M edges).
+Bilayer make_bilayer(const BilayerParams& params);
+
+/// The radius used by the Leaflet Finder experiments for a given bilayer
+/// spacing (1.5 x spacing; includes first and second lattice neighbours).
+double default_cutoff(const BilayerParams& params);
+
+/// Parameters for the lipid-resolved membrane generator.
+struct LipidBilayerParams {
+  std::size_t lipids = 256;      ///< lipid molecules across both leaflets
+  std::size_t tail_beads = 3;    ///< tail atoms per lipid (below the head)
+  double spacing = 1.0;          ///< in-plane head lattice spacing
+  double jitter = 0.15;          ///< positional noise stddev (x spacing)
+  double leaflet_gap = 6.0;      ///< head-to-head z distance (x spacing)
+  std::uint64_t seed = 21;
+};
+
+/// Builds a membrane at per-lipid resolution as a Universe: every lipid
+/// contributes one phosphate head (atom name "P", residue = lipid id)
+/// and `tail_beads` tail atoms ("C1".."Ck") pointing into the membrane
+/// interior. This is the system the real MDAnalysis LeafletFinder
+/// analyzes: it runs on the HEAD-GROUP selection ("name P"), whose two
+/// sheets are separated, while the interleaved tails are not.
+class Universe;  // fwd (universe.h)
+Universe make_lipid_bilayer_universe(const LipidBilayerParams& params);
+
+}  // namespace mdtask::traj

@@ -1,0 +1,63 @@
+// Atom selections and trajectory sub-setting (Sec. 2: "Sub-setting
+// methods are used to isolate parts of interest of MD simulation").
+//
+// A selection is a sorted, duplicate-free list of atom indices. Builders
+// cover the common geometric and index-based criteria; combinators give
+// the boolean algebra; subset_* extract reduced frames/trajectories.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mdtask/common/error.h"
+#include "mdtask/traj/trajectory.h"
+
+namespace mdtask::traj {
+
+/// Sorted unique atom indices.
+using AtomSelection = std::vector<std::uint32_t>;
+
+/// Every atom of an n-atom system.
+AtomSelection select_all(std::size_t n_atoms);
+
+/// Atoms with index in [begin, end).
+AtomSelection select_range(std::uint32_t begin, std::uint32_t end);
+
+/// Every `stride`-th atom of an n-atom system (stride >= 1).
+AtomSelection select_stride(std::size_t n_atoms, std::size_t stride);
+
+/// Atoms within `radius` of `center` in the given frame.
+AtomSelection select_sphere(std::span<const Vec3> frame, Vec3 center,
+                            double radius);
+
+/// Atoms whose coordinate along `axis` (0=x, 1=y, 2=z) lies in [lo, hi].
+AtomSelection select_slab(std::span<const Vec3> frame, int axis, double lo,
+                          double hi);
+
+/// Normalizes an arbitrary index list into a selection (sorts, dedups).
+AtomSelection make_selection(std::vector<std::uint32_t> indices);
+
+/// Boolean algebra over selections.
+AtomSelection selection_union(const AtomSelection& a, const AtomSelection& b);
+AtomSelection selection_intersection(const AtomSelection& a,
+                                     const AtomSelection& b);
+AtomSelection selection_difference(const AtomSelection& a,
+                                   const AtomSelection& b);
+
+/// Extracts the selected atoms of one frame.
+std::vector<Vec3> subset_frame(std::span<const Vec3> frame,
+                               const AtomSelection& selection);
+
+/// Extracts the selected atoms of every frame. Returns kOutOfRange if
+/// the selection references atoms beyond the trajectory's width.
+Result<Trajectory> subset_trajectory(const Trajectory& trajectory,
+                                     const AtomSelection& selection);
+
+/// Extracts frames [begin, end) with the given stride (>= 1).
+/// Returns kOutOfRange for begin/end outside the trajectory.
+Result<Trajectory> slice_frames(const Trajectory& trajectory,
+                                std::size_t begin, std::size_t end,
+                                std::size_t stride = 1);
+
+}  // namespace mdtask::traj

@@ -1,0 +1,61 @@
+// Trajectory containers.
+//
+// A Trajectory is the paper's unit of PSA work: a time series of frames,
+// each frame holding N atom positions in 3-D (a 2-D array of shape
+// [frames][atoms], Sec. 2.1.1). Storage is one contiguous frame-major
+// buffer so per-frame spans are cache-friendly and cheaply shareable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mdtask/common/error.h"
+#include "mdtask/traj/vec3.h"
+
+namespace mdtask::traj {
+
+/// A fixed-topology MD trajectory: `frames() x atoms()` positions.
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  /// Creates an uninitialized trajectory of the given shape.
+  Trajectory(std::size_t n_frames, std::size_t n_atoms)
+      : n_frames_(n_frames),
+        n_atoms_(n_atoms),
+        data_(n_frames * n_atoms) {}
+
+  std::size_t frames() const noexcept { return n_frames_; }
+  std::size_t atoms() const noexcept { return n_atoms_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Positions of frame `f` (unchecked in release; asserts shape in debug).
+  std::span<const Vec3> frame(std::size_t f) const noexcept {
+    return {data_.data() + f * n_atoms_, n_atoms_};
+  }
+  std::span<Vec3> frame(std::size_t f) noexcept {
+    return {data_.data() + f * n_atoms_, n_atoms_};
+  }
+
+  /// Whole buffer, frame-major.
+  std::span<const Vec3> data() const noexcept { return data_; }
+  std::span<Vec3> data() noexcept { return data_; }
+
+  /// Size of the in-memory representation in bytes (used by the engines to
+  /// account for broadcast/staging volume).
+  std::size_t byte_size() const noexcept {
+    return data_.size() * sizeof(Vec3);
+  }
+
+ private:
+  std::size_t n_frames_ = 0;
+  std::size_t n_atoms_ = 0;
+  std::vector<Vec3> data_;
+};
+
+/// An ensemble of same-topology trajectories (the PSA input set).
+using Ensemble = std::vector<Trajectory>;
+
+}  // namespace mdtask::traj

@@ -1,0 +1,87 @@
+// Universe: topology + trajectory, MDAnalysis's central abstraction
+// ("a common object-oriented API to trajectory data", Sec. 2.1).
+//
+// The topology carries per-atom metadata (name, residue id, residue
+// name, mass); select() evaluates an MDAnalysis-flavoured selection
+// expression against topology and coordinates:
+//
+//   name CA
+//   resname LYS ARG
+//   resid 10:20
+//   index 0:99
+//   mass > 12.0
+//   around 5.0 of (name CA and resid 1)     [distance to a sub-selection]
+//   not name H* ; and / or ; parentheses
+//
+// Wildcards: a trailing '*' in a name/resname matches any suffix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdtask/common/error.h"
+#include "mdtask/traj/selection.h"
+#include "mdtask/traj/trajectory.h"
+
+namespace mdtask::traj {
+
+/// Per-atom static metadata.
+struct Atom {
+  std::string name = "X";
+  std::string residue_name = "UNK";
+  std::uint32_t residue_id = 0;
+  float mass = 0.0f;
+};
+
+/// The system topology: one Atom entry per trajectory column.
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::vector<Atom> atoms) : atoms_(std::move(atoms)) {}
+
+  std::size_t size() const noexcept { return atoms_.size(); }
+  const Atom& atom(std::size_t i) const noexcept { return atoms_[i]; }
+  const std::vector<Atom>& atoms() const noexcept { return atoms_; }
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+/// Topology + trajectory, with expression-based selection.
+class Universe {
+ public:
+  /// Fails with kInvalidArgument if topology width != trajectory atoms.
+  static Result<Universe> create(Topology topology, Trajectory trajectory);
+
+  const Topology& topology() const noexcept { return topology_; }
+  const Trajectory& trajectory() const noexcept { return trajectory_; }
+  std::size_t atoms() const noexcept { return topology_.size(); }
+  std::size_t frames() const noexcept { return trajectory_.frames(); }
+
+  /// Evaluates a selection expression against the topology and the
+  /// coordinates of `frame` (geometric predicates like `around` use the
+  /// frame's positions). Returns kFormatError on parse errors with a
+  /// message pointing at the offending token.
+  Result<AtomSelection> select(const std::string& expression,
+                               std::size_t frame = 0) const;
+
+  /// Extracts a reduced Universe containing only the selected atoms.
+  Result<Universe> subset(const AtomSelection& selection) const;
+
+ private:
+  Universe(Topology topology, Trajectory trajectory)
+      : topology_(std::move(topology)), trajectory_(std::move(trajectory)) {}
+
+  Topology topology_;
+  Trajectory trajectory_;
+};
+
+/// Builds a simple synthetic protein-like topology for an n-atom system:
+/// residues of `atoms_per_residue` atoms cycling through common residue
+/// names, each residue laid out as (N, CA, C, O, CB, ...). Used by tests
+/// and examples; real users construct Topology directly.
+Topology make_protein_topology(std::size_t n_atoms,
+                               std::size_t atoms_per_residue = 5);
+
+}  // namespace mdtask::traj

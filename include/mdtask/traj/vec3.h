@@ -1,0 +1,49 @@
+// 3-D geometry primitives for MD frames.
+//
+// Positions are stored in single precision, matching common MD trajectory
+// formats (DCD/XTC); distance kernels accumulate in double.
+#pragma once
+
+#include <cmath>
+
+namespace mdtask::traj {
+
+/// A 3-D position/displacement in single precision.
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(Vec3 o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(Vec3 o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(float s) const noexcept {
+    return {x * s, y * s, z * s};
+  }
+  constexpr Vec3& operator+=(Vec3 o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr bool operator==(const Vec3&) const noexcept = default;
+};
+
+/// Squared Euclidean distance in double precision.
+inline double dist2(Vec3 a, Vec3 b) noexcept {
+  const double dx = static_cast<double>(a.x) - static_cast<double>(b.x);
+  const double dy = static_cast<double>(a.y) - static_cast<double>(b.y);
+  const double dz = static_cast<double>(a.z) - static_cast<double>(b.z);
+  return dx * dx + dy * dy + dz * dz;
+}
+
+/// Euclidean distance in double precision.
+inline double dist(Vec3 a, Vec3 b) noexcept { return std::sqrt(dist2(a, b)); }
+
+}  // namespace mdtask::traj

@@ -1,0 +1,28 @@
+// XYZ: the ubiquitous plain-text trajectory interchange format.
+//
+// Layout per frame:
+//   <atom count>\n
+//   <comment line>\n
+//   <element> <x> <y> <z>\n  (atom count times)
+// repeated for every frame. All frames must share the atom count.
+// A second on-disk format (besides MDT) gives the library a real
+// interop path and exercises text parsing error handling.
+#pragma once
+
+#include <string>
+
+#include "mdtask/common/error.h"
+#include "mdtask/traj/trajectory.h"
+
+namespace mdtask::traj {
+
+/// Writes `trajectory` as multi-frame XYZ; `element` labels every atom.
+Status write_xyz(const std::string& path, const Trajectory& trajectory,
+                 const std::string& element = "C");
+
+/// Reads a multi-frame XYZ file. Fails with kFormatError on malformed
+/// headers, short frames, inconsistent atom counts or non-numeric
+/// coordinates.
+Result<Trajectory> read_xyz(const std::string& path);
+
+}  // namespace mdtask::traj

@@ -1,0 +1,26 @@
+// Shared vocabulary for the engine-parallel application drivers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mdtask::workflows {
+
+/// Which mini-framework executes the workload (Sec. 3).
+enum class EngineKind { kMpi, kSpark, kDask, kRp };
+
+const char* to_string(EngineKind kind) noexcept;
+
+/// Plain-value snapshot of engine counters after a run (non-atomic copy
+/// of engines::EngineMetrics plus workload-level measurements).
+struct RunMetrics {
+  std::uint64_t tasks = 0;
+  std::uint64_t stages = 0;
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t broadcast_bytes = 0;
+  std::uint64_t staged_bytes = 0;
+  std::uint64_t db_roundtrips = 0;
+  double wall_seconds = 0.0;
+};
+
+}  // namespace mdtask::workflows

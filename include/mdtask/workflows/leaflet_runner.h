@@ -1,0 +1,56 @@
+// Engine-parallel Leaflet Finder (Sec. 4.3, Table 2).
+//
+// Four architectural approaches, each runnable on every engine:
+//  1. Broadcast + 1-D partitioning — the whole system is shipped to all
+//     workers; map tasks cdist a row chunk against everything; the edge
+//     list is gathered and connected components run at the driver.
+//  2. Task API + 2-D partitioning — tasks receive pre-partitioned block
+//     pairs; cdist within the block; edges gathered; CC at the driver.
+//  3. Parallel connected components — as 2, but map tasks compute partial
+//     components of their block and the reduce merges summaries
+//     (shuffles O(n) instead of O(E)).
+//  4. Tree-search — as 3, with BallTree edge discovery instead of cdist.
+//
+// A configurable simulated per-task memory limit reproduces the paper's
+// cdist memory wall: oversized blocks fail the task (Spark/MPI abort,
+// Dask retries through simulated worker restarts, RP marks units FAILED).
+#pragma once
+
+#include <span>
+
+#include "mdtask/analysis/leaflet.h"
+#include "mdtask/common/error.h"
+#include "mdtask/workflows/common.h"
+
+namespace mdtask::workflows {
+
+struct LfRunConfig {
+  std::size_t workers = 4;
+  /// Map-task count target (the paper uses 1024; 42k for 4M + approach 3).
+  std::size_t target_tasks = 64;
+  /// Simulated per-task transient memory limit in bytes (0 = unlimited).
+  /// Approaches 1-3 reserve their cdist block against it; approach 4's
+  /// BallTree footprint is far smaller (the paper's Sec. 4.3.4 point).
+  std::uint64_t task_memory_limit = 0;
+  /// Approaches 3-4: merge partial components inside the framework as a
+  /// tree reduce (true) or gather-and-merge at the driver (false).
+  bool tree_reduce = true;
+};
+
+struct LfRunResult {
+  analysis::LeafletResult leaflets;
+  RunMetrics metrics;
+  std::uint64_t edges_found = 0;      ///< approaches 1-2 (gathered edges)
+  std::uint64_t worker_restarts = 0;  ///< Dask memory-guard kills
+  double distribute_seconds = 0.0;    ///< data distribution phase (Fig. 8)
+};
+
+/// Runs the Leaflet Finder. Returns kResourceExhausted when the memory
+/// limit makes the configuration infeasible (the paper's OOM cases) and
+/// kInvalidArgument for an unknown approach.
+Result<LfRunResult> run_leaflet_finder(EngineKind engine, int approach,
+                                       std::span<const traj::Vec3> atoms,
+                                       double cutoff,
+                                       const LfRunConfig& config = {});
+
+}  // namespace mdtask::workflows

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Plot the figure CSVs produced by the bench harness.
+
+Usage:
+    for b in build/bench/*; do $b; done   # writes ./bench_results/*.csv
+    python3 scripts/plot_results.py [bench_results] [out_dir]
+
+Produces one PNG per reproducible figure, with the same axes the paper
+uses (log-log runtime/throughput plots, speedup panels). Requires
+matplotlib; every plot degrades gracefully if its CSV is missing.
+"""
+import csv
+import pathlib
+import sys
+
+
+def read(results_dir: pathlib.Path, stem: str):
+    path = results_dir / f"{stem}.csv"
+    if not path.exists():
+        print(f"  (skipping {stem}: {path} not found)")
+        return None
+    with path.open() as handle:
+        return list(csv.DictReader(handle))
+
+
+def numeric(value: str):
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+def main() -> int:
+    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench_results")
+    out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "bench_results/plots")
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib")
+        return 1
+    out.mkdir(parents=True, exist_ok=True)
+
+    # Fig. 2: throughput vs task count, log-log.
+    rows = read(results, "fig2_throughput_single")
+    if rows:
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for framework in sorted({r["framework"] for r in rows}):
+            xs, ys = [], []
+            for r in rows:
+                if r["framework"] != framework:
+                    continue
+                y = numeric(r["tasks_per_s"])
+                if y is not None:
+                    xs.append(float(r["tasks"]))
+                    ys.append(y)
+            ax.loglog(xs, ys, marker="o", label=framework)
+        ax.set_xlabel("number of tasks")
+        ax.set_ylabel("throughput (tasks/s)")
+        ax.set_title("Fig. 2: single-node task throughput")
+        ax.legend()
+        fig.tight_layout()
+        fig.savefig(out / "fig2.png", dpi=150)
+        print(f"  wrote {out/'fig2.png'}")
+
+    # Fig. 6: CPPTraj runtime + speedup.
+    rows = read(results, "fig6_cpptraj")
+    if rows:
+        fig, (top, bottom) = plt.subplots(2, 1, figsize=(6, 6), sharex=True)
+        for build in sorted({r["build"] for r in rows}):
+            sub = [r for r in rows if r["build"] == build]
+            cores = [float(r["cores"]) for r in sub]
+            top.semilogy(cores, [float(r["runtime_s"]) for r in sub],
+                         marker="o", label=build)
+            bottom.plot(cores, [float(r["speedup"]) for r in sub],
+                        marker="o", label=build)
+        top.set_ylabel("time (s)")
+        bottom.set_ylabel("speedup")
+        bottom.set_xlabel("cores")
+        top.set_title("Fig. 6: CPPTraj 2D-RMSD")
+        top.legend()
+        fig.tight_layout()
+        fig.savefig(out / "fig6.png", dpi=150)
+        print(f"  wrote {out/'fig6.png'}")
+
+    # Fig. 7: Leaflet Finder runtimes per approach/framework.
+    rows = read(results, "fig7_leaflet")
+    if rows:
+        frameworks = sorted({r["framework"] for r in rows})
+        approaches = sorted({r["approach"] for r in rows})
+        fig, axes = plt.subplots(len(frameworks), len(approaches),
+                                 figsize=(4 * len(approaches),
+                                          3 * len(frameworks)),
+                                 sharex=True, sharey=True, squeeze=False)
+        for i, framework in enumerate(frameworks):
+            for j, approach in enumerate(approaches):
+                ax = axes[i][j]
+                for atoms in sorted({r["atoms"] for r in rows}):
+                    sub = [r for r in rows
+                           if r["framework"] == framework
+                           and r["approach"] == approach
+                           and r["atoms"] == atoms
+                           and numeric(r["runtime_s"]) is not None]
+                    if not sub:
+                        continue
+                    xs = [float(r["cores/nodes"].split("/")[0]) for r in sub]
+                    ys = [float(r["runtime_s"]) for r in sub]
+                    ax.loglog(xs, ys, marker="o", label=atoms)
+                if i == 0:
+                    ax.set_title(approach, fontsize=8)
+                if j == 0:
+                    ax.set_ylabel(f"{framework}\nruntime (s)", fontsize=8)
+        axes[0][0].legend(fontsize=7)
+        fig.suptitle("Fig. 7: Leaflet Finder")
+        fig.tight_layout()
+        fig.savefig(out / "fig7.png", dpi=150)
+        print(f"  wrote {out/'fig7.png'}")
+
+    # Fig. 8: broadcast vs runtime.
+    rows = read(results, "fig8_broadcast")
+    if rows:
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for framework in sorted({r["framework"] for r in rows}):
+            sub = [r for r in rows if r["framework"] == framework
+                   and numeric(r["broadcast_s"]) is not None]
+            xs = [float(r["cores/nodes"].split("/")[0]) for r in sub]
+            ys = [float(r["broadcast_s"]) for r in sub]
+            ax.loglog(xs, ys, marker="o", label=f"{framework} bcast")
+        ax.set_xlabel("cores")
+        ax.set_ylabel("broadcast time (s)")
+        ax.set_title("Fig. 8: approach-1 broadcast time")
+        ax.legend()
+        fig.tight_layout()
+        fig.savefig(out / "fig8.png", dpi=150)
+        print(f"  wrote {out/'fig8.png'}")
+
+    print("done")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+#include "mdtask/analysis/frechet.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "mdtask/analysis/rmsd.h"
+
+namespace mdtask::analysis {
+
+double frechet_distance(const traj::Trajectory& t1,
+                        const traj::Trajectory& t2,
+                        const FrameMetric& metric) {
+  const std::size_t rows = t1.frames();
+  const std::size_t cols = t2.frames();
+  if (rows == 0 || cols == 0) return 0.0;  // empty sets: defined as 0
+  // DP over the coupling: c[i][j] = max(d(i,j), min of the three
+  // predecessor couplings). Rolling single-row storage keeps memory at
+  // O(cols) for the 102-frame paper trajectories and far longer ones.
+  std::vector<double> prev(cols), curr(cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto frame_i = t1.frame(i);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double d = metric(frame_i, t2.frame(j));
+      double reach;
+      if (i == 0 && j == 0) {
+        reach = d;
+      } else if (i == 0) {
+        reach = std::max(curr[j - 1], d);
+      } else if (j == 0) {
+        reach = std::max(prev[0], d);
+      } else {
+        reach = std::max(
+            std::min({prev[j - 1], prev[j], curr[j - 1]}), d);
+      }
+      curr[j] = reach;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[cols - 1];
+}
+
+double frechet_distance(const traj::Trajectory& t1,
+                        const traj::Trajectory& t2) {
+  return frechet_distance(
+      t1, t2, [](std::span<const traj::Vec3> a,
+                 std::span<const traj::Vec3> b) { return frame_rmsd(a, b); });
+}
+
+}  // namespace mdtask::analysis

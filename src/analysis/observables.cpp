@@ -1,0 +1,86 @@
+#include "mdtask/analysis/observables.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdtask::analysis {
+
+traj::Vec3 center_of_geometry(std::span<const traj::Vec3> frame) {
+  double x = 0, y = 0, z = 0;
+  for (const auto& p : frame) {
+    x += p.x;
+    y += p.y;
+    z += p.z;
+  }
+  const double n = std::max<std::size_t>(1, frame.size());
+  return {static_cast<float>(x / n), static_cast<float>(y / n),
+          static_cast<float>(z / n)};
+}
+
+traj::Vec3 center_of_mass(std::span<const traj::Vec3> frame,
+                          std::span<const float> masses) {
+  double x = 0, y = 0, z = 0, total = 0;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    const double m = masses[i];
+    x += m * frame[i].x;
+    y += m * frame[i].y;
+    z += m * frame[i].z;
+    total += m;
+  }
+  if (total <= 0.0) return center_of_geometry(frame);
+  return {static_cast<float>(x / total), static_cast<float>(y / total),
+          static_cast<float>(z / total)};
+}
+
+double radius_of_gyration(std::span<const traj::Vec3> frame) {
+  if (frame.empty()) return 0.0;
+  const traj::Vec3 center = center_of_geometry(frame);
+  double sum = 0.0;
+  for (const auto& p : frame) sum += traj::dist2(p, center);
+  return std::sqrt(sum / static_cast<double>(frame.size()));
+}
+
+double bounding_radius(std::span<const traj::Vec3> frame) {
+  if (frame.empty()) return 0.0;
+  const traj::Vec3 center = center_of_geometry(frame);
+  double max2 = 0.0;
+  for (const auto& p : frame) max2 = std::max(max2, traj::dist2(p, center));
+  return std::sqrt(max2);
+}
+
+std::vector<double> rmsf(const traj::Trajectory& trajectory) {
+  const std::size_t frames = trajectory.frames();
+  const std::size_t atoms = trajectory.atoms();
+  std::vector<double> out(atoms, 0.0);
+  if (frames == 0 || atoms == 0) return {};
+
+  // Two passes: mean position, then mean squared deviation.
+  std::vector<double> mx(atoms, 0.0), my(atoms, 0.0), mz(atoms, 0.0);
+  for (std::size_t f = 0; f < frames; ++f) {
+    const auto frame = trajectory.frame(f);
+    for (std::size_t a = 0; a < atoms; ++a) {
+      mx[a] += frame[a].x;
+      my[a] += frame[a].y;
+      mz[a] += frame[a].z;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(frames);
+  for (std::size_t a = 0; a < atoms; ++a) {
+    mx[a] *= inv;
+    my[a] *= inv;
+    mz[a] *= inv;
+  }
+  for (std::size_t f = 0; f < frames; ++f) {
+    const auto frame = trajectory.frame(f);
+    for (std::size_t a = 0; a < atoms; ++a) {
+      const double dx = frame[a].x - mx[a];
+      const double dy = frame[a].y - my[a];
+      const double dz = frame[a].z - mz[a];
+      out[a] += dx * dx + dy * dy + dz * dz;
+    }
+  }
+  for (double& v : out) v = std::sqrt(v * inv);
+  return out;
+}
+
+}  // namespace mdtask::analysis

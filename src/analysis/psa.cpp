@@ -1,0 +1,76 @@
+#include "mdtask/analysis/psa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mdtask/analysis/frechet.h"
+#include "mdtask/analysis/hausdorff.h"
+
+namespace mdtask::analysis {
+
+double DistanceMatrix::max_abs_diff(
+    const DistanceMatrix& other) const noexcept {
+  if (n_ != other.n_) return std::numeric_limits<double>::infinity();
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+Result<std::vector<PsaBlock>> make_psa_blocks(std::size_t n_trajectories,
+                                              std::size_t n1) {
+  if (n1 == 0) {
+    return Error(ErrorCode::kInvalidArgument, "block size n1 must be > 0");
+  }
+  std::vector<PsaBlock> blocks;
+  for (std::size_t r = 0; r < n_trajectories; r += n1) {
+    for (std::size_t c = 0; c < n_trajectories; c += n1) {
+      blocks.push_back({r, std::min(r + n1, n_trajectories), c,
+                        std::min(c + n1, n_trajectories)});
+    }
+  }
+  return blocks;
+}
+
+void compute_psa_block(const traj::Ensemble& ensemble, const PsaBlock& block,
+                       HausdorffKernel kernel, DistanceMatrix& out) {
+  for (std::size_t i = block.row_begin; i < block.row_end; ++i) {
+    for (std::size_t j = block.col_begin; j < block.col_end; ++j) {
+      double d = 0.0;
+      if (i != j) {
+        d = kernel == HausdorffKernel::kNaive
+                ? hausdorff_naive(ensemble[i], ensemble[j])
+                : hausdorff_early_break(ensemble[i], ensemble[j]);
+      }
+      out.set(i, j, d);
+    }
+  }
+}
+
+DistanceMatrix psa_reference(const traj::Ensemble& ensemble,
+                             HausdorffKernel kernel) {
+  DistanceMatrix out(ensemble.size());
+  const PsaBlock whole{0, ensemble.size(), 0, ensemble.size()};
+  compute_psa_block(ensemble, whole, kernel, out);
+  return out;
+}
+
+void compute_psa_block_frechet(const traj::Ensemble& ensemble,
+                               const PsaBlock& block, DistanceMatrix& out) {
+  for (std::size_t i = block.row_begin; i < block.row_end; ++i) {
+    for (std::size_t j = block.col_begin; j < block.col_end; ++j) {
+      out.set(i, j,
+              i == j ? 0.0 : frechet_distance(ensemble[i], ensemble[j]));
+    }
+  }
+}
+
+DistanceMatrix psa_reference_frechet(const traj::Ensemble& ensemble) {
+  DistanceMatrix out(ensemble.size());
+  const PsaBlock whole{0, ensemble.size(), 0, ensemble.size()};
+  compute_psa_block_frechet(ensemble, whole, out);
+  return out;
+}
+
+}  // namespace mdtask::analysis

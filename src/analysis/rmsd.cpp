@@ -1,0 +1,111 @@
+#include "mdtask/analysis/rmsd.h"
+
+#include <array>
+#include <cmath>
+
+namespace mdtask::analysis {
+
+double frame_sumsq(std::span<const traj::Vec3> a,
+                   std::span<const traj::Vec3> b) noexcept {
+  double s = 0.0;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(a[i].x) - b[i].x;
+    const double dy = static_cast<double>(a[i].y) - b[i].y;
+    const double dz = static_cast<double>(a[i].z) - b[i].z;
+    s += dx * dx + dy * dy + dz * dz;
+  }
+  return s;
+}
+
+double frame_rmsd(std::span<const traj::Vec3> a,
+                  std::span<const traj::Vec3> b) noexcept {
+  return std::sqrt(frame_sumsq(a, b) / static_cast<double>(a.size()));
+}
+
+namespace {
+
+/// Largest eigenvalue of a symmetric 4x4 matrix by power iteration with
+/// shift; sufficient accuracy for RMSD purposes (converges fast because
+/// the Davenport matrix has a well-separated top eigenvalue for
+/// non-degenerate conformations).
+double max_eigenvalue_sym4(const std::array<std::array<double, 4>, 4>& m) {
+  // Gershgorin shift makes the matrix positive definite so power
+  // iteration converges to the algebraically largest eigenvalue.
+  double shift = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < 4; ++j) row += std::abs(m[i][j]);
+    shift = std::max(shift, row);
+  }
+  std::array<double, 4> v{1.0, 1.0, 1.0, 1.0};
+  double lambda = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::array<double, 4> w{};
+    for (int i = 0; i < 4; ++i) {
+      w[i] = shift * v[i];
+      for (int j = 0; j < 4; ++j) w[i] += m[i][j] * v[j];
+    }
+    double norm = 0.0;
+    for (double x : w) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) return 0.0;
+    for (int i = 0; i < 4; ++i) v[i] = w[i] / norm;
+    const double next = norm - shift;
+    if (std::abs(next - lambda) < 1e-12 * std::max(1.0, std::abs(next))) {
+      return next;
+    }
+    lambda = next;
+  }
+  return lambda;
+}
+
+}  // namespace
+
+double kabsch_rmsd(std::span<const traj::Vec3> a,
+                   std::span<const traj::Vec3> b) {
+  const auto n = static_cast<double>(a.size());
+  // Centroids.
+  double acx = 0, acy = 0, acz = 0, bcx = 0, bcy = 0, bcz = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acx += a[i].x;
+    acy += a[i].y;
+    acz += a[i].z;
+    bcx += b[i].x;
+    bcy += b[i].y;
+    bcz += b[i].z;
+  }
+  acx /= n; acy /= n; acz /= n;
+  bcx /= n; bcy /= n; bcz /= n;
+
+  // Covariance matrix R = sum (a-ca)(b-cb)^T and inner products.
+  double r[3][3] = {};
+  double ga = 0.0, gb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ax = a[i].x - acx, ay = a[i].y - acy, az = a[i].z - acz;
+    const double bx = b[i].x - bcx, by = b[i].y - bcy, bz = b[i].z - bcz;
+    r[0][0] += ax * bx; r[0][1] += ax * by; r[0][2] += ax * bz;
+    r[1][0] += ay * bx; r[1][1] += ay * by; r[1][2] += ay * bz;
+    r[2][0] += az * bx; r[2][1] += az * by; r[2][2] += az * bz;
+    ga += ax * ax + ay * ay + az * az;
+    gb += bx * bx + by * by + bz * bz;
+  }
+
+  // Davenport quaternion method: the optimal superposition score is the
+  // largest eigenvalue of the symmetric 4x4 key matrix built from R.
+  const std::array<std::array<double, 4>, 4> k{{
+      {r[0][0] + r[1][1] + r[2][2], r[1][2] - r[2][1], r[2][0] - r[0][2],
+       r[0][1] - r[1][0]},
+      {r[1][2] - r[2][1], r[0][0] - r[1][1] - r[2][2], r[0][1] + r[1][0],
+       r[0][2] + r[2][0]},
+      {r[2][0] - r[0][2], r[0][1] + r[1][0], r[1][1] - r[0][0] - r[2][2],
+       r[1][2] + r[2][1]},
+      {r[0][1] - r[1][0], r[0][2] + r[2][0], r[1][2] + r[2][1],
+       r[2][2] - r[0][0] - r[1][1]},
+  }};
+  const double lambda = max_eigenvalue_sym4(k);
+  const double msd = std::max(0.0, (ga + gb - 2.0 * lambda) / n);
+  return std::sqrt(msd);
+}
+
+}  // namespace mdtask::analysis

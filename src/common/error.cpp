@@ -1,0 +1,26 @@
+#include "mdtask/common/error.h"
+
+namespace mdtask {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "kInvalidArgument";
+    case ErrorCode::kOutOfRange: return "kOutOfRange";
+    case ErrorCode::kIoError: return "kIoError";
+    case ErrorCode::kFormatError: return "kFormatError";
+    case ErrorCode::kResourceExhausted: return "kResourceExhausted";
+    case ErrorCode::kUnavailable: return "kUnavailable";
+    case ErrorCode::kCancelled: return "kCancelled";
+    case ErrorCode::kInternal: return "kInternal";
+  }
+  return "kUnknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = mdtask::to_string(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace mdtask

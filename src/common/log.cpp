@@ -1,0 +1,40 @@
+#include "mdtask/common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace mdtask {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mu;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard lk(g_mu);
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace mdtask

@@ -1,0 +1,139 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mdtask/common/timer.h"
+#include "mdtask/cpptraj/rmsd2d.h"
+#include "mdtask/engines/mpi/runtime.h"
+
+namespace mdtask::cpptraj {
+
+std::vector<double> rmsd2d_block(const traj::Trajectory& t1,
+                                 const traj::Trajectory& t2,
+                                 Rmsd2dKernel kernel) {
+  return kernel == Rmsd2dKernel::kReference
+             ? rmsd2d_block_reference(t1, t2)
+             : rmsd2d_block_optimized(t1, t2);
+}
+
+double hausdorff_from_matrix(const std::vector<double>& matrix,
+                             std::size_t rows, std::size_t cols) {
+  double h = 0.0;
+  // max over rows of min over cols.
+  for (std::size_t i = 0; i < rows; ++i) {
+    double row_min = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < cols; ++j) {
+      row_min = std::min(row_min, matrix[i * cols + j]);
+    }
+    h = std::max(h, row_min);
+  }
+  // max over cols of min over rows.
+  for (std::size_t j = 0; j < cols; ++j) {
+    double col_min = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < rows; ++i) {
+      col_min = std::min(col_min, matrix[i * cols + j]);
+    }
+    h = std::max(h, col_min);
+  }
+  return h;
+}
+
+std::vector<double> rmsd2d_parallel(const traj::Trajectory& t1,
+                                    const traj::Trajectory& t2, int ranks,
+                                    Rmsd2dKernel kernel) {
+  std::vector<double> matrix(t1.frames() * t2.frames(), 0.0);
+  if (matrix.empty()) return matrix;
+  const std::size_t rows = t1.frames();
+  const std::size_t cols = t2.frames();
+  mpi::run_spmd(std::max(1, ranks), [&](mpi::Communicator& comm) {
+    // Contiguous row-block decomposition, as CPPTraj distributes frames.
+    const auto nranks = static_cast<std::size_t>(comm.size());
+    const std::size_t base = rows / nranks;
+    const std::size_t extra = rows % nranks;
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    const std::size_t begin = rank * base + std::min(rank, extra);
+    const std::size_t count = base + (rank < extra ? 1 : 0);
+
+    std::vector<double> mine(count * cols, 0.0);
+    for (std::size_t r = 0; r < count; ++r) {
+      const auto frame = t1.frame(begin + r);
+      for (std::size_t c = 0; c < cols; ++c) {
+        // Reuse the selected kernel one row at a time via a 1-frame
+        // view: cheaper to inline the distance directly.
+        double sum = 0.0;
+        const auto other = t2.frame(c);
+        for (std::size_t k = 0; k < t1.atoms(); ++k) {
+          const double dx =
+              static_cast<double>(frame[k].x) - other[k].x;
+          const double dy =
+              static_cast<double>(frame[k].y) - other[k].y;
+          const double dz =
+              static_cast<double>(frame[k].z) - other[k].z;
+          sum += dx * dx + dy * dy + dz * dz;
+        }
+        mine[r * cols + c] =
+            std::sqrt(sum / static_cast<double>(t1.atoms()));
+      }
+    }
+    (void)kernel;  // both kernels agree on values; rows computed inline
+    auto gathered = comm.gather<double>(mine, 0);
+    if (comm.rank() == 0) {
+      std::size_t row_cursor = 0;
+      for (const auto& part : gathered) {
+        std::copy(part.begin(), part.end(),
+                  matrix.begin() +
+                      static_cast<std::ptrdiff_t>(row_cursor * cols));
+        row_cursor += part.size() / cols;
+      }
+    }
+  });
+  return matrix;
+}
+
+CpptrajPsaResult cpptraj_psa(const traj::Ensemble& ensemble, int ranks,
+                             Rmsd2dKernel kernel) {
+  CpptrajPsaResult result;
+  result.n = ensemble.size();
+  result.distances.assign(result.n * result.n, 0.0);
+  if (ensemble.empty()) return result;
+
+  // Pair tasks, upper triangle; block-cyclic over ranks.
+  struct Pair {
+    std::uint32_t i;
+    std::uint32_t j;
+    double h;
+  };
+  std::vector<Pair> pairs;
+  for (std::uint32_t i = 0; i < ensemble.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < ensemble.size(); ++j) {
+      pairs.push_back({i, j, 0.0});
+    }
+  }
+
+  WallTimer timer;
+  mpi::run_spmd(std::max(1, ranks), [&](mpi::Communicator& comm) {
+    std::vector<Pair> mine;
+    for (std::size_t p = static_cast<std::size_t>(comm.rank());
+         p < pairs.size(); p += static_cast<std::size_t>(comm.size())) {
+      Pair pair = pairs[p];
+      const auto matrix =
+          rmsd2d_block(ensemble[pair.i], ensemble[pair.j], kernel);
+      pair.h = hausdorff_from_matrix(matrix, ensemble[pair.i].frames(),
+                                     ensemble[pair.j].frames());
+      mine.push_back(pair);
+    }
+    auto gathered = comm.gather<Pair>(mine, 0);
+    if (comm.rank() == 0) {
+      for (const auto& part : gathered) {
+        for (const Pair& pair : part) {
+          result.distances[pair.i * result.n + pair.j] = pair.h;
+          result.distances[pair.j * result.n + pair.i] = pair.h;
+        }
+      }
+    }
+  });
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace mdtask::cpptraj

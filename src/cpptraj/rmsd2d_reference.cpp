@@ -1,0 +1,35 @@
+// Reference 2D-RMSD kernel. This translation unit is compiled WITHOUT
+// optimization (see src/CMakeLists.txt) to reproduce the paper's
+// "GNU, no optimizations" CPPTraj build of Fig. 6. Keep the code here a
+// straightforward textbook loop; the optimized sibling lives in
+// rmsd2d_optimized.cpp.
+#include <cmath>
+
+#include "mdtask/cpptraj/rmsd2d.h"
+
+namespace mdtask::cpptraj {
+
+std::vector<double> rmsd2d_block_reference(const traj::Trajectory& t1,
+                                           const traj::Trajectory& t2) {
+  const std::size_t rows = t1.frames();
+  const std::size_t cols = t2.frames();
+  const std::size_t atoms = t1.atoms();
+  std::vector<double> out(rows * cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto a = t1.frame(i);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const auto b = t2.frame(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < atoms; ++k) {
+        const double dx = static_cast<double>(a[k].x) - b[k].x;
+        const double dy = static_cast<double>(a[k].y) - b[k].y;
+        const double dz = static_cast<double>(a[k].z) - b[k].z;
+        sum += dx * dx + dy * dy + dz * dz;
+      }
+      out[i * cols + j] = std::sqrt(sum / static_cast<double>(atoms));
+    }
+  }
+  return out;
+}
+
+}  // namespace mdtask::cpptraj

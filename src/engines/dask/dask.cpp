@@ -1,0 +1,105 @@
+#include "mdtask/engines/dask/dask.h"
+
+namespace mdtask::dask {
+
+DaskClient::DaskClient(DaskConfig config) : config_(config) {
+  const std::size_t n = std::max<std::size_t>(1, config_.workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DaskClient::~DaskClient() {
+  wait_all();
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void DaskClient::wire_and_schedule(
+    const std::shared_ptr<detail::TaskNode>& node,
+    const std::vector<std::shared_ptr<detail::TaskNode>>& deps) {
+  {
+    std::lock_guard lk(mu_);
+    ++outstanding_;
+  }
+  node->pending_deps.store(static_cast<int>(deps.size()),
+                           std::memory_order_relaxed);
+  int already_done = 0;
+  for (const auto& dep : deps) {
+    std::lock_guard lk(dep->mu);
+    if (dep->finished) {
+      ++already_done;
+    } else {
+      dep->dependents.push_back(node);
+    }
+  }
+  if (node->pending_deps.fetch_sub(already_done) == already_done) {
+    enqueue_ready(node);
+  }
+}
+
+void DaskClient::enqueue_ready(std::shared_ptr<detail::TaskNode> node) {
+  {
+    std::lock_guard lk(node->mu);
+    if (node->scheduled) return;  // guard against double enqueue
+    node->scheduled = true;
+  }
+  {
+    std::lock_guard lk(mu_);
+    ready_.push_back(std::move(node));
+  }
+  cv_.notify_one();
+}
+
+void DaskClient::on_finished(const std::shared_ptr<detail::TaskNode>& node) {
+  std::vector<std::shared_ptr<detail::TaskNode>> dependents;
+  {
+    std::lock_guard lk(node->mu);
+    node->finished = true;
+    dependents.swap(node->dependents);
+  }
+  for (auto& dep : dependents) {
+    if (dep->pending_deps.fetch_sub(1) == 1) enqueue_ready(dep);
+  }
+  {
+    std::lock_guard lk(mu_);
+    --outstanding_;
+    if (outstanding_ == 0 && ready_.empty() && inflight_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void DaskClient::wait_all() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [this] {
+    return outstanding_ == 0 && ready_.empty() && inflight_ == 0;
+  });
+}
+
+void DaskClient::worker_loop() {
+  for (;;) {
+    std::shared_ptr<detail::TaskNode> node;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !ready_.empty(); });
+      if (stop_ && ready_.empty()) return;
+      node = std::move(ready_.front());
+      ready_.pop_front();
+      ++inflight_;
+    }
+    node->run();
+    {
+      std::lock_guard lk(mu_);
+      --inflight_;
+    }
+    on_finished(node);
+  }
+}
+
+}  // namespace mdtask::dask

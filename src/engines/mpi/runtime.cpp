@@ -1,0 +1,165 @@
+#include "mdtask/engines/mpi/runtime.h"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mdtask::mpi {
+namespace detail {
+
+/// Shared communicator state: one mailbox per destination rank plus a
+/// generation-counted barrier.
+class World {
+ public:
+  explicit World(int size) : mailboxes_(static_cast<std::size_t>(size)) {}
+
+  void deliver(int source, int dest, int tag,
+               std::vector<std::uint8_t> data) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard lk(box.mu);
+      box.messages.push_back({source, tag, std::move(data)});
+    }
+    box.cv.notify_all();
+  }
+
+  bool try_collect(int dest, int source, int tag,
+                   std::vector<std::uint8_t>& out) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    std::lock_guard lk(box.mu);
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->source == source && it->tag == tag) {
+        out = std::move(it->data);
+        box.messages.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::uint8_t> collect(int dest, int source, int tag) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    std::unique_lock lk(box.mu);
+    for (;;) {
+      for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+        if (it->source == source && it->tag == tag) {
+          auto data = std::move(it->data);
+          box.messages.erase(it);
+          return data;
+        }
+      }
+      box.cv.wait(lk);
+    }
+  }
+
+  void barrier(int size) {
+    std::unique_lock lk(barrier_mu_);
+    const std::uint64_t my_generation = barrier_generation_;
+    if (++barrier_count_ == size) {
+      barrier_count_ = 0;
+      ++barrier_generation_;
+      barrier_cv_.notify_all();
+      return;
+    }
+    barrier_cv_.wait(lk, [this, my_generation] {
+      return barrier_generation_ != my_generation;
+    });
+  }
+
+ private:
+  struct Message {
+    int source;
+    int tag;
+    std::vector<std::uint8_t> data;
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  std::vector<Mailbox> mailboxes_;
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+bool world_try_collect(World& world, int dest, int source, int tag,
+                       std::vector<std::uint8_t>& out) {
+  return world.try_collect(dest, source, tag, out);
+}
+
+std::vector<std::uint8_t> world_collect(World& world, int dest, int source,
+                                        int tag) {
+  return world.collect(dest, source, tag);
+}
+
+}  // namespace detail
+
+void Communicator::send_bytes(int dest, int tag,
+                              std::vector<std::uint8_t> data) {
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += data.size();
+  world_->deliver(rank_, dest, tag, std::move(data));
+}
+
+std::vector<std::uint8_t> Communicator::recv_bytes(int source, int tag) {
+  auto data = world_->collect(rank_, source, tag);
+  stats_.messages_received += 1;
+  stats_.bytes_received += data.size();
+  return data;
+}
+
+void Communicator::barrier() { world_->barrier(size_); }
+
+/// Friend of Communicator: constructs the per-rank handles.
+struct SpmdRunner {
+  static SpmdReport run(int ranks,
+                        const std::function<void(Communicator&)>& body,
+                        BcastAlgorithm bcast) {
+    detail::World world(ranks);
+    std::vector<Communicator> comms;
+    comms.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      comms.push_back(Communicator(&world, r, ranks, bcast));
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(ranks));
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    for (int r = 0; r < ranks; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          body(comms[static_cast<std::size_t>(r)]);
+        } catch (...) {
+          std::lock_guard lk(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+
+    SpmdReport report;
+    report.rank_stats.reserve(comms.size());
+    for (const auto& c : comms) {
+      report.rank_stats.push_back(c.stats());
+      report.total.merge(c.stats());
+    }
+    return report;
+  }
+};
+
+SpmdReport run_spmd(int ranks, const std::function<void(Communicator&)>& body,
+                    BcastAlgorithm bcast) {
+  if (ranks <= 0) {
+    throw std::invalid_argument("run_spmd: ranks must be positive");
+  }
+  return SpmdRunner::run(ranks, body, bcast);
+}
+
+}  // namespace mdtask::mpi

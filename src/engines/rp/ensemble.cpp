@@ -1,0 +1,50 @@
+#include "mdtask/engines/rp/ensemble.h"
+
+#include <mutex>
+#include <thread>
+
+namespace mdtask::rp {
+
+EnsembleReport AppManager::run(std::vector<Pipeline> pipelines) {
+  EnsembleReport report;
+  std::mutex report_mu;
+
+  // One driver thread per pipeline: stages submit + wait sequentially,
+  // so concurrent pipelines interleave on the shared pilot.
+  std::vector<std::thread> drivers;
+  drivers.reserve(pipelines.size());
+  for (const Pipeline& pipeline : pipelines) {
+    drivers.emplace_back([this, &pipeline, &report, &report_mu] {
+      for (const Stage& stage : pipeline.stages) {
+        std::vector<ComputeUnitDescription> descriptions;
+        descriptions.reserve(stage.tasks.size());
+        for (const EnsembleTask& task : stage.tasks) {
+          descriptions.push_back(ComputeUnitDescription{
+              .name = pipeline.name + "/" + stage.name + "/" + task.name,
+              .executable = task.executable,
+              .input_staging = task.input_staging,
+              .output_staging = task.output_staging});
+        }
+        auto units = units_->submit_units(std::move(descriptions));
+        // Stage barrier: wait for THIS stage's units only
+        // (UnitManager::wait_units would also wait for other pipelines).
+        for (const auto& unit : units) unit->wait();
+        bool stage_failed = false;
+        {
+          std::lock_guard lk(report_mu);
+          for (std::size_t t = 0; t < units.size(); ++t) {
+            report.tasks.push_back({pipeline.name, stage.name,
+                                    stage.tasks[t].name, units[t]->state(),
+                                    units[t]->failure_reason()});
+            stage_failed |= units[t]->state() != UnitState::kDone;
+          }
+        }
+        if (stage_failed) break;  // stop this pipeline at the failed stage
+      }
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  return report;
+}
+
+}  // namespace mdtask::rp

@@ -1,0 +1,129 @@
+#include "mdtask/engines/rp/pilot.h"
+
+namespace mdtask::rp {
+
+void MongoDbStore::roundtrip() {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  if (latency_s_ > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(latency_s_));
+  }
+}
+
+void SharedFilesystem::put(const std::string& path,
+                           std::vector<std::uint8_t> data) {
+  bytes_written_ += data.size();
+  std::lock_guard lk(mu_);
+  files_[path] = std::move(data);
+}
+
+Result<std::vector<std::uint8_t>> SharedFilesystem::get(
+    const std::string& path) const {
+  std::lock_guard lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Error(ErrorCode::kIoError, "no such staged file: " + path);
+  }
+  bytes_read_ += it->second.size();
+  return it->second;
+}
+
+bool SharedFilesystem::exists(const std::string& path) const {
+  std::lock_guard lk(mu_);
+  return files_.contains(path);
+}
+
+const char* to_string(UnitState state) noexcept {
+  switch (state) {
+    case UnitState::kNew: return "NEW";
+    case UnitState::kStagingInput: return "STAGING_INPUT";
+    case UnitState::kAgentScheduling: return "AGENT_SCHEDULING";
+    case UnitState::kExecuting: return "EXECUTING";
+    case UnitState::kStagingOutput: return "STAGING_OUTPUT";
+    case UnitState::kDone: return "DONE";
+    case UnitState::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+UnitManager::UnitManager(PilotDescription pilot)
+    : pilot_(pilot),
+      db_(pilot.db_roundtrip_latency_s),
+      agent_(pilot.cores) {}
+
+std::vector<std::shared_ptr<ComputeUnit>> UnitManager::submit_units(
+    std::vector<ComputeUnitDescription> descriptions) {
+  std::vector<std::shared_ptr<ComputeUnit>> units;
+  units.reserve(descriptions.size());
+  for (auto& d : descriptions) {
+    // Submission itself is a DB write (client -> MongoDB).
+    db_.roundtrip();
+    metrics_.db_roundtrips += 1;
+    units.push_back(
+        std::shared_ptr<ComputeUnit>(new ComputeUnit(std::move(d))));
+  }
+  for (const auto& unit : units) {
+    agent_.post([this, unit] { run_unit(unit); });
+  }
+  return units;
+}
+
+void UnitManager::wait_units() { agent_.wait_idle(); }
+
+void UnitManager::transition(ComputeUnit& unit, UnitState next) {
+  // Every state change is written back to the database; this is the
+  // architectural bottleneck the paper identifies (Sec. 4.1).
+  db_.roundtrip();
+  metrics_.db_roundtrips += 1;
+  {
+    std::lock_guard lk(unit.mu_);
+    unit.state_.store(next, std::memory_order_release);
+  }
+  unit.cv_.notify_all();
+}
+
+UnitState ComputeUnit::wait() const {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [this] {
+    const UnitState s = state_.load(std::memory_order_acquire);
+    return s == UnitState::kDone || s == UnitState::kFailed;
+  });
+  return state_.load(std::memory_order_acquire);
+}
+
+void UnitManager::run_unit(const std::shared_ptr<ComputeUnit>& unit) {
+  metrics_.tasks_executed += 1;
+  transition(*unit, UnitState::kStagingInput);
+  for (const auto& path : unit->description_.input_staging) {
+    auto data = fs_.get(path);
+    if (!data.ok()) {
+      unit->failure_ = data.error().to_string();
+      transition(*unit, UnitState::kFailed);
+      return;
+    }
+    metrics_.staged_bytes += data.value().size();
+  }
+  transition(*unit, UnitState::kAgentScheduling);
+  transition(*unit, UnitState::kExecuting);
+  try {
+    if (unit->description_.executable) {
+      unit->description_.executable(fs_);
+    }
+  } catch (const std::exception& e) {
+    unit->failure_ = e.what();
+    transition(*unit, UnitState::kFailed);
+    return;
+  }
+  transition(*unit, UnitState::kStagingOutput);
+  for (const auto& path : unit->description_.output_staging) {
+    if (!fs_.exists(path)) {
+      unit->failure_ = "missing declared output: " + path;
+      transition(*unit, UnitState::kFailed);
+      return;
+    }
+    auto data = fs_.get(path);
+    if (data.ok()) metrics_.staged_bytes += data.value().size();
+  }
+  transition(*unit, UnitState::kDone);
+}
+
+}  // namespace mdtask::rp

@@ -1,0 +1,185 @@
+#include "mdtask/sim/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mdtask::sim {
+
+void Simulation::at(double t, Callback fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulation::at: time in the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+double Simulation::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const ref; move out via const_cast is
+    // UB-adjacent, so copy the callback handle (cheap: std::function).
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  return now_;
+}
+
+void Resource::acquire(double duration, Simulation::Callback on_complete) {
+  if (free_ > 0) {
+    --free_;
+    start(duration, std::move(on_complete));
+  } else {
+    pending_.push_back({duration, std::move(on_complete)});
+  }
+}
+
+void Resource::start(double duration, Simulation::Callback on_complete) {
+  busy_time_ += duration;
+  if (trace_) {
+    trace_->push_back({simulation_->now(), simulation_->now() + duration});
+  }
+  simulation_->after(duration, [this, cb = std::move(on_complete)] {
+    cb();
+    if (to_remove_ > 0) {
+      --to_remove_;  // this server leaves the pool instead of recycling
+      return;
+    }
+    if (!pending_.empty()) {
+      Pending next = std::move(pending_.front());
+      pending_.pop_front();
+      start(next.duration, std::move(next.on_complete));
+    } else {
+      ++free_;
+    }
+  });
+}
+
+void Resource::add_servers(std::size_t count) {
+  // Cancel pending removals first, then grow for real.
+  const std::size_t cancelled = std::min(count, to_remove_);
+  to_remove_ -= cancelled;
+  count -= cancelled;
+  while (count > 0) {
+    --count;
+    if (!pending_.empty()) {
+      Pending next = std::move(pending_.front());
+      pending_.pop_front();
+      start(next.duration, std::move(next.on_complete));
+    } else {
+      ++free_;
+    }
+  }
+}
+
+void Resource::remove_servers(std::size_t count) {
+  // Idle servers leave immediately; busy ones leave when they finish.
+  const std::size_t idle = std::min(count, free_);
+  free_ -= idle;
+  to_remove_ += count - idle;
+}
+
+double NetworkModel::bcast_tree_s(std::uint64_t bytes,
+                                  std::size_t ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(ranks)));
+  return rounds * point_to_point_s(bytes);
+}
+
+double NetworkModel::bcast_torrent_s(std::uint64_t bytes,
+                                     std::size_t ranks) const {
+  if (ranks <= 1) return 0.0;
+  // Pipelined chunked distribution: one payload transfer plus a small
+  // log-depth term; effectively flat in P (Fig. 8's Spark/Dask curves).
+  const double depth = std::ceil(std::log2(static_cast<double>(ranks)));
+  return point_to_point_s(bytes) + depth * latency_s * 10.0;
+}
+
+double ClusterSpec::effective_cores_per_node() const noexcept {
+  const double physical =
+      static_cast<double>(machine.physical_cores_per_node);
+  const double logical = static_cast<double>(machine.cores_per_node);
+  const double extra = logical - physical;
+  return machine.core_speed *
+         (physical + std::max(0.0, extra) * machine.hyperthread_efficiency);
+}
+
+double ClusterSpec::total_effective_cores() const noexcept {
+  const double used_per_node =
+      static_cast<double>(total_cores()) / static_cast<double>(nodes);
+  const double physical =
+      static_cast<double>(machine.physical_cores_per_node);
+  const double physical_used = std::min(used_per_node, physical);
+  const double ht_used = std::max(0.0, used_per_node - physical_used);
+  return static_cast<double>(nodes) * machine.core_speed *
+         (physical_used + ht_used * machine.hyperthread_efficiency);
+}
+
+MachineProfile comet() {
+  MachineProfile m;
+  m.name = "Comet";
+  m.cores_per_node = 24;
+  m.physical_cores_per_node = 24;
+  m.hyperthread_efficiency = 1.0;
+  m.core_speed = 1.05;  // slightly faster cores; "Comet slightly
+                        // outperforms Wrangler" (Sec. 4.1)
+  m.network.latency_s = 1.2e-5;
+  m.network.bandwidth_Bps = 7e9;    // InfiniBand FDR
+  m.network.bisection_Bps = 2.8e10;
+  m.filesystem_Bps = 6e9;           // Lustre
+  return m;
+}
+
+MachineProfile wrangler() {
+  MachineProfile m;
+  m.name = "Wrangler";
+  m.cores_per_node = 48;            // 24 physical, hyper-threading
+                                    // enabled (Sec. 4): 48 logical
+  m.physical_cores_per_node = 24;
+  m.hyperthread_efficiency = 0.35;  // second thread adds ~35% throughput
+  m.core_speed = 1.0;
+  m.network.latency_s = 1.5e-5;
+  m.network.bandwidth_Bps = 5e9;
+  m.network.bisection_Bps = 2e10;
+  m.filesystem_Bps = 1e10;          // Wrangler's flash-based storage
+  return m;
+}
+
+std::vector<double> utilization_timeline(
+    const std::vector<ServiceInterval>& intervals, std::size_t servers,
+    std::size_t buckets, double horizon) {
+  std::vector<double> out(std::max<std::size_t>(1, buckets), 0.0);
+  if (intervals.empty() || servers == 0) return out;
+  if (horizon <= 0.0) {
+    for (const auto& iv : intervals) horizon = std::max(horizon, iv.end);
+  }
+  if (horizon <= 0.0) return out;
+  const double width = horizon / static_cast<double>(out.size());
+  for (const auto& interval : intervals) {
+    const auto first = static_cast<std::size_t>(interval.start / width);
+    for (std::size_t b = first; b < out.size(); ++b) {
+      const double lo = static_cast<double>(b) * width;
+      const double hi = lo + width;
+      if (interval.start >= hi) continue;
+      if (interval.end <= lo) break;
+      out[b] += std::min(interval.end, hi) - std::max(interval.start, lo);
+    }
+  }
+  for (double& v : out) {
+    v /= width * static_cast<double>(servers);
+  }
+  return out;
+}
+
+ClusterSpec cluster_for_cores(const MachineProfile& machine,
+                              std::size_t cores) {
+  ClusterSpec spec;
+  spec.machine = machine;
+  spec.nodes = std::max<std::size_t>(
+      1, (cores + machine.cores_per_node - 1) / machine.cores_per_node);
+  spec.cores_used = std::max<std::size_t>(1, cores);
+  return spec;
+}
+
+}  // namespace mdtask::sim

@@ -1,0 +1,79 @@
+#include "mdtask/traj/catalog.h"
+
+#include <algorithm>
+
+namespace mdtask::traj {
+
+std::size_t psa_atoms(PsaSize size) noexcept {
+  switch (size) {
+    case PsaSize::kSmall: return 3341;
+    case PsaSize::kMedium: return 6682;
+    case PsaSize::kLarge: return 13364;
+  }
+  return 0;
+}
+
+const char* to_string(PsaSize size) noexcept {
+  switch (size) {
+    case PsaSize::kSmall: return "small";
+    case PsaSize::kMedium: return "medium";
+    case PsaSize::kLarge: return "large";
+  }
+  return "?";
+}
+
+ProteinTrajectoryParams psa_params(PsaSize size, std::size_t scale) {
+  ProteinTrajectoryParams p;
+  scale = std::max<std::size_t>(1, scale);
+  p.atoms = std::max<std::size_t>(4, psa_atoms(size) / scale);
+  p.frames = std::max<std::size_t>(4, std::size_t{102} / scale);
+  return p;
+}
+
+std::size_t lf_atoms(LfSize size) noexcept {
+  switch (size) {
+    case LfSize::k131k: return 131072;
+    case LfSize::k262k: return 262144;
+    case LfSize::k524k: return 524288;
+    case LfSize::k4M: return 4194304;
+  }
+  return 0;
+}
+
+const char* to_string(LfSize size) noexcept {
+  switch (size) {
+    case LfSize::k131k: return "131k";
+    case LfSize::k262k: return "262k";
+    case LfSize::k524k: return "524k";
+    case LfSize::k4M: return "4M";
+  }
+  return "?";
+}
+
+std::size_t lf_paper_edges(LfSize size) noexcept {
+  switch (size) {
+    case LfSize::k131k: return 896'000;
+    case LfSize::k262k: return 1'750'000;
+    case LfSize::k524k: return 3'520'000;
+    case LfSize::k4M: return 44'600'000;
+  }
+  return 0;
+}
+
+BilayerParams lf_params(LfSize size, std::size_t scale) {
+  BilayerParams p;
+  scale = std::max<std::size_t>(1, scale);
+  p.atoms = std::max<std::size_t>(64, lf_atoms(size) / scale);
+  p.seed = 7 + static_cast<std::uint64_t>(size);
+  return p;
+}
+
+std::vector<PsaSize> all_psa_sizes() {
+  return {PsaSize::kSmall, PsaSize::kMedium, PsaSize::kLarge};
+}
+
+std::vector<LfSize> all_lf_sizes() {
+  return {LfSize::k131k, LfSize::k262k, LfSize::k524k, LfSize::k4M};
+}
+
+}  // namespace mdtask::traj

@@ -1,0 +1,125 @@
+#include "mdtask/traj/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mdtask::traj {
+
+AtomSelection select_all(std::size_t n_atoms) {
+  AtomSelection out(n_atoms);
+  std::iota(out.begin(), out.end(), 0u);
+  return out;
+}
+
+AtomSelection select_range(std::uint32_t begin, std::uint32_t end) {
+  if (end <= begin) return {};
+  AtomSelection out(end - begin);
+  std::iota(out.begin(), out.end(), begin);
+  return out;
+}
+
+AtomSelection select_stride(std::size_t n_atoms, std::size_t stride) {
+  stride = std::max<std::size_t>(1, stride);
+  AtomSelection out;
+  out.reserve(n_atoms / stride + 1);
+  for (std::size_t i = 0; i < n_atoms; i += stride) {
+    out.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+AtomSelection select_sphere(std::span<const Vec3> frame, Vec3 center,
+                            double radius) {
+  const double r2 = radius * radius;
+  AtomSelection out;
+  for (std::uint32_t i = 0; i < frame.size(); ++i) {
+    if (dist2(frame[i], center) <= r2) out.push_back(i);
+  }
+  return out;
+}
+
+AtomSelection select_slab(std::span<const Vec3> frame, int axis, double lo,
+                          double hi) {
+  AtomSelection out;
+  for (std::uint32_t i = 0; i < frame.size(); ++i) {
+    const double c = axis == 0   ? frame[i].x
+                     : axis == 1 ? frame[i].y
+                                 : frame[i].z;
+    if (c >= lo && c <= hi) out.push_back(i);
+  }
+  return out;
+}
+
+AtomSelection make_selection(std::vector<std::uint32_t> indices) {
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  return indices;
+}
+
+AtomSelection selection_union(const AtomSelection& a,
+                              const AtomSelection& b) {
+  AtomSelection out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+AtomSelection selection_intersection(const AtomSelection& a,
+                                     const AtomSelection& b) {
+  AtomSelection out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+AtomSelection selection_difference(const AtomSelection& a,
+                                   const AtomSelection& b) {
+  AtomSelection out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<Vec3> subset_frame(std::span<const Vec3> frame,
+                               const AtomSelection& selection) {
+  std::vector<Vec3> out;
+  out.reserve(selection.size());
+  for (std::uint32_t i : selection) out.push_back(frame[i]);
+  return out;
+}
+
+Result<Trajectory> subset_trajectory(const Trajectory& trajectory,
+                                     const AtomSelection& selection) {
+  if (!selection.empty() && selection.back() >= trajectory.atoms()) {
+    return Error(ErrorCode::kOutOfRange,
+                 "selection references atoms beyond the trajectory");
+  }
+  Trajectory out(trajectory.frames(), selection.size());
+  for (std::size_t f = 0; f < trajectory.frames(); ++f) {
+    const auto src = trajectory.frame(f);
+    auto dst = out.frame(f);
+    for (std::size_t k = 0; k < selection.size(); ++k) {
+      dst[k] = src[selection[k]];
+    }
+  }
+  return out;
+}
+
+Result<Trajectory> slice_frames(const Trajectory& trajectory,
+                                std::size_t begin, std::size_t end,
+                                std::size_t stride) {
+  if (begin > end || end > trajectory.frames()) {
+    return Error(ErrorCode::kOutOfRange, "frame slice out of range");
+  }
+  stride = std::max<std::size_t>(1, stride);
+  const std::size_t count = (end - begin + stride - 1) / stride;
+  Trajectory out(count, trajectory.atoms());
+  std::size_t dst = 0;
+  for (std::size_t f = begin; f < end; f += stride, ++dst) {
+    const auto src = trajectory.frame(f);
+    std::copy(src.begin(), src.end(), out.frame(dst).begin());
+  }
+  return out;
+}
+
+}  // namespace mdtask::traj

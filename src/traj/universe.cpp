@@ -1,0 +1,378 @@
+#include "mdtask/traj/universe.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+namespace mdtask::traj {
+namespace {
+
+// ---------------------------------------------------------------------
+// Selection expression grammar (recursive descent):
+//   expr     := term (OR term)*
+//   term     := factor (AND factor)*
+//   factor   := NOT factor | '(' expr ')' | primary
+//   primary  := 'name' WORD+ | 'resname' WORD+
+//             | 'resid' RANGE+ | 'index' RANGE+
+//             | 'mass' CMP NUMBER
+//             | 'around' NUMBER 'of' factor
+//             | 'all' | 'none'
+//   RANGE    := INT | INT ':' INT          (inclusive)
+// ---------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  std::size_t position = 0;
+};
+
+std::vector<Token> tokenize(const std::string& expression) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < expression.size()) {
+    const char c = expression[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '(' || c == ')') {
+      tokens.push_back({std::string(1, c), i});
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < expression.size() && expression[j] != '(' &&
+           expression[j] != ')' &&
+           !std::isspace(static_cast<unsigned char>(expression[j]))) {
+      ++j;
+    }
+    tokens.push_back({expression.substr(i, j - i), i});
+    i = j;
+  }
+  return tokens;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(
+                          static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Trailing-'*' wildcard match.
+bool name_matches(const std::string& pattern, const std::string& value) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return value.compare(0, pattern.size() - 1, pattern, 0,
+                         pattern.size() - 1) == 0;
+  }
+  return pattern == value;
+}
+
+class Parser {
+ public:
+  Parser(const Universe& universe, std::span<const Vec3> frame,
+         std::vector<Token> tokens)
+      : universe_(universe), frame_(frame), tokens_(std::move(tokens)) {}
+
+  Result<std::vector<bool>> parse() {
+    auto result = parse_expr();
+    if (!result.ok()) return result;
+    if (cursor_ != tokens_.size()) {
+      return error("unexpected trailing token '" + peek() + "'");
+    }
+    return result;
+  }
+
+ private:
+  using Mask = std::vector<bool>;
+
+  Error error(const std::string& message) const {
+    const std::size_t position =
+        cursor_ < tokens_.size() ? tokens_[cursor_].position : 0;
+    return Error(ErrorCode::kFormatError,
+                 "selection parse error at offset " +
+                     std::to_string(position) + ": " + message);
+  }
+
+  bool at_end() const { return cursor_ >= tokens_.size(); }
+  const std::string& peek() const {
+    static const std::string kEmpty;
+    return at_end() ? kEmpty : tokens_[cursor_].text;
+  }
+  bool accept(const std::string& word) {
+    if (!at_end() && lower(peek()) == word) {
+      ++cursor_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Mask> parse_expr() {
+    auto left = parse_term();
+    if (!left.ok()) return left;
+    Mask mask = std::move(left).value();
+    while (accept("or")) {
+      auto right = parse_term();
+      if (!right.ok()) return right;
+      for (std::size_t i = 0; i < mask.size(); ++i) {
+        mask[i] = mask[i] || right.value()[i];
+      }
+    }
+    return mask;
+  }
+
+  Result<Mask> parse_term() {
+    auto left = parse_factor();
+    if (!left.ok()) return left;
+    Mask mask = std::move(left).value();
+    while (accept("and")) {
+      auto right = parse_factor();
+      if (!right.ok()) return right;
+      for (std::size_t i = 0; i < mask.size(); ++i) {
+        mask[i] = mask[i] && right.value()[i];
+      }
+    }
+    return mask;
+  }
+
+  Result<Mask> parse_factor() {
+    if (accept("not")) {
+      auto inner = parse_factor();
+      if (!inner.ok()) return inner;
+      Mask mask = std::move(inner).value();
+      mask.flip();
+      return mask;
+    }
+    if (accept("(")) {
+      auto inner = parse_expr();
+      if (!inner.ok()) return inner;
+      if (!accept(")")) return error("expected ')'");
+      return inner;
+    }
+    return parse_primary();
+  }
+
+  /// True for tokens that terminate a word/range list.
+  bool list_ends() const {
+    if (at_end()) return true;
+    const std::string w = lower(peek());
+    return w == "and" || w == "or" || w == ")" || w == "not";
+  }
+
+  Result<Mask> parse_primary() {
+    const std::size_t n = universe_.atoms();
+    if (accept("all")) return Mask(n, true);
+    if (accept("none")) return Mask(n, false);
+
+    if (accept("name")) {
+      return parse_name_list(
+          [](const Atom& atom) -> const std::string& { return atom.name; });
+    }
+    if (accept("resname")) {
+      return parse_name_list([](const Atom& atom) -> const std::string& {
+        return atom.residue_name;
+      });
+    }
+    if (accept("resid")) {
+      return parse_range_list([](const Atom& atom, std::size_t) {
+        return static_cast<std::uint64_t>(atom.residue_id);
+      });
+    }
+    if (accept("index")) {
+      return parse_range_list([](const Atom&, std::size_t index) {
+        return static_cast<std::uint64_t>(index);
+      });
+    }
+    if (accept("mass")) return parse_mass();
+    if (accept("around")) return parse_around();
+    return error(at_end() ? "unexpected end of expression"
+                          : "unknown keyword '" + peek() + "'");
+  }
+
+  template <typename Field>
+  Result<Mask> parse_name_list(Field field) {
+    if (list_ends()) return error("expected at least one name");
+    std::vector<std::string> patterns;
+    while (!list_ends()) {
+      patterns.push_back(peek());
+      ++cursor_;
+    }
+    Mask mask(universe_.atoms(), false);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      const std::string& value = field(universe_.topology().atom(i));
+      for (const auto& pattern : patterns) {
+        if (name_matches(pattern, value)) {
+          mask[i] = true;
+          break;
+        }
+      }
+    }
+    return mask;
+  }
+
+  template <typename Key>
+  Result<Mask> parse_range_list(Key key) {
+    if (list_ends()) return error("expected at least one index/range");
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+    while (!list_ends()) {
+      const std::string& token = peek();
+      const auto colon = token.find(':');
+      std::uint64_t lo = 0, hi = 0;
+      auto parse_int = [](const std::string& s, std::uint64_t& out) {
+        const auto* begin = s.data();
+        const auto* end = s.data() + s.size();
+        auto [p, ec] = std::from_chars(begin, end, out);
+        return ec == std::errc() && p == end;
+      };
+      bool ok;
+      if (colon == std::string::npos) {
+        ok = parse_int(token, lo);
+        hi = lo;
+      } else {
+        ok = parse_int(token.substr(0, colon), lo) &&
+             parse_int(token.substr(colon + 1), hi);
+      }
+      if (!ok) return error("bad index/range '" + token + "'");
+      ranges.emplace_back(lo, hi);
+      ++cursor_;
+    }
+    Mask mask(universe_.atoms(), false);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      const std::uint64_t k = key(universe_.topology().atom(i), i);
+      for (auto [lo, hi] : ranges) {
+        if (k >= lo && k <= hi) {
+          mask[i] = true;
+          break;
+        }
+      }
+    }
+    return mask;
+  }
+
+  Result<Mask> parse_mass() {
+    if (at_end()) return error("expected comparison after 'mass'");
+    const std::string op = peek();
+    if (op != ">" && op != "<" && op != ">=" && op != "<=" && op != "==") {
+      return error("expected comparison operator, got '" + op + "'");
+    }
+    ++cursor_;
+    if (at_end()) return error("expected number after 'mass " + op + "'");
+    char* end = nullptr;
+    const double threshold = std::strtod(peek().c_str(), &end);
+    if (end != peek().c_str() + peek().size()) {
+      return error("bad number '" + peek() + "'");
+    }
+    ++cursor_;
+    Mask mask(universe_.atoms(), false);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      const double mass = universe_.topology().atom(i).mass;
+      mask[i] = op == ">"    ? mass > threshold
+                : op == "<"  ? mass < threshold
+                : op == ">=" ? mass >= threshold
+                : op == "<=" ? mass <= threshold
+                             : mass == threshold;
+    }
+    return mask;
+  }
+
+  Result<Mask> parse_around() {
+    if (frame_.size() < universe_.atoms()) {
+      return error("'around' needs coordinates, but the universe has no "
+                   "frames");
+    }
+    if (at_end()) return error("expected radius after 'around'");
+    char* end = nullptr;
+    const double radius = std::strtod(peek().c_str(), &end);
+    if (end != peek().c_str() + peek().size() || radius < 0.0) {
+      return error("bad radius '" + peek() + "'");
+    }
+    ++cursor_;
+    if (!accept("of")) return error("expected 'of' after the radius");
+    auto inner = parse_factor();
+    if (!inner.ok()) return inner;
+    const Mask& reference = inner.value();
+    // Atoms within `radius` of ANY reference atom (reference excluded
+    // unless it matches by distance to another reference atom).
+    const double r2 = radius * radius;
+    Mask mask(universe_.atoms(), false);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      for (std::size_t j = 0; j < mask.size(); ++j) {
+        if (!reference[j] || i == j) continue;
+        if (dist2(frame_[i], frame_[j]) <= r2) {
+          mask[i] = true;
+          break;
+        }
+      }
+    }
+    return mask;
+  }
+
+  const Universe& universe_;
+  std::span<const Vec3> frame_;
+  std::vector<Token> tokens_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+Result<Universe> Universe::create(Topology topology, Trajectory trajectory) {
+  if (topology.size() != trajectory.atoms()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "topology has " + std::to_string(topology.size()) +
+                     " atoms but trajectory has " +
+                     std::to_string(trajectory.atoms()));
+  }
+  return Universe(std::move(topology), std::move(trajectory));
+}
+
+Result<AtomSelection> Universe::select(const std::string& expression,
+                                       std::size_t frame) const {
+  if (frame >= std::max<std::size_t>(1, trajectory_.frames())) {
+    return Error(ErrorCode::kOutOfRange, "selection frame out of range");
+  }
+  auto tokens = tokenize(expression);
+  if (tokens.empty()) {
+    return Error(ErrorCode::kFormatError, "empty selection expression");
+  }
+  const auto positions =
+      trajectory_.frames() > 0 ? trajectory_.frame(frame)
+                               : std::span<const Vec3>{};
+  Parser parser(*this, positions, std::move(tokens));
+  auto mask = parser.parse();
+  if (!mask.ok()) return mask.error();
+  AtomSelection out;
+  for (std::uint32_t i = 0; i < mask.value().size(); ++i) {
+    if (mask.value()[i]) out.push_back(i);
+  }
+  return out;
+}
+
+Result<Universe> Universe::subset(const AtomSelection& selection) const {
+  auto reduced = subset_trajectory(trajectory_, selection);
+  if (!reduced.ok()) return reduced.error();
+  std::vector<Atom> atoms;
+  atoms.reserve(selection.size());
+  for (std::uint32_t i : selection) atoms.push_back(topology_.atom(i));
+  return Universe(Topology(std::move(atoms)), std::move(reduced).value());
+}
+
+Topology make_protein_topology(std::size_t n_atoms,
+                               std::size_t atoms_per_residue) {
+  static const char* kAtomNames[] = {"N", "CA", "C", "O", "CB",
+                                     "CG", "CD", "CE"};
+  static const char* kResidueNames[] = {"ALA", "GLY", "LYS", "ASP", "PHE"};
+  static const float kMasses[] = {14.0f, 12.0f, 12.0f, 16.0f, 12.0f,
+                                  12.0f, 12.0f, 12.0f};
+  atoms_per_residue = std::clamp<std::size_t>(atoms_per_residue, 1, 8);
+  std::vector<Atom> atoms;
+  atoms.reserve(n_atoms);
+  for (std::size_t i = 0; i < n_atoms; ++i) {
+    const std::size_t residue = i / atoms_per_residue;
+    const std::size_t slot = i % atoms_per_residue;
+    atoms.push_back({kAtomNames[slot],
+                     kResidueNames[residue % 5],
+                     static_cast<std::uint32_t>(residue),
+                     kMasses[slot]});
+  }
+  return Topology(std::move(atoms));
+}
+
+}  // namespace mdtask::traj

@@ -1,0 +1,75 @@
+#include "mdtask/traj/xyz_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace mdtask::traj {
+
+Status write_xyz(const std::string& path, const Trajectory& trajectory,
+                 const std::string& element) {
+  std::ofstream out(path);
+  if (!out) {
+    return Error(ErrorCode::kIoError, "cannot open for write: " + path);
+  }
+  for (std::size_t f = 0; f < trajectory.frames(); ++f) {
+    out << trajectory.atoms() << "\nframe " << f << "\n";
+    for (const Vec3& p : trajectory.frame(f)) {
+      out << element << ' ' << p.x << ' ' << p.y << ' ' << p.z << '\n';
+    }
+  }
+  if (!out) return Error(ErrorCode::kIoError, "short write: " + path);
+  return Status::success();
+}
+
+Result<Trajectory> read_xyz(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open: " + path);
+
+  std::vector<Vec3> data;
+  std::size_t atoms = 0;
+  std::size_t frames = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip blank separators between frames.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::size_t count = 0;
+    try {
+      count = std::stoul(line);
+    } catch (const std::exception&) {
+      return Error(ErrorCode::kFormatError,
+                   "bad atom-count line in " + path + ": '" + line + "'");
+    }
+    if (frames == 0) {
+      atoms = count;
+    } else if (count != atoms) {
+      return Error(ErrorCode::kFormatError,
+                   "inconsistent atom count across frames in " + path);
+    }
+    if (!std::getline(in, line)) {  // comment line
+      return Error(ErrorCode::kFormatError, "missing comment line: " + path);
+    }
+    for (std::size_t a = 0; a < count; ++a) {
+      if (!std::getline(in, line)) {
+        return Error(ErrorCode::kFormatError,
+                     "truncated frame " + std::to_string(frames) + " in " +
+                         path);
+      }
+      std::istringstream fields(line);
+      std::string element;
+      float x, y, z;
+      if (!(fields >> element >> x >> y >> z)) {
+        return Error(ErrorCode::kFormatError,
+                     "bad atom line in " + path + ": '" + line + "'");
+      }
+      data.push_back({x, y, z});
+    }
+    ++frames;
+  }
+  Trajectory out(frames, atoms);
+  std::copy(data.begin(), data.end(), out.data().begin());
+  return out;
+}
+
+}  // namespace mdtask::traj

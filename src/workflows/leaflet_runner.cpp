@@ -1,0 +1,449 @@
+#include "mdtask/workflows/leaflet_runner.h"
+
+#include <algorithm>
+
+#include "mdtask/analysis/balltree.h"
+#include "mdtask/common/serial.h"
+#include "mdtask/common/timer.h"
+#include "mdtask/engines/dask/dask.h"
+#include "mdtask/engines/mpi/runtime.h"
+#include "mdtask/engines/rp/pilot.h"
+#include "mdtask/engines/spark/spark.h"
+
+namespace mdtask::workflows {
+namespace {
+
+using analysis::AtomChunk;
+using analysis::BlockPair;
+using analysis::ComponentLabels;
+using analysis::Edge;
+using analysis::PartialComponents;
+using traj::Vec3;
+
+/// A unit of map work: a 1-D chunk (approach 1) or a 2-D block (2-4).
+struct MapTask {
+  BlockPair block;  // approach 1 stores {chunk, whole-system} here too
+};
+
+/// Builds the map-task list for an approach.
+std::vector<MapTask> plan_tasks(int approach, std::size_t n_atoms,
+                                std::size_t target_tasks) {
+  std::vector<MapTask> tasks;
+  if (approach == 1) {
+    const auto whole =
+        AtomChunk{0, static_cast<std::uint32_t>(n_atoms)};
+    for (const auto& chunk :
+         analysis::make_1d_chunks(n_atoms, target_tasks)) {
+      tasks.push_back({BlockPair{chunk, whole}});
+    }
+  } else {
+    for (const auto& block :
+         analysis::make_2d_blocks(n_atoms, target_tasks)) {
+      tasks.push_back({block});
+    }
+  }
+  return tasks;
+}
+
+/// Transient memory a map task materializes (the cdist block for
+/// approaches 1-3; the BallTree + result buffers for approach 4).
+std::uint64_t task_memory_bytes(int approach, const MapTask& task) {
+  if (approach <= 3) return analysis::lf_block_cdist_bytes(task.block);
+  // BallTree over the column chunk: points + ids + nodes, ~24 B/point.
+  return task.block.cols.size() * 24;
+}
+
+/// Runs one map task's edge discovery.
+std::vector<Edge> discover_edges(int approach,
+                                 std::span<const Vec3> atoms,
+                                 const MapTask& task, double cutoff) {
+  switch (approach) {
+    case 1:
+      return analysis::lf_edges_1d(atoms, task.block.rows, cutoff);
+    case 2:
+    case 3:
+      return analysis::lf_edges_2d(atoms, task.block, cutoff);
+    default:
+      return analysis::lf_edges_tree(atoms, task.block, cutoff);
+  }
+}
+
+bool uses_partial_components(int approach) { return approach >= 3; }
+
+LfRunResult finish_from_edges(std::span<const Vec3> atoms,
+                              std::vector<Edge> edges) {
+  LfRunResult result;
+  result.edges_found = edges.size();
+  result.leaflets = analysis::summarize_leaflets(
+      analysis::connected_components_union_find(atoms.size(), edges));
+  return result;
+}
+
+LfRunResult finish_from_partials(std::span<const Vec3> atoms,
+                                 std::span<const PartialComponents> parts) {
+  LfRunResult result;
+  result.leaflets = analysis::summarize_leaflets(
+      analysis::merge_partial_components(atoms.size(), parts));
+  return result;
+}
+
+// ---------------------------------------------------------------- MPI --
+
+Result<LfRunResult> run_mpi(int approach, std::span<const Vec3> atoms,
+                            double cutoff, const LfRunConfig& config) {
+  const auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
+  LfRunResult result;
+  std::atomic<bool> memory_failed{false};
+  WallTimer timer;
+  std::vector<Edge> root_edges;
+  std::vector<PartialComponents> root_parts;
+  double distribute_seconds = 0.0;
+
+  auto report = mpi::run_spmd(
+      static_cast<int>(std::max<std::size_t>(1, config.workers)),
+      [&](mpi::Communicator& comm) {
+        // Approach 1 really broadcasts the positions through the MPI
+        // runtime (Fig. 8 measures this phase); other approaches assume
+        // pre-partitioned data on the shared filesystem.
+        std::vector<Vec3> local_copy;
+        std::span<const Vec3> view = atoms;
+        if (approach == 1) {
+          WallTimer bcast_timer;
+          if (comm.rank() == 0) {
+            local_copy.assign(atoms.begin(), atoms.end());
+          }
+          comm.bcast(local_copy, 0);
+          view = local_copy;
+          if (comm.rank() == 0) {
+            distribute_seconds = bcast_timer.seconds();
+          }
+        }
+
+        std::vector<Edge> my_edges;
+        std::vector<analysis::VertexRoot> my_pairs;
+        for (std::size_t t = static_cast<std::size_t>(comm.rank());
+             t < tasks.size(); t += static_cast<std::size_t>(comm.size())) {
+          try {
+            engines::check_task_memory(task_memory_bytes(approach, tasks[t]),
+                                       config.task_memory_limit);
+          } catch (const engines::TaskMemoryExceeded&) {
+            memory_failed.store(true);
+            break;
+          }
+          auto edges = discover_edges(approach, view, tasks[t], cutoff);
+          if (uses_partial_components(approach)) {
+            auto part = analysis::partial_components(edges);
+            my_pairs.insert(my_pairs.end(), part.vertex_root.begin(),
+                            part.vertex_root.end());
+          } else {
+            my_edges.insert(my_edges.end(), edges.begin(), edges.end());
+          }
+        }
+        if (uses_partial_components(approach)) {
+          auto gathered = comm.gather<analysis::VertexRoot>(my_pairs, 0);
+          if (comm.rank() == 0) {
+            for (auto& g : gathered) {
+              PartialComponents part;
+              part.vertex_root = std::move(g);
+              root_parts.push_back(std::move(part));
+            }
+          }
+        } else {
+          auto gathered = comm.gather<Edge>(my_edges, 0);
+          if (comm.rank() == 0) {
+            for (auto& g : gathered) {
+              root_edges.insert(root_edges.end(), g.begin(), g.end());
+            }
+          }
+        }
+      });
+
+  if (memory_failed.load()) {
+    return Error(ErrorCode::kResourceExhausted,
+                 "MPI leaflet finder: cdist block exceeds task memory "
+                 "limit (increase target_tasks)");
+  }
+  result = uses_partial_components(approach)
+               ? finish_from_partials(atoms, root_parts)
+               : finish_from_edges(atoms, std::move(root_edges));
+  result.metrics.wall_seconds = timer.seconds();
+  result.metrics.tasks = tasks.size();
+  result.metrics.shuffle_bytes = report.total.bytes_sent;
+  result.distribute_seconds = distribute_seconds;
+  return result;
+}
+
+// -------------------------------------------------------------- Spark --
+
+Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
+                              double cutoff, const LfRunConfig& config) {
+  auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
+  spark::SparkContext sc(
+      spark::SparkConfig{.executor_threads = config.workers,
+                         .task_memory_limit = config.task_memory_limit});
+
+  // Approach 1 broadcasts the full system; the others account only the
+  // per-task block inputs (task-API style).
+  WallTimer distribute_timer;
+  auto positions = sc.broadcast(
+      atoms, approach == 1 ? atoms.size_bytes() : std::uint64_t{0});
+  const double distribute_seconds = distribute_timer.seconds();
+
+  WallTimer timer;
+  const std::size_t n_tasks = tasks.size();
+  auto base = sc.parallelize(std::move(tasks), n_tasks);
+  LfRunResult result;
+  try {
+    if (uses_partial_components(approach)) {
+      auto parts_rdd = base.map_partitions(
+          [positions, approach, cutoff](spark::TaskContext& tc,
+                                        std::vector<MapTask>& mine) {
+            std::vector<PartialComponents> out;
+            for (const auto& task : mine) {
+              tc.reserve_memory(task_memory_bytes(approach, task));
+              out.push_back(analysis::partial_components(
+                  discover_edges(approach, *positions, task, cutoff)));
+            }
+            return out;
+          });
+      if (config.tree_reduce) {
+        // Key every summary to one bucket and merge in a real shuffle
+        // (the paper's reduce phase; shuffle volume = summary bytes).
+        auto keyed = parts_rdd.map([](const PartialComponents& p) {
+          return std::make_pair(0, p);
+        });
+        auto merged = reduce_by_key(
+            keyed,
+            [](PartialComponents a, const PartialComponents& b) {
+              return analysis::merge_partials_pairwise(a, b);
+            },
+            1);
+        auto final_parts = merged.collect();
+        result = final_parts.empty()
+                     ? finish_from_partials(atoms, {})
+                     : finish_from_partials(
+                           atoms, std::span<const PartialComponents>(
+                                      &final_parts[0].second, 1));
+      } else {
+        auto parts = parts_rdd.collect();
+        result = finish_from_partials(atoms, parts);
+      }
+    } else {
+      auto edges =
+          base.map_partitions(
+                  [positions, approach, cutoff](spark::TaskContext& tc,
+                                                std::vector<MapTask>& mine) {
+                    std::vector<Edge> out;
+                    for (const auto& task : mine) {
+                      tc.reserve_memory(task_memory_bytes(approach, task));
+                      auto part =
+                          discover_edges(approach, *positions, task, cutoff);
+                      out.insert(out.end(), part.begin(), part.end());
+                    }
+                    return out;
+                  })
+              .collect();
+      result = finish_from_edges(atoms, std::move(edges));
+    }
+  } catch (const engines::TaskMemoryExceeded& e) {
+    return Error(ErrorCode::kResourceExhausted,
+                 "Spark leaflet finder: task needs " +
+                     std::to_string(e.requested()) + " B > limit " +
+                     std::to_string(e.limit()) + " B");
+  }
+  result.metrics.wall_seconds = timer.seconds();
+  result.metrics.tasks = sc.metrics().tasks_executed.load();
+  result.metrics.stages = sc.metrics().stages_executed.load();
+  result.metrics.shuffle_bytes = sc.metrics().shuffle_bytes.load();
+  result.metrics.broadcast_bytes = sc.metrics().broadcast_bytes.load();
+  result.distribute_seconds = distribute_seconds;
+  return result;
+}
+
+// --------------------------------------------------------------- Dask --
+
+Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
+                             double cutoff, const LfRunConfig& config) {
+  const auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
+  dask::DaskClient client(
+      dask::DaskConfig{.workers = config.workers,
+                       .task_memory_limit = config.task_memory_limit});
+
+  // Approach 1: scatter/replicate the positions to workers (Dask's
+  // broadcast is weaker than Spark's — modelled in the perf layer; here
+  // we account the replicated bytes).
+  WallTimer distribute_timer;
+  const std::uint64_t broadcast_bytes =
+      approach == 1 ? atoms.size_bytes() * config.workers : 0;
+  const double distribute_seconds = distribute_timer.seconds();
+
+  WallTimer timer;
+  LfRunResult result;
+  try {
+    if (uses_partial_components(approach)) {
+      std::vector<dask::Future<PartialComponents>> futures;
+      futures.reserve(tasks.size());
+      for (const auto& task : tasks) {
+        futures.push_back(client.submit([&client, &atoms, task, approach,
+                                         cutoff] {
+          client.reserve_memory(task_memory_bytes(approach, task));
+          auto part = analysis::partial_components(
+              discover_edges(approach, atoms, task, cutoff));
+          // The summary is what moves to the reduce side (Table 2).
+          client.metrics().shuffle_bytes += part.byte_size();
+          client.metrics().shuffle_records += part.vertex_root.size();
+          return part;
+        }));
+      }
+      if (config.tree_reduce) {
+        // Pairwise merge tasks inside the graph (no barrier).
+        std::vector<dask::Future<PartialComponents>> layer =
+            std::move(futures);
+        while (layer.size() > 1) {
+          std::vector<dask::Future<PartialComponents>> next;
+          for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+            next.push_back(client.submit(
+                [](const PartialComponents& a, const PartialComponents& b) {
+                  return analysis::merge_partials_pairwise(a, b);
+                },
+                layer[i], layer[i + 1]));
+          }
+          if (layer.size() % 2 == 1) next.push_back(layer.back());
+          layer = std::move(next);
+        }
+        const PartialComponents& merged = layer.front().get();
+        result = finish_from_partials(
+            atoms, std::span<const PartialComponents>(&merged, 1));
+      } else {
+        std::vector<PartialComponents> parts;
+        parts.reserve(futures.size());
+        for (const auto& f : futures) parts.push_back(f.get());
+        result = finish_from_partials(atoms, parts);
+      }
+    } else {
+      std::vector<dask::Future<std::vector<Edge>>> futures;
+      futures.reserve(tasks.size());
+      for (const auto& task : tasks) {
+        futures.push_back(
+            client.submit([&client, &atoms, task, approach, cutoff] {
+              client.reserve_memory(task_memory_bytes(approach, task));
+              return discover_edges(approach, atoms, task, cutoff);
+            }));
+      }
+      std::vector<Edge> edges;
+      for (const auto& f : futures) {
+        const auto& part = f.get();
+        edges.insert(edges.end(), part.begin(), part.end());
+      }
+      result = finish_from_edges(atoms, std::move(edges));
+    }
+  } catch (const engines::TaskMemoryExceeded& e) {
+    return Error(ErrorCode::kResourceExhausted,
+                 "Dask leaflet finder: workers kept restarting (task needs " +
+                     std::to_string(e.requested()) + " B > limit " +
+                     std::to_string(e.limit()) + " B)");
+  }
+  result.metrics.wall_seconds = timer.seconds();
+  result.metrics.tasks = client.metrics().tasks_executed.load();
+  result.metrics.shuffle_bytes = client.metrics().shuffle_bytes.load();
+  result.metrics.broadcast_bytes = broadcast_bytes;
+  result.worker_restarts = client.worker_restarts();
+  result.distribute_seconds = distribute_seconds;
+  return result;
+}
+
+// ----------------------------------------------------------------- RP --
+
+Result<LfRunResult> run_rp(int approach, std::span<const Vec3> atoms,
+                           double cutoff, const LfRunConfig& config) {
+  const auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
+  rp::UnitManager um(rp::PilotDescription{.cores = config.workers});
+
+  WallTimer timer;
+  std::vector<rp::ComputeUnitDescription> descriptions;
+  descriptions.reserve(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const std::string out_path = "lf/task_" + std::to_string(t) + ".bin";
+    descriptions.push_back(rp::ComputeUnitDescription{
+        .name = "lf_task_" + std::to_string(t),
+        .executable =
+            [&atoms, task = tasks[t], approach, cutoff, out_path,
+             limit = config.task_memory_limit](rp::SharedFilesystem& fs) {
+              engines::check_task_memory(task_memory_bytes(approach, task),
+                                         limit);
+              ByteWriter writer;
+              auto edges = discover_edges(approach, atoms, task, cutoff);
+              if (uses_partial_components(approach)) {
+                auto part = analysis::partial_components(edges);
+                writer.put_span<analysis::VertexRoot>(part.vertex_root);
+              } else {
+                writer.put_span<Edge>(edges);
+              }
+              fs.put(out_path, std::move(writer).take());
+            },
+        .input_staging = {},
+        .output_staging = {out_path}});
+  }
+  auto units = um.submit_units(std::move(descriptions));
+  um.wait_units();
+
+  for (const auto& unit : units) {
+    if (unit->state() == rp::UnitState::kFailed) {
+      return Error(ErrorCode::kResourceExhausted,
+                   "RP leaflet finder: unit " + unit->name() +
+                       " failed: " + unit->failure_reason());
+    }
+  }
+
+  LfRunResult result;
+  std::vector<Edge> edges;
+  std::vector<PartialComponents> parts;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    auto bytes = um.filesystem().get("lf/task_" + std::to_string(t) + ".bin");
+    if (!bytes.ok()) continue;
+    ByteReader reader(bytes.value());
+    if (uses_partial_components(approach)) {
+      auto pairs = reader.get_vector<analysis::VertexRoot>();
+      if (pairs.ok()) {
+        PartialComponents part;
+        part.vertex_root = std::move(pairs).value();
+        parts.push_back(std::move(part));
+      }
+    } else {
+      auto es = reader.get_vector<Edge>();
+      if (es.ok()) {
+        edges.insert(edges.end(), es.value().begin(), es.value().end());
+      }
+    }
+  }
+  result = uses_partial_components(approach)
+               ? finish_from_partials(atoms, parts)
+               : finish_from_edges(atoms, std::move(edges));
+  result.metrics.wall_seconds = timer.seconds();
+  result.metrics.tasks = um.metrics().tasks_executed.load();
+  result.metrics.staged_bytes = um.metrics().staged_bytes.load();
+  result.metrics.db_roundtrips = um.metrics().db_roundtrips.load();
+  return result;
+}
+
+}  // namespace
+
+Result<LfRunResult> run_leaflet_finder(EngineKind engine, int approach,
+                                       std::span<const Vec3> atoms,
+                                       double cutoff,
+                                       const LfRunConfig& config) {
+  if (approach < 1 || approach > 4) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "leaflet finder approach must be 1..4");
+  }
+  switch (engine) {
+    case EngineKind::kMpi: return run_mpi(approach, atoms, cutoff, config);
+    case EngineKind::kSpark:
+      return run_spark(approach, atoms, cutoff, config);
+    case EngineKind::kDask: return run_dask(approach, atoms, cutoff, config);
+    case EngineKind::kRp: return run_rp(approach, atoms, cutoff, config);
+  }
+  return Error(ErrorCode::kInvalidArgument, "unknown engine");
+}
+
+}  // namespace mdtask::workflows

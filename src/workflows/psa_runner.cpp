@@ -1,0 +1,223 @@
+#include "mdtask/workflows/psa_runner.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "mdtask/common/serial.h"
+#include "mdtask/common/timer.h"
+#include "mdtask/engines/dask/dask.h"
+#include "mdtask/engines/mpi/runtime.h"
+#include "mdtask/engines/rp/pilot.h"
+#include "mdtask/engines/spark/spark.h"
+
+namespace mdtask::workflows {
+namespace {
+
+using analysis::DistanceMatrix;
+using analysis::PsaBlock;
+
+/// A computed matrix entry shipped between tasks and the driver.
+struct MatrixEntry {
+  std::uint32_t row;
+  std::uint32_t col;
+  double value;
+};
+
+std::vector<MatrixEntry> compute_block_entries(
+    const traj::Ensemble& ensemble, const PsaBlock& block,
+    PsaMetric metric) {
+  std::vector<MatrixEntry> out;
+  out.reserve(block.pair_count());
+  DistanceMatrix scratch(ensemble.size());
+  switch (metric) {
+    case PsaMetric::kHausdorff:
+      analysis::compute_psa_block(ensemble, block,
+                                  analysis::HausdorffKernel::kNaive,
+                                  scratch);
+      break;
+    case PsaMetric::kHausdorffEarlyBreak:
+      analysis::compute_psa_block(ensemble, block,
+                                  analysis::HausdorffKernel::kEarlyBreak,
+                                  scratch);
+      break;
+    case PsaMetric::kFrechet:
+      analysis::compute_psa_block_frechet(ensemble, block, scratch);
+      break;
+  }
+  for (std::size_t i = block.row_begin; i < block.row_end; ++i) {
+    for (std::size_t j = block.col_begin; j < block.col_end; ++j) {
+      out.push_back({static_cast<std::uint32_t>(i),
+                     static_cast<std::uint32_t>(j), scratch.at(i, j)});
+    }
+  }
+  return out;
+}
+
+void fill_matrix(DistanceMatrix& matrix,
+                 std::span<const MatrixEntry> entries) {
+  for (const auto& e : entries) matrix.set(e.row, e.col, e.value);
+}
+
+std::vector<PsaBlock> plan_blocks(const traj::Ensemble& ensemble,
+                                  const PsaRunConfig& config) {
+  const std::size_t n1 =
+      psa_effective_block_size(ensemble.size(), config);
+  auto blocks = analysis::make_psa_blocks(ensemble.size(), n1);
+  // n1 is validated > 0 by psa_effective_block_size.
+  return std::move(blocks).value();
+}
+
+PsaRunResult run_psa_mpi(const traj::Ensemble& ensemble,
+                         const PsaRunConfig& config) {
+  const auto blocks = plan_blocks(ensemble, config);
+  PsaRunResult result;
+  result.matrix = DistanceMatrix(ensemble.size());
+  WallTimer timer;
+  auto report = mpi::run_spmd(
+      static_cast<int>(std::max<std::size_t>(1, config.workers)),
+      [&](mpi::Communicator& comm) {
+        // Block-cyclic ownership; every rank reads the shared ensemble
+        // (in the paper each task reads its input files from Lustre).
+        std::vector<MatrixEntry> mine;
+        for (std::size_t b = static_cast<std::size_t>(comm.rank());
+             b < blocks.size();
+             b += static_cast<std::size_t>(comm.size())) {
+          auto entries =
+              compute_block_entries(ensemble, blocks[b], config.metric);
+          mine.insert(mine.end(), entries.begin(), entries.end());
+        }
+        auto gathered = comm.gather<MatrixEntry>(mine, 0);
+        if (comm.rank() == 0) {
+          for (const auto& part : gathered) fill_matrix(result.matrix, part);
+        }
+      });
+  result.metrics.wall_seconds = timer.seconds();
+  result.metrics.tasks = blocks.size();
+  result.metrics.shuffle_bytes = report.total.bytes_sent;
+  return result;
+}
+
+PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
+                           const PsaRunConfig& config) {
+  auto blocks = plan_blocks(ensemble, config);
+  spark::SparkContext sc(
+      spark::SparkConfig{.executor_threads = config.workers});
+  // The trajectory ensemble is a broadcast variable, as the paper's
+  // PySpark implementation ships the file set description to executors.
+  std::uint64_t ensemble_bytes = 0;
+  for (const auto& t : ensemble) ensemble_bytes += t.byte_size();
+  auto shared = sc.broadcast(&ensemble, ensemble_bytes);
+
+  WallTimer timer;
+  const std::size_t n_blocks = blocks.size();
+  const auto metric = config.metric;
+  auto entries =
+      sc.parallelize(std::move(blocks), n_blocks)
+          .map_partitions([shared, metric](spark::TaskContext&,
+                                           std::vector<PsaBlock>& mine) {
+            std::vector<MatrixEntry> out;
+            for (const auto& block : mine) {
+              auto part = compute_block_entries(**shared, block, metric);
+              out.insert(out.end(), part.begin(), part.end());
+            }
+            return out;
+          })
+          .collect();
+  PsaRunResult result;
+  result.matrix = DistanceMatrix(ensemble.size());
+  fill_matrix(result.matrix, entries);
+  result.metrics.wall_seconds = timer.seconds();
+  result.metrics.tasks = sc.metrics().tasks_executed.load();
+  result.metrics.stages = sc.metrics().stages_executed.load();
+  result.metrics.broadcast_bytes = sc.metrics().broadcast_bytes.load();
+  return result;
+}
+
+PsaRunResult run_psa_dask(const traj::Ensemble& ensemble,
+                          const PsaRunConfig& config) {
+  const auto blocks = plan_blocks(ensemble, config);
+  dask::DaskClient client(dask::DaskConfig{.workers = config.workers});
+  WallTimer timer;
+  std::vector<dask::Future<std::vector<MatrixEntry>>> futures;
+  futures.reserve(blocks.size());
+  for (const auto& block : blocks) {
+    // One delayed function per block task, exactly the paper's Dask PSA.
+    futures.push_back(client.submit([&ensemble, block, &config] {
+      return compute_block_entries(ensemble, block, config.metric);
+    }));
+  }
+  PsaRunResult result;
+  result.matrix = DistanceMatrix(ensemble.size());
+  for (const auto& f : futures) fill_matrix(result.matrix, f.get());
+  result.metrics.wall_seconds = timer.seconds();
+  result.metrics.tasks = client.metrics().tasks_executed.load();
+  return result;
+}
+
+PsaRunResult run_psa_rp(const traj::Ensemble& ensemble,
+                        const PsaRunConfig& config) {
+  const auto blocks = plan_blocks(ensemble, config);
+  rp::UnitManager um(rp::PilotDescription{.cores = config.workers});
+  WallTimer timer;
+  std::vector<rp::ComputeUnitDescription> descriptions;
+  descriptions.reserve(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const std::string out_path = "psa/block_" + std::to_string(b) + ".bin";
+    descriptions.push_back(rp::ComputeUnitDescription{
+        .name = "psa_block_" + std::to_string(b),
+        .executable =
+            [&ensemble, block = blocks[b], metric = config.metric,
+             out_path](rp::SharedFilesystem& fs) {
+              auto entries = compute_block_entries(ensemble, block, metric);
+              ByteWriter writer;
+              writer.put_span<MatrixEntry>(entries);
+              fs.put(out_path, std::move(writer).take());
+            },
+        .input_staging = {},
+        .output_staging = {out_path}});
+  }
+  auto units = um.submit_units(std::move(descriptions));
+  um.wait_units();
+  PsaRunResult result;
+  result.matrix = DistanceMatrix(ensemble.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    auto bytes =
+        um.filesystem().get("psa/block_" + std::to_string(b) + ".bin");
+    if (!bytes.ok()) continue;  // failed unit: leave zeros (RP semantics)
+    ByteReader reader(bytes.value());
+    auto entries = reader.get_vector<MatrixEntry>();
+    if (entries.ok()) fill_matrix(result.matrix, entries.value());
+  }
+  result.metrics.wall_seconds = timer.seconds();
+  result.metrics.tasks = um.metrics().tasks_executed.load();
+  result.metrics.staged_bytes = um.metrics().staged_bytes.load();
+  result.metrics.db_roundtrips = um.metrics().db_roundtrips.load();
+  return result;
+}
+
+}  // namespace
+
+std::size_t psa_effective_block_size(std::size_t n_trajectories,
+                                     const PsaRunConfig& config) {
+  if (config.block_size > 0) return config.block_size;
+  if (n_trajectories == 0) return 1;
+  // One task per core target: k^2 ~= 2 * workers tasks => n1 = N / k.
+  const double k = std::ceil(std::sqrt(
+      2.0 * static_cast<double>(std::max<std::size_t>(1, config.workers))));
+  const auto n1 = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(n_trajectories) / k));
+  return std::max<std::size_t>(1, n1);
+}
+
+PsaRunResult run_psa(EngineKind engine, const traj::Ensemble& ensemble,
+                     const PsaRunConfig& config) {
+  switch (engine) {
+    case EngineKind::kMpi: return run_psa_mpi(ensemble, config);
+    case EngineKind::kSpark: return run_psa_spark(ensemble, config);
+    case EngineKind::kDask: return run_psa_dask(ensemble, config);
+    case EngineKind::kRp: return run_psa_rp(ensemble, config);
+  }
+  return run_psa_mpi(ensemble, config);
+}
+
+}  // namespace mdtask::workflows

@@ -1,0 +1,111 @@
+#include "mdtask/analysis/observables.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mdtask/common/rng.h"
+
+#include "mdtask/traj/generators.h"
+
+namespace mdtask::analysis {
+namespace {
+
+using traj::Vec3;
+
+TEST(CenterTest, GeometryCentroid) {
+  const std::vector<Vec3> frame = {{0, 0, 0}, {2, 0, 0}, {1, 3, 0}};
+  const Vec3 c = center_of_geometry(frame);
+  EXPECT_FLOAT_EQ(c.x, 1.0f);
+  EXPECT_FLOAT_EQ(c.y, 1.0f);
+  EXPECT_FLOAT_EQ(c.z, 0.0f);
+}
+
+TEST(CenterTest, MassWeighting) {
+  const std::vector<Vec3> frame = {{0, 0, 0}, {10, 0, 0}};
+  const std::vector<float> masses = {3.0f, 1.0f};
+  const Vec3 c = center_of_mass(frame, masses);
+  EXPECT_FLOAT_EQ(c.x, 2.5f);  // (3*0 + 1*10) / 4
+}
+
+TEST(CenterTest, ZeroMassFallsBackToCentroid) {
+  const std::vector<Vec3> frame = {{0, 0, 0}, {4, 0, 0}};
+  const std::vector<float> masses = {0.0f, 0.0f};
+  EXPECT_FLOAT_EQ(center_of_mass(frame, masses).x, 2.0f);
+}
+
+TEST(RadiusOfGyrationTest, KnownSquare) {
+  // Four corners of a unit square about its center: every atom at
+  // distance sqrt(0.5) -> Rg = sqrt(0.5).
+  const std::vector<Vec3> frame = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0},
+                                   {1, 1, 0}};
+  EXPECT_NEAR(radius_of_gyration(frame), std::sqrt(0.5), 1e-7);
+}
+
+TEST(RadiusOfGyrationTest, TranslationInvariant) {
+  traj::ProteinTrajectoryParams p;
+  p.atoms = 40;
+  p.frames = 1;
+  const auto t = traj::make_protein_trajectory(p);
+  std::vector<Vec3> shifted(t.frame(0).begin(), t.frame(0).end());
+  for (auto& a : shifted) a += {100.0f, -50.0f, 25.0f};
+  EXPECT_NEAR(radius_of_gyration(t.frame(0)), radius_of_gyration(shifted),
+              1e-4);
+}
+
+TEST(RadiusOfGyrationTest, EmptyAndSingleton) {
+  EXPECT_EQ(radius_of_gyration({}), 0.0);
+  const std::vector<Vec3> one = {{5, 5, 5}};
+  EXPECT_EQ(radius_of_gyration(one), 0.0);
+}
+
+TEST(BoundingRadiusTest, AtLeastRadiusOfGyration) {
+  traj::ProteinTrajectoryParams p;
+  p.atoms = 30;
+  p.frames = 1;
+  const auto t = traj::make_protein_trajectory(p);
+  EXPECT_GE(bounding_radius(t.frame(0)), radius_of_gyration(t.frame(0)));
+}
+
+TEST(RmsfTest, StaticTrajectoryHasZeroFluctuation) {
+  traj::Trajectory t(5, 3);
+  for (std::size_t f = 0; f < 5; ++f) {
+    t.frame(f)[0] = {1, 2, 3};
+    t.frame(f)[1] = {4, 5, 6};
+    t.frame(f)[2] = {7, 8, 9};
+  }
+  const auto fluctuations = rmsf(t);
+  ASSERT_EQ(fluctuations.size(), 3u);
+  for (double v : fluctuations) EXPECT_NEAR(v, 0.0, 1e-6);
+}
+
+TEST(RmsfTest, OscillatingAtomHasKnownRmsf) {
+  // Atom 0 alternates between x=-1 and x=+1: mean 0, RMSF 1.
+  traj::Trajectory t(4, 2);
+  for (std::size_t f = 0; f < 4; ++f) {
+    t.frame(f)[0] = {f % 2 == 0 ? -1.0f : 1.0f, 0, 0};
+    t.frame(f)[1] = {0, 0, 0};
+  }
+  const auto fluctuations = rmsf(t);
+  EXPECT_NEAR(fluctuations[0], 1.0, 1e-9);
+  EXPECT_NEAR(fluctuations[1], 0.0, 1e-9);
+}
+
+TEST(RmsfTest, NoisierAtomsFluctuateMore) {
+  // Build a trajectory where atom 1 gets 5x the noise of atom 0.
+  Xoshiro256StarStar rng(3);
+  traj::Trajectory t(200, 2);
+  for (std::size_t f = 0; f < 200; ++f) {
+    t.frame(f)[0] = {static_cast<float>(rng.normal(0.0, 0.1)), 0, 0};
+    t.frame(f)[1] = {static_cast<float>(rng.normal(0.0, 0.5)), 0, 0};
+  }
+  const auto fluctuations = rmsf(t);
+  EXPECT_GT(fluctuations[1], 3.0 * fluctuations[0]);
+}
+
+TEST(RmsfTest, EmptyTrajectory) {
+  EXPECT_TRUE(rmsf(traj::Trajectory()).empty());
+}
+
+}  // namespace
+}  // namespace mdtask::analysis

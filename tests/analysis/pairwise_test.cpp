@@ -1,0 +1,93 @@
+#include "mdtask/analysis/pairwise.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "mdtask/common/rng.h"
+
+namespace mdtask::analysis {
+namespace {
+
+using traj::Vec3;
+
+std::vector<Vec3> random_points(std::size_t n, std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Vec3> out(n);
+  for (auto& p : out) {
+    p = {static_cast<float>(rng.uniform(0, 10)),
+         static_cast<float>(rng.uniform(0, 10)),
+         static_cast<float>(rng.uniform(0, 10))};
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> iota_ids(std::uint32_t begin, std::size_t n) {
+  std::vector<std::uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), begin);
+  return ids;
+}
+
+TEST(CdistTest, KnownDistances) {
+  const std::vector<Vec3> xs = {{0, 0, 0}, {1, 0, 0}};
+  const std::vector<Vec3> ys = {{0, 0, 0}, {0, 3, 4}};
+  const auto d = cdist(xs, ys);
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+  EXPECT_DOUBLE_EQ(d[2], 1.0);
+  EXPECT_DOUBLE_EQ(d[3], std::sqrt(1.0 + 25.0));
+}
+
+TEST(CdistTest, BytesAccounting) {
+  EXPECT_EQ(cdist_bytes(100, 200), 100u * 200u * 8u);
+}
+
+TEST(EdgeDiscoveryTest, CdistAndStreamingAgree) {
+  const auto xs = random_points(40, 1);
+  const auto ys = random_points(35, 2);
+  const auto xi = iota_ids(0, xs.size());
+  const auto yi = iota_ids(100, ys.size());
+  auto a = edges_from_cdist_block(xs, ys, xi, yi, 3.0);
+  auto b = edges_within_cutoff(xs, ys, xi, yi, 3.0);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());  // points in [0,10]^3, cutoff 3 => some edges
+}
+
+TEST(EdgeDiscoveryTest, DiagonalBlockEmitsUpperTriangleOnly) {
+  const auto xs = random_points(30, 3);
+  const auto ids = iota_ids(0, xs.size());
+  const auto edges = edges_within_cutoff(xs, xs, ids, ids, 4.0);
+  for (const Edge& e : edges) EXPECT_LT(e.a, e.b);
+  // No duplicates.
+  auto sorted = edges;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(EdgeDiscoveryTest, CutoffIsInclusive) {
+  const std::vector<Vec3> xs = {{0, 0, 0}};
+  const std::vector<Vec3> ys = {{2, 0, 0}};
+  const std::vector<std::uint32_t> xi = {0}, yi = {1};
+  EXPECT_EQ(edges_within_cutoff(xs, ys, xi, yi, 2.0).size(), 1u);
+  EXPECT_EQ(edges_within_cutoff(xs, ys, xi, yi, 1.999).size(), 0u);
+}
+
+TEST(EdgeDiscoveryTest, EmptyInputsGiveNoEdges) {
+  const std::vector<Vec3> empty;
+  const std::vector<std::uint32_t> no_ids;
+  EXPECT_TRUE(edges_within_cutoff(empty, empty, no_ids, no_ids, 1.0).empty());
+}
+
+TEST(EdgeOrderingTest, ComparisonIsLexicographic) {
+  EXPECT_LT((Edge{1, 2}), (Edge{1, 3}));
+  EXPECT_LT((Edge{1, 9}), (Edge{2, 0}));
+  EXPECT_EQ((Edge{4, 5}), (Edge{4, 5}));
+}
+
+}  // namespace
+}  // namespace mdtask::analysis

@@ -1,0 +1,107 @@
+#include "mdtask/analysis/psa.h"
+
+#include <gtest/gtest.h>
+
+#include "mdtask/analysis/hausdorff.h"
+#include "mdtask/traj/generators.h"
+
+namespace mdtask::analysis {
+namespace {
+
+traj::Ensemble small_ensemble(std::size_t count) {
+  traj::ProteinTrajectoryParams p;
+  p.atoms = 6;
+  p.frames = 8;
+  return traj::make_protein_ensemble(count, p);
+}
+
+TEST(PsaBlocksTest, ExactDivision) {
+  auto blocks = make_psa_blocks(8, 2);
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ(blocks.value().size(), 16u);  // (8/2)^2
+  std::size_t pairs = 0;
+  for (const auto& b : blocks.value()) pairs += b.pair_count();
+  EXPECT_EQ(pairs, 64u);
+}
+
+TEST(PsaBlocksTest, RaggedDivisionCoversAllPairs) {
+  auto blocks = make_psa_blocks(7, 3);  // 3 chunk rows: 3,3,1
+  ASSERT_TRUE(blocks.ok());
+  std::size_t pairs = 0;
+  for (const auto& b : blocks.value()) pairs += b.pair_count();
+  EXPECT_EQ(pairs, 49u);
+}
+
+TEST(PsaBlocksTest, ZeroBlockSizeIsError) {
+  EXPECT_FALSE(make_psa_blocks(4, 0).ok());
+}
+
+TEST(PsaBlocksTest, BlockLargerThanNIsOneBlock) {
+  auto blocks = make_psa_blocks(3, 100);
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ(blocks.value().size(), 1u);
+  EXPECT_EQ(blocks.value()[0].pair_count(), 9u);
+}
+
+TEST(DistanceMatrixTest, SetAndGet) {
+  DistanceMatrix m(3);
+  m.set(1, 2, 4.5);
+  EXPECT_EQ(m.at(1, 2), 4.5);
+  EXPECT_EQ(m.at(2, 1), 0.0);
+}
+
+TEST(DistanceMatrixTest, MaxAbsDiff) {
+  DistanceMatrix a(2), b(2);
+  a.set(0, 1, 1.0);
+  b.set(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 2.5);
+  DistanceMatrix c(3);
+  EXPECT_TRUE(std::isinf(a.max_abs_diff(c)));
+}
+
+TEST(PsaTest, ReferenceMatrixProperties) {
+  const auto ensemble = small_ensemble(5);
+  const DistanceMatrix d = psa_reference(ensemble);
+  ASSERT_EQ(d.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(d.at(i, i), 0.0);
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(d.at(i, j), d.at(j, i));
+      if (i != j) {
+        EXPECT_GT(d.at(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(PsaTest, BlockedComputationMatchesReference) {
+  const auto ensemble = small_ensemble(6);
+  const DistanceMatrix ref = psa_reference(ensemble);
+  for (std::size_t n1 : {1u, 2u, 3u, 4u, 6u}) {
+    DistanceMatrix out(ensemble.size());
+    auto blocks = make_psa_blocks(ensemble.size(), n1);
+    ASSERT_TRUE(blocks.ok());
+    for (const auto& b : blocks.value()) {
+      compute_psa_block(ensemble, b, HausdorffKernel::kNaive, out);
+    }
+    EXPECT_EQ(ref.max_abs_diff(out), 0.0) << "n1=" << n1;
+  }
+}
+
+TEST(PsaTest, EarlyBreakKernelMatchesNaive) {
+  const auto ensemble = small_ensemble(4);
+  const DistanceMatrix a = psa_reference(ensemble, HausdorffKernel::kNaive);
+  const DistanceMatrix b =
+      psa_reference(ensemble, HausdorffKernel::kEarlyBreak);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0);
+}
+
+TEST(PsaTest, MatrixEntriesMatchDirectHausdorff) {
+  const auto ensemble = small_ensemble(3);
+  const DistanceMatrix d = psa_reference(ensemble);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), hausdorff_naive(ensemble[0], ensemble[1]));
+  EXPECT_DOUBLE_EQ(d.at(1, 2), hausdorff_naive(ensemble[1], ensemble[2]));
+}
+
+}  // namespace
+}  // namespace mdtask::analysis

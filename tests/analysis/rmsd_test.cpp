@@ -1,0 +1,95 @@
+#include "mdtask/analysis/rmsd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mdtask/common/rng.h"
+
+namespace mdtask::analysis {
+namespace {
+
+using traj::Vec3;
+
+TEST(FrameRmsdTest, IdenticalFramesAreZero) {
+  const std::vector<Vec3> a = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_DOUBLE_EQ(frame_rmsd(a, a), 0.0);
+}
+
+TEST(FrameRmsdTest, KnownValue) {
+  const std::vector<Vec3> a = {{0, 0, 0}, {0, 0, 0}};
+  const std::vector<Vec3> b = {{3, 4, 0}, {0, 0, 0}};
+  // sum sq = 25, mean = 12.5, rmsd = sqrt(12.5)
+  EXPECT_DOUBLE_EQ(frame_rmsd(a, b), std::sqrt(12.5));
+}
+
+TEST(FrameRmsdTest, Symmetric) {
+  Xoshiro256StarStar rng(3);
+  std::vector<Vec3> a(20), b(20);
+  for (auto& p : a) p = {static_cast<float>(rng.normal()),
+                         static_cast<float>(rng.normal()),
+                         static_cast<float>(rng.normal())};
+  for (auto& p : b) p = {static_cast<float>(rng.normal()),
+                         static_cast<float>(rng.normal()),
+                         static_cast<float>(rng.normal())};
+  EXPECT_DOUBLE_EQ(frame_rmsd(a, b), frame_rmsd(b, a));
+}
+
+TEST(FrameRmsdTest, TranslationRaisesPlainRmsd) {
+  std::vector<Vec3> a = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  std::vector<Vec3> b = a;
+  for (auto& p : b) p.x += 10.0f;
+  EXPECT_NEAR(frame_rmsd(a, b), 10.0, 1e-9);
+}
+
+TEST(FrameSumsqTest, ConsistentWithRmsd) {
+  const std::vector<Vec3> a = {{0, 0, 0}, {1, 1, 1}};
+  const std::vector<Vec3> b = {{1, 0, 0}, {1, 1, 3}};
+  const double n = 2.0;
+  EXPECT_DOUBLE_EQ(frame_rmsd(a, b),
+                   std::sqrt(frame_sumsq(a, b) / n));
+}
+
+TEST(KabschRmsdTest, InvariantUnderTranslation) {
+  std::vector<Vec3> a = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 2}};
+  std::vector<Vec3> b = a;
+  for (auto& p : b) {
+    p.x += 5.0f;
+    p.y -= 2.0f;
+  }
+  EXPECT_NEAR(kabsch_rmsd(a, b), 0.0, 1e-4);
+}
+
+TEST(KabschRmsdTest, InvariantUnderRotation) {
+  std::vector<Vec3> a = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1},
+                         {2, -1, 0.5}};
+  // Rotate 90 degrees about z.
+  std::vector<Vec3> b;
+  for (const auto& p : a) b.push_back({-p.y, p.x, p.z});
+  EXPECT_NEAR(kabsch_rmsd(a, b), 0.0, 1e-4);
+}
+
+TEST(KabschRmsdTest, NeverExceedsPlainRmsd) {
+  Xoshiro256StarStar rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Vec3> a(15), b(15);
+    for (auto& p : a) p = {static_cast<float>(rng.normal(0, 3)),
+                           static_cast<float>(rng.normal(0, 3)),
+                           static_cast<float>(rng.normal(0, 3))};
+    for (auto& p : b) p = {static_cast<float>(rng.normal(0, 3)),
+                           static_cast<float>(rng.normal(0, 3)),
+                           static_cast<float>(rng.normal(0, 3))};
+    EXPECT_LE(kabsch_rmsd(a, b), frame_rmsd(a, b) + 1e-9);
+  }
+}
+
+TEST(KabschRmsdTest, DetectsRealDeformation) {
+  std::vector<Vec3> a = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  std::vector<Vec3> b = a;
+  b[3] = {0, 0, 5};  // stretch one atom
+  EXPECT_GT(kabsch_rmsd(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace mdtask::analysis

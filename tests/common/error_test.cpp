@@ -1,0 +1,52 @@
+#include "mdtask/common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace mdtask {
+namespace {
+
+TEST(ErrorTest, ToStringIncludesCodeAndMessage) {
+  Error e(ErrorCode::kIoError, "disk on fire");
+  EXPECT_EQ(e.to_string(), "kIoError: disk on fire");
+}
+
+TEST(ErrorTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_STRNE(to_string(static_cast<ErrorCode>(c)), "kUnknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Error(ErrorCode::kOutOfRange, "nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string(100, 'x');
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s.size(), 100u);
+}
+
+TEST(StatusTest, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(Status::success().ok());
+}
+
+TEST(StatusTest, ErrorStatus) {
+  Status s = Error(ErrorCode::kUnavailable, "db down");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace mdtask

@@ -1,0 +1,121 @@
+#include "mdtask/engines/dask/array.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mdtask::dask {
+namespace {
+
+std::vector<double> iota_matrix(std::size_t rows, std::size_t cols) {
+  std::vector<double> m(rows * cols);
+  std::iota(m.begin(), m.end(), 0.0);
+  return m;
+}
+
+TEST(DaskArrayTest, FromMatrixComputeRoundTrip) {
+  DaskClient client;
+  const auto m = iota_matrix(7, 5);
+  auto a = Array<double>::from_matrix(client, m, 7, 5, 3, 2);
+  EXPECT_EQ(a.rows(), 7u);
+  EXPECT_EQ(a.cols(), 5u);
+  EXPECT_EQ(a.grid_rows(), 3u);  // ceil(7/3)
+  EXPECT_EQ(a.grid_cols(), 3u);  // ceil(5/2)
+  EXPECT_EQ(a.compute(), m);
+}
+
+TEST(DaskArrayTest, InvalidConstructionRejected) {
+  DaskClient client;
+  EXPECT_THROW(Array<double>::from_matrix(client, {1.0}, 1, 1, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(Array<double>::from_matrix(client, {1.0, 2.0}, 3, 3, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(DaskArrayTest, MapBlocksElementwise) {
+  DaskClient client;
+  auto a = Array<double>::from_matrix(client, iota_matrix(4, 4), 4, 4, 2, 2);
+  auto doubled = a.map_blocks([](const ArrayBlock<double>& block) {
+    ArrayBlock<double> out = block;
+    for (auto& v : out.data) v *= 2.0;
+    return out;
+  });
+  const auto got = doubled.compute();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], 2.0 * static_cast<double>(i));
+  }
+}
+
+TEST(DaskArrayTest, DynamicOutputShapeFailsLikeDask) {
+  // Table 1: "Dask Array can not deal with dynamic output shapes".
+  DaskClient client;
+  auto a = Array<double>::from_matrix(client, iota_matrix(4, 4), 4, 4, 2, 2);
+  auto bad = a.map_blocks([](const ArrayBlock<double>& block) {
+    ArrayBlock<double> out;  // edge-list-like variable output
+    out.rows = 1;
+    out.cols = block.data.size() / 2;
+    out.data.assign(out.cols, 1.0);
+    return out;
+  });
+  EXPECT_THROW(bad.compute(), ShapeError);
+}
+
+TEST(DaskArrayTest, ElementwiseAddAndMultiply) {
+  DaskClient client;
+  auto a = Array<double>::from_matrix(client, iota_matrix(3, 3), 3, 3, 2, 2);
+  auto b = Array<double>::full(client, 3, 3, 2, 2, 10.0);
+  const auto sum = (a + b).compute();
+  const auto prod = (a * b).compute();
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(sum[i], static_cast<double>(i) + 10.0);
+    EXPECT_DOUBLE_EQ(prod[i], static_cast<double>(i) * 10.0);
+  }
+}
+
+TEST(DaskArrayTest, ElementwiseChunkMismatchRejected) {
+  DaskClient client;
+  auto a = Array<double>::from_matrix(client, iota_matrix(4, 4), 4, 4, 2, 2);
+  auto b = Array<double>::from_matrix(client, iota_matrix(4, 4), 4, 4, 4, 4);
+  EXPECT_THROW(a + b, std::invalid_argument);
+}
+
+TEST(DaskArrayTest, SumReducesAllElements) {
+  DaskClient client;
+  auto a = Array<double>::from_matrix(client, iota_matrix(6, 7), 6, 7, 4, 3);
+  EXPECT_DOUBLE_EQ(a.sum().get(), 41.0 * 42.0 / 2.0);
+}
+
+TEST(DaskArrayTest, MatmulMatchesDense) {
+  DaskClient client;
+  const std::size_t m = 6, k = 5, n = 4;
+  const auto am = iota_matrix(m, k);
+  const auto bm = iota_matrix(k, n);
+  auto a = Array<double>::from_matrix(client, am, m, k, 2, 2);
+  auto b = Array<double>::from_matrix(client, bm, k, n, 2, 3);
+  const auto got = a.matmul(b).compute();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double want = 0.0;
+      for (std::size_t x = 0; x < k; ++x) want += am[i * k + x] * bm[x * n + j];
+      EXPECT_DOUBLE_EQ(got[i * n + j], want) << i << "," << j;
+    }
+  }
+}
+
+TEST(DaskArrayTest, MatmulChunkMisalignmentRejected) {
+  DaskClient client;
+  auto a = Array<double>::from_matrix(client, iota_matrix(4, 4), 4, 4, 2, 2);
+  auto b = Array<double>::from_matrix(client, iota_matrix(4, 4), 4, 4, 3, 2);
+  EXPECT_THROW(a.matmul(b), std::invalid_argument);
+}
+
+TEST(DaskArrayTest, SingleBlockDegenerateCase) {
+  DaskClient client;
+  auto a = Array<double>::from_matrix(client, iota_matrix(2, 2), 2, 2, 10,
+                                      10);
+  EXPECT_EQ(a.block_count(), 1u);
+  EXPECT_DOUBLE_EQ(a.sum().get(), 6.0);
+}
+
+}  // namespace
+}  // namespace mdtask::dask

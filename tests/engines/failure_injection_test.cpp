@@ -1,0 +1,135 @@
+// Failure-injection tests: the engines must degrade the way the paper's
+// systems do — failed tasks surface with causes, latency spikes slow
+// but do not wedge, skewed/degenerate workloads stay correct.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mdtask/common/timer.h"
+#include "mdtask/engines/dask/dask.h"
+#include "mdtask/engines/rp/pilot.h"
+#include "mdtask/engines/spark/spark.h"
+
+namespace mdtask {
+namespace {
+
+TEST(SparkFailureTest, TaskExceptionPropagatesFromAction) {
+  spark::SparkContext sc;
+  auto rdd = sc.parallelize(std::vector<int>{1, 2, 3, 4}, 4)
+                 .map([](const int& x) {
+                   if (x == 3) throw std::domain_error("poisoned element");
+                   return x;
+                 });
+  EXPECT_THROW(rdd.collect(), std::domain_error);
+}
+
+TEST(SparkFailureTest, SkewedShuffleAllKeysEqualStaysCorrect) {
+  spark::SparkContext sc;
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 1000; ++i) data.emplace_back(7, 1);  // one hot key
+  auto out = reduce_by_key(sc.parallelize(std::move(data), 16),
+                           [](int a, int b) { return a + b; }, 8)
+                 .collect();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 7);
+  EXPECT_EQ(out[0].second, 1000);
+}
+
+TEST(SparkFailureTest, MorePartitionsThanElements) {
+  spark::SparkContext sc;
+  auto out = sc.parallelize(std::vector<int>{1, 2}, 64)
+                 .map([](const int& x) { return x * 10; })
+                 .collect();
+  EXPECT_EQ(out, (std::vector<int>{10, 20}));
+}
+
+TEST(SparkFailureTest, ReduceOnEmptyRddReturnsDefault) {
+  spark::SparkContext sc;
+  auto rdd = sc.parallelize(std::vector<int>{}, 3);
+  EXPECT_EQ(rdd.reduce([](int a, int b) { return a + b; }), 0);
+}
+
+TEST(DaskFailureTest, DeepChainDoesNotOverflow) {
+  dask::DaskClient client(dask::DaskConfig{.workers = 2});
+  auto f = client.submit([] { return 0; });
+  for (int i = 0; i < 2000; ++i) {
+    f = client.submit([](const int& x) { return x + 1; }, f);
+  }
+  EXPECT_EQ(f.get(), 2000);
+}
+
+TEST(DaskFailureTest, WideFanInAggregates) {
+  dask::DaskClient client(dask::DaskConfig{.workers = 4});
+  std::vector<dask::Future<int>> leaves;
+  for (int i = 0; i < 256; ++i) {
+    leaves.push_back(client.submit([i] { return i; }));
+  }
+  // Pairwise tree to one value.
+  while (leaves.size() > 1) {
+    std::vector<dask::Future<int>> next;
+    for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      next.push_back(client.submit(
+          [](const int& a, const int& b) { return a + b; }, leaves[i],
+          leaves[i + 1]));
+    }
+    if (leaves.size() % 2 == 1) next.push_back(leaves.back());
+    leaves = std::move(next);
+  }
+  EXPECT_EQ(leaves.front().get(), 255 * 256 / 2);
+}
+
+TEST(DaskFailureTest, ErrorInOneBranchDoesNotPoisonSiblings) {
+  dask::DaskClient client;
+  auto bad = client.submit([]() -> int { throw std::runtime_error("x"); });
+  auto good = client.submit([] { return 5; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), 5);
+}
+
+TEST(RpFailureTest, LatencySpikeSlowsButCompletes) {
+  // A "database brownout": high round-trip latency mid-run must not
+  // wedge the unit manager; all units still reach DONE.
+  rp::UnitManager um(
+      rp::PilotDescription{.cores = 4, .db_roundtrip_latency_s = 0.005});
+  std::vector<rp::ComputeUnitDescription> descriptions(12);
+  for (auto& d : descriptions) d.executable = [](rp::SharedFilesystem&) {};
+  auto units = um.submit_units(std::move(descriptions));
+  um.wait_units();
+  for (const auto& u : units) EXPECT_EQ(u->state(), rp::UnitState::kDone);
+  // 12 units x 6 transitions x 5 ms, 4-way agent concurrency: >= 90 ms.
+  EXPECT_GE(um.database().roundtrips(), 12u * 6u);
+}
+
+TEST(RpFailureTest, MixedSuccessAndFailureUnitsCoexist) {
+  rp::UnitManager um(rp::PilotDescription{.cores = 2});
+  um.filesystem().put("good_input.bin", {1, 2, 3});
+  std::vector<rp::ComputeUnitDescription> descriptions;
+  descriptions.push_back({.name = "ok",
+                          .executable = [](rp::SharedFilesystem&) {},
+                          .input_staging = {"good_input.bin"}});
+  descriptions.push_back({.name = "bad_input",
+                          .executable = [](rp::SharedFilesystem&) {},
+                          .input_staging = {"missing.bin"}});
+  descriptions.push_back({.name = "thrower",
+                          .executable = [](rp::SharedFilesystem&) {
+                            throw std::logic_error("broken kernel");
+                          }});
+  auto units = um.submit_units(std::move(descriptions));
+  um.wait_units();
+  EXPECT_EQ(units[0]->state(), rp::UnitState::kDone);
+  EXPECT_EQ(units[1]->state(), rp::UnitState::kFailed);
+  EXPECT_EQ(units[2]->state(), rp::UnitState::kFailed);
+}
+
+TEST(RpFailureTest, WaitOnAlreadyTerminalUnitReturnsImmediately) {
+  rp::UnitManager um(rp::PilotDescription{.cores = 1});
+  auto units = um.submit_units(
+      {{.name = "quick", .executable = [](rp::SharedFilesystem&) {}}});
+  um.wait_units();
+  WallTimer timer;
+  EXPECT_EQ(units[0]->wait(), rp::UnitState::kDone);
+  EXPECT_LT(timer.seconds(), 0.5);
+}
+
+}  // namespace
+}  // namespace mdtask

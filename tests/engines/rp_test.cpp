@@ -1,0 +1,166 @@
+#include "mdtask/engines/rp/pilot.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mdtask/common/serial.h"
+#include "mdtask/common/timer.h"
+
+namespace mdtask::rp {
+namespace {
+
+TEST(SharedFilesystemTest, PutGetRoundTrip) {
+  SharedFilesystem fs;
+  fs.put("a.bin", {1, 2, 3});
+  auto r = fs.get("a.bin");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(fs.bytes_written(), 3u);
+  EXPECT_EQ(fs.bytes_read(), 3u);
+}
+
+TEST(SharedFilesystemTest, MissingFileIsIoError) {
+  SharedFilesystem fs;
+  auto r = fs.get("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kIoError);
+  EXPECT_FALSE(fs.exists("nope"));
+}
+
+TEST(SharedFilesystemTest, OverwriteReplacesContent) {
+  SharedFilesystem fs;
+  fs.put("f", {1});
+  fs.put("f", {2, 3});
+  EXPECT_EQ(fs.get("f").value(), (std::vector<std::uint8_t>{2, 3}));
+}
+
+TEST(UnitManagerTest, UnitsRunToDone) {
+  UnitManager um(PilotDescription{.cores = 4});
+  std::atomic<int> ran{0};
+  std::vector<ComputeUnitDescription> descriptions;
+  for (int i = 0; i < 20; ++i) {
+    descriptions.push_back({.name = "cu" + std::to_string(i),
+                            .executable =
+                                [&ran](SharedFilesystem&) { ran.fetch_add(1); },
+                            .input_staging = {},
+                            .output_staging = {}});
+  }
+  auto units = um.submit_units(std::move(descriptions));
+  um.wait_units();
+  EXPECT_EQ(ran.load(), 20);
+  for (const auto& u : units) EXPECT_EQ(u->state(), UnitState::kDone);
+}
+
+TEST(UnitManagerTest, EveryUnitPaysDbTransitions) {
+  UnitManager um(PilotDescription{.cores = 2});
+  auto units = um.submit_units(
+      {{.name = "one", .executable = [](SharedFilesystem&) {}}});
+  um.wait_units();
+  // submit + 5 state transitions (staging-in, sched, exec, staging-out,
+  // done) = 6 round trips minimum.
+  EXPECT_GE(um.database().roundtrips(), 6u);
+  EXPECT_EQ(um.metrics().db_roundtrips.load(),
+            um.database().roundtrips());
+}
+
+TEST(UnitManagerTest, MissingInputStagingFailsUnit) {
+  UnitManager um(PilotDescription{.cores = 1});
+  auto units = um.submit_units({{.name = "bad",
+                                 .executable = [](SharedFilesystem&) {},
+                                 .input_staging = {"missing.bin"}}});
+  um.wait_units();
+  EXPECT_EQ(units[0]->state(), UnitState::kFailed);
+  EXPECT_NE(units[0]->failure_reason().find("missing.bin"),
+            std::string::npos);
+}
+
+TEST(UnitManagerTest, MissingDeclaredOutputFailsUnit) {
+  UnitManager um(PilotDescription{.cores = 1});
+  auto units = um.submit_units({{.name = "forgetful",
+                                 .executable = [](SharedFilesystem&) {},
+                                 .output_staging = {"result.bin"}}});
+  um.wait_units();
+  EXPECT_EQ(units[0]->state(), UnitState::kFailed);
+}
+
+TEST(UnitManagerTest, ThrowingExecutableFailsUnit) {
+  UnitManager um(PilotDescription{.cores = 1});
+  auto units = um.submit_units(
+      {{.name = "thrower", .executable = [](SharedFilesystem&) {
+          throw std::runtime_error("kernel exploded");
+        }}});
+  um.wait_units();
+  EXPECT_EQ(units[0]->state(), UnitState::kFailed);
+  EXPECT_NE(units[0]->failure_reason().find("kernel exploded"),
+            std::string::npos);
+}
+
+TEST(UnitManagerTest, StagingFlowsThroughFilesystem) {
+  UnitManager um(PilotDescription{.cores = 2});
+  um.filesystem().put("input.bin", std::vector<std::uint8_t>(100, 7));
+  auto units = um.submit_units(
+      {{.name = "worker",
+        .executable =
+            [](SharedFilesystem& fs) {
+              auto in = fs.get("input.bin");
+              ASSERT_TRUE(in.ok());
+              fs.put("output.bin", in.value());
+            },
+        .input_staging = {"input.bin"},
+        .output_staging = {"output.bin"}}});
+  um.wait_units();
+  EXPECT_EQ(units[0]->state(), UnitState::kDone);
+  EXPECT_GE(um.metrics().staged_bytes.load(), 200u);  // in + out accounted
+}
+
+TEST(UnitManagerTest, DbLatencyThrottlesThroughput) {
+  // With a 2 ms round trip and ~6 transitions per unit, 20 units on one
+  // core must take >= 20 * 6 * 2ms = 240 ms; without latency they fly.
+  const auto run_with_latency = [](double latency) {
+    UnitManager um(PilotDescription{.cores = 1,
+                                    .db_roundtrip_latency_s = latency});
+    std::vector<ComputeUnitDescription> descriptions(20);
+    for (auto& d : descriptions) {
+      d.executable = [](SharedFilesystem&) {};
+    }
+    WallTimer timer;
+    um.submit_units(std::move(descriptions));
+    um.wait_units();
+    return timer.seconds();
+  };
+  const double fast = run_with_latency(0.0);
+  const double slow = run_with_latency(0.002);
+  EXPECT_GT(slow, 0.2);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(UnitManagerTest, UnitStateNamesAreStable) {
+  EXPECT_STREQ(to_string(UnitState::kNew), "NEW");
+  EXPECT_STREQ(to_string(UnitState::kDone), "DONE");
+  EXPECT_STREQ(to_string(UnitState::kFailed), "FAILED");
+}
+
+TEST(UnitManagerTest, ParallelUnitsUseAllCores) {
+  UnitManager um(PilotDescription{.cores = 4});
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<ComputeUnitDescription> descriptions(16);
+  for (auto& d : descriptions) {
+    d.executable = [&](SharedFilesystem&) {
+      const int now = concurrent.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected &&
+             !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      concurrent.fetch_sub(1);
+    };
+  }
+  um.submit_units(std::move(descriptions));
+  um.wait_units();
+  EXPECT_GT(peak.load(), 1);
+}
+
+}  // namespace
+}  // namespace mdtask::rp

@@ -1,0 +1,60 @@
+#include "mdtask/traj/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace mdtask::traj {
+namespace {
+
+TEST(CatalogTest, PsaAtomCountsMatchPaper) {
+  EXPECT_EQ(psa_atoms(PsaSize::kSmall), 3341u);
+  EXPECT_EQ(psa_atoms(PsaSize::kMedium), 6682u);
+  EXPECT_EQ(psa_atoms(PsaSize::kLarge), 13364u);
+}
+
+TEST(CatalogTest, MediumAndLargeAreMultiplesOfSmall) {
+  EXPECT_EQ(psa_atoms(PsaSize::kMedium), 2 * psa_atoms(PsaSize::kSmall));
+  EXPECT_EQ(psa_atoms(PsaSize::kLarge), 4 * psa_atoms(PsaSize::kSmall));
+}
+
+TEST(CatalogTest, PsaParamsHavePaperFrameCount) {
+  EXPECT_EQ(psa_params(PsaSize::kSmall).frames, 102u);
+}
+
+TEST(CatalogTest, PsaScalingShrinksButStaysPositive) {
+  const auto p = psa_params(PsaSize::kLarge, 100);
+  EXPECT_GE(p.atoms, 4u);
+  EXPECT_GE(p.frames, 4u);
+  EXPECT_LT(p.atoms, psa_atoms(PsaSize::kLarge));
+}
+
+TEST(CatalogTest, LfAtomCountsMatchPaper) {
+  EXPECT_EQ(lf_atoms(LfSize::k131k), 131072u);
+  EXPECT_EQ(lf_atoms(LfSize::k262k), 262144u);
+  EXPECT_EQ(lf_atoms(LfSize::k524k), 524288u);
+  EXPECT_EQ(lf_atoms(LfSize::k4M), 4194304u);
+}
+
+TEST(CatalogTest, LfPaperEdgesMonotone) {
+  std::size_t prev = 0;
+  for (LfSize s : all_lf_sizes()) {
+    EXPECT_GT(lf_paper_edges(s), prev);
+    prev = lf_paper_edges(s);
+  }
+}
+
+TEST(CatalogTest, Names) {
+  EXPECT_STREQ(to_string(PsaSize::kSmall), "small");
+  EXPECT_STREQ(to_string(LfSize::k4M), "4M");
+}
+
+TEST(CatalogTest, SweepsCoverAllSizes) {
+  EXPECT_EQ(all_psa_sizes().size(), 3u);
+  EXPECT_EQ(all_lf_sizes().size(), 4u);
+}
+
+TEST(CatalogTest, LfParamsSeedVariesBySize) {
+  EXPECT_NE(lf_params(LfSize::k131k).seed, lf_params(LfSize::k4M).seed);
+}
+
+}  // namespace
+}  // namespace mdtask::traj

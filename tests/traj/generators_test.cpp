@@ -1,0 +1,120 @@
+#include "mdtask/traj/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mdtask/traj/vec3.h"
+
+namespace mdtask::traj {
+namespace {
+
+TEST(ProteinGeneratorTest, ShapeMatchesParams) {
+  ProteinTrajectoryParams p;
+  p.atoms = 50;
+  p.frames = 20;
+  const Trajectory t = make_protein_trajectory(p);
+  EXPECT_EQ(t.frames(), 20u);
+  EXPECT_EQ(t.atoms(), 50u);
+}
+
+TEST(ProteinGeneratorTest, DeterministicForSeed) {
+  ProteinTrajectoryParams p;
+  p.atoms = 10;
+  p.frames = 5;
+  p.seed = 99;
+  const Trajectory a = make_protein_trajectory(p);
+  const Trajectory b = make_protein_trajectory(p);
+  for (std::size_t f = 0; f < a.frames(); ++f) {
+    for (std::size_t i = 0; i < a.atoms(); ++i) {
+      EXPECT_EQ(a.frame(f)[i], b.frame(f)[i]);
+    }
+  }
+}
+
+TEST(ProteinGeneratorTest, FramesMoveSmoothly) {
+  ProteinTrajectoryParams p;
+  p.atoms = 100;
+  p.frames = 30;
+  const Trajectory t = make_protein_trajectory(p);
+  for (std::size_t f = 1; f < t.frames(); ++f) {
+    double max_step = 0.0;
+    for (std::size_t i = 0; i < t.atoms(); ++i) {
+      max_step = std::max(max_step, dist(t.frame(f)[i], t.frame(f - 1)[i]));
+    }
+    // Per-frame displacement bounded by drift + a few noise sigmas.
+    EXPECT_LT(max_step, p.drift + 8.0 * p.step_sigma);
+    EXPECT_GT(max_step, 0.0);
+  }
+}
+
+TEST(ProteinGeneratorTest, EnsembleMembersDiffer) {
+  ProteinTrajectoryParams p;
+  p.atoms = 10;
+  p.frames = 5;
+  const Ensemble e = make_protein_ensemble(3, p);
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_NE(e[0].frame(0)[0], e[1].frame(0)[0]);
+  EXPECT_NE(e[1].frame(0)[0], e[2].frame(0)[0]);
+}
+
+TEST(BilayerGeneratorTest, AtomCountAndLabels) {
+  BilayerParams p;
+  p.atoms = 1000;
+  const Bilayer b = make_bilayer(p);
+  EXPECT_EQ(b.atoms(), 1000u);
+  ASSERT_EQ(b.leaflet.size(), 1000u);
+  std::size_t upper = 0;
+  for (auto l : b.leaflet) upper += l;
+  EXPECT_EQ(upper, 500u);
+}
+
+TEST(BilayerGeneratorTest, LeafletsAreSeparatedInZ) {
+  BilayerParams p;
+  p.atoms = 2000;
+  const Bilayer b = make_bilayer(p);
+  float max_lower = -1e9f, min_upper = 1e9f;
+  for (std::size_t i = 0; i < b.atoms(); ++i) {
+    if (b.leaflet[i] == 0) {
+      max_lower = std::max(max_lower, b.positions[i].z);
+    } else {
+      min_upper = std::min(min_upper, b.positions[i].z);
+    }
+  }
+  // Gap (4 spacings) must far exceed the cutoff (2.1 spacings).
+  EXPECT_GT(min_upper - max_lower, static_cast<float>(default_cutoff(p)));
+}
+
+TEST(BilayerGeneratorTest, ContactGraphDegreeNearPaperDensity) {
+  BilayerParams p;
+  p.atoms = 4096;
+  const Bilayer b = make_bilayer(p);
+  const double cutoff = default_cutoff(p);
+  const double c2 = cutoff * cutoff;
+  std::size_t edges = 0;
+  for (std::size_t i = 0; i < b.atoms(); ++i) {
+    for (std::size_t j = i + 1; j < b.atoms(); ++j) {
+      if (dist2(b.positions[i], b.positions[j]) <= c2) ++edges;
+    }
+  }
+  const double degree = 2.0 * static_cast<double>(edges) /
+                        static_cast<double>(b.atoms());
+  // Paper: 131k atoms -> 896k edges => mean degree ~13.7. Allow slack for
+  // boundary effects at this small size.
+  EXPECT_GT(degree, 10.0);
+  EXPECT_LT(degree, 17.0);
+}
+
+TEST(BilayerGeneratorTest, DeterministicForSeed) {
+  BilayerParams p;
+  p.atoms = 256;
+  const Bilayer a = make_bilayer(p);
+  const Bilayer b = make_bilayer(p);
+  EXPECT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_EQ(a.positions[i], b.positions[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mdtask::traj

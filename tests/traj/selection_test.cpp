@@ -1,0 +1,119 @@
+#include "mdtask/traj/selection.h"
+
+#include <gtest/gtest.h>
+
+#include "mdtask/traj/generators.h"
+
+namespace mdtask::traj {
+namespace {
+
+TEST(SelectionBuildersTest, AllAndRangeAndStride) {
+  EXPECT_EQ(select_all(4), (AtomSelection{0, 1, 2, 3}));
+  EXPECT_EQ(select_range(2, 5), (AtomSelection{2, 3, 4}));
+  EXPECT_TRUE(select_range(5, 2).empty());
+  EXPECT_EQ(select_stride(7, 3), (AtomSelection{0, 3, 6}));
+  EXPECT_EQ(select_stride(3, 0), (AtomSelection{0, 1, 2}));  // clamped
+}
+
+TEST(SelectionBuildersTest, SphereSelectsByDistance) {
+  const std::vector<Vec3> frame = {{0, 0, 0}, {1, 0, 0}, {5, 0, 0}};
+  EXPECT_EQ(select_sphere(frame, {0, 0, 0}, 1.5), (AtomSelection{0, 1}));
+  EXPECT_EQ(select_sphere(frame, {0, 0, 0}, 0.5), (AtomSelection{0}));
+  EXPECT_TRUE(select_sphere(frame, {100, 0, 0}, 1.0).empty());
+}
+
+TEST(SelectionBuildersTest, SlabSelectsByAxis) {
+  const std::vector<Vec3> frame = {{0, 0, 0}, {0, 0, 3}, {0, 0, 7}};
+  EXPECT_EQ(select_slab(frame, 2, 2.0, 5.0), (AtomSelection{1}));
+  EXPECT_EQ(select_slab(frame, 2, -1.0, 10.0), (AtomSelection{0, 1, 2}));
+  EXPECT_EQ(select_slab(frame, 0, -0.5, 0.5), (AtomSelection{0, 1, 2}));
+}
+
+TEST(SelectionBuildersTest, MakeSelectionSortsAndDedups) {
+  EXPECT_EQ(make_selection({5, 1, 5, 3, 1}), (AtomSelection{1, 3, 5}));
+}
+
+TEST(SelectionAlgebraTest, UnionIntersectionDifference) {
+  const AtomSelection a = {1, 3, 5}, b = {3, 4, 5, 6};
+  EXPECT_EQ(selection_union(a, b), (AtomSelection{1, 3, 4, 5, 6}));
+  EXPECT_EQ(selection_intersection(a, b), (AtomSelection{3, 5}));
+  EXPECT_EQ(selection_difference(a, b), (AtomSelection{1}));
+  EXPECT_EQ(selection_difference(b, a), (AtomSelection{4, 6}));
+}
+
+TEST(SelectionAlgebraTest, DeMorganSpotCheck) {
+  const auto universe = select_all(10);
+  const AtomSelection a = {1, 2, 3}, b = {3, 4};
+  const auto lhs = selection_difference(
+      universe, selection_union(a, b));
+  const auto rhs = selection_intersection(
+      selection_difference(universe, a), selection_difference(universe, b));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(SubsetTest, SubsetFramePicksAtoms) {
+  const std::vector<Vec3> frame = {{0, 0, 0}, {1, 1, 1}, {2, 2, 2}};
+  const auto out = subset_frame(frame, {0, 2});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1], Vec3(2, 2, 2));
+}
+
+TEST(SubsetTest, SubsetTrajectoryPreservesFrames) {
+  ProteinTrajectoryParams p;
+  p.atoms = 10;
+  p.frames = 4;
+  const auto t = make_protein_trajectory(p);
+  auto sub = subset_trajectory(t, {2, 7});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value().atoms(), 2u);
+  EXPECT_EQ(sub.value().frames(), 4u);
+  for (std::size_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(sub.value().frame(f)[0], t.frame(f)[2]);
+    EXPECT_EQ(sub.value().frame(f)[1], t.frame(f)[7]);
+  }
+}
+
+TEST(SubsetTest, OutOfRangeSelectionRejected) {
+  const Trajectory t(2, 3);
+  EXPECT_FALSE(subset_trajectory(t, {0, 3}).ok());
+}
+
+TEST(SubsetTest, EmptySelectionGivesZeroWidth) {
+  const Trajectory t(2, 3);
+  auto sub = subset_trajectory(t, {});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value().atoms(), 0u);
+  EXPECT_EQ(sub.value().frames(), 2u);
+}
+
+TEST(SliceTest, StridedSlice) {
+  ProteinTrajectoryParams p;
+  p.atoms = 3;
+  p.frames = 10;
+  const auto t = make_protein_trajectory(p);
+  auto sliced = slice_frames(t, 2, 9, 3);  // frames 2, 5, 8
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced.value().frames(), 3u);
+  EXPECT_EQ(sliced.value().frame(1)[0], t.frame(5)[0]);
+}
+
+TEST(SliceTest, OutOfRangeRejected) {
+  const Trajectory t(5, 2);
+  EXPECT_FALSE(slice_frames(t, 3, 7).ok());
+  EXPECT_FALSE(slice_frames(t, 4, 2).ok());
+}
+
+TEST(SliceTest, FullCopy) {
+  ProteinTrajectoryParams p;
+  p.atoms = 2;
+  p.frames = 4;
+  const auto t = make_protein_trajectory(p);
+  auto sliced = slice_frames(t, 0, 4);
+  ASSERT_TRUE(sliced.ok());
+  for (std::size_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(sliced.value().frame(f)[1], t.frame(f)[1]);
+  }
+}
+
+}  // namespace
+}  // namespace mdtask::traj

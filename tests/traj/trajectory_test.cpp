@@ -1,0 +1,47 @@
+#include "mdtask/traj/trajectory.h"
+
+#include <gtest/gtest.h>
+
+namespace mdtask::traj {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0f, Vec3(2, 4, 6));
+}
+
+TEST(Vec3Test, Distances) {
+  const Vec3 a{0, 0, 0}, b{3, 4, 0};
+  EXPECT_DOUBLE_EQ(dist2(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(dist(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(dist(a, a), 0.0);
+}
+
+TEST(TrajectoryTest, ShapeAndFrameAccess) {
+  Trajectory t(5, 10);
+  EXPECT_EQ(t.frames(), 5u);
+  EXPECT_EQ(t.atoms(), 10u);
+  EXPECT_EQ(t.frame(0).size(), 10u);
+  EXPECT_EQ(t.data().size(), 50u);
+  EXPECT_EQ(t.byte_size(), 50u * sizeof(Vec3));
+}
+
+TEST(TrajectoryTest, FramesAreDisjointViews) {
+  Trajectory t(2, 3);
+  t.frame(0)[0] = {1, 1, 1};
+  t.frame(1)[0] = {2, 2, 2};
+  EXPECT_EQ(t.frame(0)[0], Vec3(1, 1, 1));
+  EXPECT_EQ(t.frame(1)[0], Vec3(2, 2, 2));
+}
+
+TEST(TrajectoryTest, DefaultIsEmpty) {
+  Trajectory t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.frames(), 0u);
+  EXPECT_EQ(t.atoms(), 0u);
+}
+
+}  // namespace
+}  // namespace mdtask::traj

@@ -1,0 +1,259 @@
+#include "mdtask/traj/universe.h"
+
+#include <gtest/gtest.h>
+
+#include "mdtask/analysis/leaflet.h"
+#include "mdtask/traj/generators.h"
+
+namespace mdtask::traj {
+namespace {
+
+Universe make_universe(std::size_t atoms = 20, std::size_t frames = 3) {
+  ProteinTrajectoryParams p;
+  p.atoms = atoms;
+  p.frames = frames;
+  auto result = Universe::create(make_protein_topology(atoms),
+                                 make_protein_trajectory(p));
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(UniverseTest, CreateValidatesShapes) {
+  EXPECT_FALSE(
+      Universe::create(make_protein_topology(5), Trajectory(2, 7)).ok());
+  EXPECT_TRUE(
+      Universe::create(make_protein_topology(7), Trajectory(2, 7)).ok());
+}
+
+TEST(UniverseTest, TopologyLayoutIsResidueCyclic) {
+  const auto topology = make_protein_topology(10, 5);
+  EXPECT_EQ(topology.atom(0).name, "N");
+  EXPECT_EQ(topology.atom(1).name, "CA");
+  EXPECT_EQ(topology.atom(5).name, "N");  // next residue restarts
+  EXPECT_EQ(topology.atom(0).residue_id, 0u);
+  EXPECT_EQ(topology.atom(5).residue_id, 1u);
+  EXPECT_NE(topology.atom(0).residue_name, topology.atom(5).residue_name);
+}
+
+TEST(SelectionLanguageTest, NameSelection) {
+  const auto universe = make_universe(20);
+  auto ca = universe.select("name CA");
+  ASSERT_TRUE(ca.ok()) << ca.error().to_string();
+  EXPECT_EQ(ca.value(), (AtomSelection{1, 6, 11, 16}));
+}
+
+TEST(SelectionLanguageTest, MultipleNamesUnion) {
+  const auto universe = make_universe(10);
+  auto backbone = universe.select("name N C");
+  ASSERT_TRUE(backbone.ok());
+  EXPECT_EQ(backbone.value(), (AtomSelection{0, 2, 5, 7}));
+}
+
+TEST(SelectionLanguageTest, WildcardNames) {
+  const auto universe = make_universe(10);
+  // C* matches CA, C, CB (and not N, O).
+  auto carbons = universe.select("name C*");
+  ASSERT_TRUE(carbons.ok());
+  EXPECT_EQ(carbons.value(), (AtomSelection{1, 2, 4, 6, 7, 9}));
+}
+
+TEST(SelectionLanguageTest, ResidSingleAndRange) {
+  const auto universe = make_universe(25);  // residues 0..4
+  auto r2 = universe.select("resid 2");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value(), (AtomSelection{10, 11, 12, 13, 14}));
+  auto r13 = universe.select("resid 1:3");
+  ASSERT_TRUE(r13.ok());
+  EXPECT_EQ(r13.value().size(), 15u);
+  EXPECT_EQ(r13.value().front(), 5u);
+  EXPECT_EQ(r13.value().back(), 19u);
+}
+
+TEST(SelectionLanguageTest, IndexRanges) {
+  const auto universe = make_universe(10);
+  auto sel = universe.select("index 0:2 7");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.value(), (AtomSelection{0, 1, 2, 7}));
+}
+
+TEST(SelectionLanguageTest, MassComparisons) {
+  const auto universe = make_universe(10);
+  // Masses: N=14, CA/C=12, O=16, CB=12 per residue.
+  auto heavy = universe.select("mass > 13");
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_EQ(heavy.value(), (AtomSelection{0, 3, 5, 8}));  // N and O
+  auto exact = universe.select("mass == 16.0");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.value(), (AtomSelection{3, 8}));
+}
+
+TEST(SelectionLanguageTest, BooleanOperatorsAndPrecedence) {
+  const auto universe = make_universe(10);
+  // AND binds tighter than OR: name N or (name O and resid 1).
+  auto sel = universe.select("name N or name O and resid 1");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.value(), (AtomSelection{0, 5, 8}));
+  // Parentheses override.
+  auto sel2 = universe.select("(name N or name O) and resid 1");
+  ASSERT_TRUE(sel2.ok());
+  EXPECT_EQ(sel2.value(), (AtomSelection{5, 8}));
+}
+
+TEST(SelectionLanguageTest, NotInvertsAndComposes) {
+  const auto universe = make_universe(10);
+  auto not_backbone = universe.select("not (name N CA C O)");
+  ASSERT_TRUE(not_backbone.ok());
+  EXPECT_EQ(not_backbone.value(), (AtomSelection{4, 9}));  // CBs
+  auto all = universe.select("name CB or not name CB");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 10u);
+}
+
+TEST(SelectionLanguageTest, AllAndNone) {
+  const auto universe = make_universe(6);
+  EXPECT_EQ(universe.select("all").value().size(), 6u);
+  EXPECT_TRUE(universe.select("none").value().empty());
+}
+
+TEST(SelectionLanguageTest, AroundSelectsByDistance) {
+  // Hand-built universe with known geometry: 3 atoms on a line.
+  Topology topology({{"A", "UNK", 0, 1.0f},
+                     {"B", "UNK", 0, 1.0f},
+                     {"C", "UNK", 0, 1.0f}});
+  Trajectory trajectory(1, 3);
+  trajectory.frame(0)[0] = {0, 0, 0};
+  trajectory.frame(0)[1] = {1, 0, 0};
+  trajectory.frame(0)[2] = {5, 0, 0};
+  auto universe =
+      Universe::create(std::move(topology), std::move(trajectory));
+  ASSERT_TRUE(universe.ok());
+  auto near_a = universe.value().select("around 2.0 of name A");
+  ASSERT_TRUE(near_a.ok());
+  EXPECT_EQ(near_a.value(), (AtomSelection{1}));  // B only; C too far
+  auto near_any = universe.value().select("around 4.5 of (name A or name B)");
+  ASSERT_TRUE(near_any.ok());
+  // A is near B, B near A, C within 4.5 of B (distance 4).
+  EXPECT_EQ(near_any.value(), (AtomSelection{0, 1, 2}));
+}
+
+TEST(SelectionLanguageTest, ParseErrorsCarryContext) {
+  const auto universe = make_universe(5);
+  for (const char* bad :
+       {"", "name", "resid xyz", "mass >", "mass maybe 12", "around of",
+        "(name CA", "name CA extra)", "banana CA", "around 2.0 name CA"}) {
+    auto r = universe.select(bad);
+    EXPECT_FALSE(r.ok()) << "expression '" << bad << "' should fail";
+    if (!r.ok()) {
+      EXPECT_EQ(r.error().code(), ErrorCode::kFormatError) << bad;
+    }
+  }
+}
+
+TEST(SelectionLanguageTest, CaseInsensitiveKeywordsCaseSensitiveNames) {
+  const auto universe = make_universe(10);
+  auto sel = universe.select("NAME CA AND RESID 0");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.value(), (AtomSelection{1}));
+  // Atom names are matched verbatim: lowercase 'ca' matches nothing.
+  EXPECT_TRUE(universe.select("name ca").value().empty());
+}
+
+TEST(SelectionLanguageTest, AroundWithoutFramesIsAnErrorNotACrash) {
+  auto universe =
+      Universe::create(make_protein_topology(4), Trajectory(0, 4));
+  ASSERT_TRUE(universe.ok());
+  // Topology-only selections still work without coordinates...
+  EXPECT_EQ(universe.value().select("name CA").value().size(), 1u);
+  // ...but geometric ones report a clear error.
+  auto r = universe.value().select("around 2 of name CA");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message().find("no frames"), std::string::npos);
+}
+
+TEST(UniverseTest, SubsetCarriesTopologyAndCoordinates) {
+  const auto universe = make_universe(10, 2);
+  auto ca = universe.select("name CA");
+  ASSERT_TRUE(ca.ok());
+  auto reduced = universe.subset(ca.value());
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced.value().atoms(), 2u);
+  EXPECT_EQ(reduced.value().frames(), 2u);
+  EXPECT_EQ(reduced.value().topology().atom(0).name, "CA");
+  EXPECT_EQ(reduced.value().trajectory().frame(1)[0],
+            universe.trajectory().frame(1)[1]);
+  // Selections compose on the reduced universe.
+  EXPECT_EQ(reduced.value().select("name CA").value().size(), 2u);
+}
+
+TEST(UniverseTest, SelectOnLaterFrameUsesThoseCoordinates) {
+  Topology topology({{"A", "UNK", 0, 1.0f}, {"B", "UNK", 0, 1.0f}});
+  Trajectory trajectory(2, 2);
+  trajectory.frame(0)[0] = {0, 0, 0};
+  trajectory.frame(0)[1] = {10, 0, 0};  // far in frame 0
+  trajectory.frame(1)[0] = {0, 0, 0};
+  trajectory.frame(1)[1] = {1, 0, 0};  // close in frame 1
+  auto universe =
+      Universe::create(std::move(topology), std::move(trajectory));
+  ASSERT_TRUE(universe.ok());
+  EXPECT_TRUE(
+      universe.value().select("around 2 of name A", 0).value().empty());
+  EXPECT_EQ(universe.value().select("around 2 of name A", 1).value(),
+            (AtomSelection{1}));
+}
+
+TEST(LipidBilayerUniverseTest, HeadsAndTailsAreLaidOut) {
+  LipidBilayerParams params;
+  params.lipids = 64;
+  params.tail_beads = 3;
+  const auto universe = make_lipid_bilayer_universe(params);
+  EXPECT_EQ(universe.atoms(), 64u * 4u);
+  auto heads = universe.select("name P");
+  ASSERT_TRUE(heads.ok());
+  EXPECT_EQ(heads.value().size(), 64u);
+  auto tails = universe.select("name C*");
+  ASSERT_TRUE(tails.ok());
+  EXPECT_EQ(tails.value().size(), 64u * 3u);
+  // One residue per lipid.
+  EXPECT_EQ(universe.topology().atom(3).residue_id,
+            universe.topology().atom(0).residue_id);
+  EXPECT_NE(universe.topology().atom(4).residue_id,
+            universe.topology().atom(0).residue_id);
+}
+
+TEST(LipidBilayerUniverseTest, HeadSelectionSeparatesLeafletsTailsDoNot) {
+  // The MDAnalysis usage pattern: LF on the head-group selection finds
+  // exactly two leaflets; on ALL atoms the interleaved tails bridge the
+  // membrane interior into one component.
+  LipidBilayerParams params;
+  params.lipids = 200;
+  const auto universe = make_lipid_bilayer_universe(params);
+  const double cutoff = 2.1 * params.spacing;
+
+  auto heads = universe.select("name P");
+  ASSERT_TRUE(heads.ok());
+  const auto head_positions =
+      subset_frame(universe.trajectory().frame(0), heads.value());
+  const auto by_heads =
+      analysis::leaflet_finder_reference(head_positions, cutoff);
+  EXPECT_EQ(by_heads.component_count, 2u);
+  EXPECT_EQ(by_heads.leaflet_a_size, 100u);
+  EXPECT_EQ(by_heads.leaflet_b_size, 100u);
+
+  const auto all =
+      analysis::leaflet_finder_reference(universe.trajectory().frame(0),
+                                         cutoff);
+  EXPECT_LT(all.component_count, 2u + 1u);  // tails bridge: 1 component
+  EXPECT_EQ(all.component_count, 1u);
+}
+
+TEST(LipidBilayerUniverseTest, MassSelectionSplitsHeadsFromTails) {
+  LipidBilayerParams params;
+  params.lipids = 20;
+  const auto universe = make_lipid_bilayer_universe(params);
+  auto heavy = universe.select("mass > 20");
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_EQ(heavy.value().size(), 20u);  // phosphates (31 amu)
+}
+
+}  // namespace
+}  // namespace mdtask::traj
