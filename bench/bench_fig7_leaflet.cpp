@@ -8,14 +8,29 @@
 // repartition (except Dask: worker restarts); tree-search (approach 4)
 // slower than 3 for 131k/262k, faster for 524k/4M; MPI speedup almost
 // linear, Spark/Dask capped near 5.
+// With `--trace out.json`, the 256-core approach-3 cell of each
+// framework is replayed once more with virtual-time span recording and
+// exported as a Chrome/Perfetto trace (one process group per framework,
+// one thread track per simulated core).
+#include <cstring>
+
 #include "bench_common.h"
 #include "mdtask/perf/workloads.h"
+#include "mdtask/trace/chrome_export.h"
+#include "mdtask/trace/summary.h"
 #include "mdtask/traj/catalog.h"
 
 using namespace mdtask;
 using namespace mdtask::perf;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
+  trace::Tracer& tracer = trace::Tracer::global();
+  if (trace_path != nullptr) tracer.set_enabled(true);
+
   const auto costs = python_pipeline_costs(host_kernel_costs());
   const FrameworkModel models[] = {spark_model(), dask_model(), mpi_model()};
   const char* approach_names[] = {
@@ -53,10 +68,31 @@ int main() {
                          traj::to_string(size), alloc,
                          bench::fmt_runtime(outcome.makespan_s),
                          Table::fmt(base / outcome.makespan_s, 2)});
+          // One traced replay per framework: the largest feasible
+          // approach-3 allocation on the 131k system (bounded export).
+          if (trace_path != nullptr && approach == 3 && cores == 256 &&
+              size == traj::LfSize::k131k) {
+            leaflet_utilization_timeline(model, cluster, approach, workload,
+                                         costs, 12, &tracer,
+                                         tracer.process(model.name));
+          }
         }
       }
     }
   }
   bench::emit(table, "fig7_leaflet");
+
+  if (trace_path != nullptr) {
+    trace::ChromeExportOptions options;
+    options.sort_events = true;  // virtual-time replay: deterministic
+    if (auto status = trace::write_chrome_trace(tracer, trace_path, options);
+        !status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("(trace: %s — open in Perfetto / chrome://tracing)\n",
+                trace_path);
+  }
   return 0;
 }

@@ -2,13 +2,30 @@
 // (observability companion to Fig. 7): the per-bucket busy fraction of
 // the allocation over the schedule, showing the wave structure and the
 // straggler tail that caps framework speedups.
+//
+// With `--trace out.json`, every replay additionally mirrors its
+// scheduler dispatches and per-core task holds into a Chrome/Perfetto
+// trace — one process group per framework, one thread track per
+// simulated core — and prints the span summary table. Virtual-time
+// stamps make the trace identical across runs.
+#include <cstring>
+
 #include "bench_common.h"
 #include "mdtask/perf/workloads.h"
+#include "mdtask/trace/chrome_export.h"
+#include "mdtask/trace/summary.h"
 
 using namespace mdtask;
 using namespace mdtask::perf;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
+  trace::Tracer& tracer = trace::Tracer::global();
+  if (trace_path != nullptr) tracer.set_enabled(true);
+
   const auto costs = python_pipeline_costs(host_kernel_costs());
   const auto cluster = bench::wrangler_alloc(256);
   const LfWorkload workload{524288, 3520000, 1024};
@@ -18,9 +35,15 @@ int main() {
   table.set_header({"framework", "approach", "bucket_profile",
                     "mean_utilization"});
   for (const auto& model : {mpi_model(), spark_model(), dask_model()}) {
+    const std::uint32_t pid =
+        trace_path != nullptr ? tracer.process(model.name) : 0;
     for (int approach : {2, 3, 4}) {
+      // Trace only one approach per framework to keep the export
+      // readable (256 core tracks per process group already).
+      const bool traced = trace_path != nullptr && approach == 3;
       const auto timeline = leaflet_utilization_timeline(
-          model, cluster, approach, workload, costs, 12);
+          model, cluster, approach, workload, costs, 12,
+          traced ? &tracer : nullptr, pid);
       if (timeline.empty()) {
         table.add_row({model.name, std::to_string(approach), "infeasible",
                        "-"});
@@ -42,5 +65,22 @@ int main() {
   bench::emit(table, "utilization");
   std::printf("(profile digits: tenths of the allocation busy per "
               "time bucket; trailing low digits are the straggler tail)\n");
+
+  if (trace_path != nullptr) {
+    trace::ChromeExportOptions options;
+    options.sort_events = true;  // virtual-time replay: deterministic
+    if (auto status = trace::write_chrome_trace(tracer, trace_path, options);
+        !status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("\n%s\n(trace: %s — open in Perfetto / chrome://tracing)\n",
+                trace::to_table(trace::summarize(tracer),
+                                "Span summary (approach 3 replays)")
+                    .render()
+                    .c_str(),
+                trace_path);
+  }
   return 0;
 }

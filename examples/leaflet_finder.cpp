@@ -2,22 +2,42 @@
 // generated lipid membrane, on your choice of engine.
 //
 // Usage: leaflet_finder [engine=spark|dask|mpi|rp] [atoms=20000]
-//                       [tasks=64] [workers=4]
+//                       [tasks=64] [workers=4] [--trace out.json]
 //
 // Prints, per approach, the wall time, task count, measured data volume
 // and the resulting leaflet assignment — and checks every approach
-// against the serial reference (Alg. 3).
+// against the serial reference (Alg. 3). With --trace, the engine's
+// stage/task/collective spans are exported as a Chrome/Perfetto trace
+// and summarized in a table.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "mdtask/common/table.h"
+#include "mdtask/trace/chrome_export.h"
+#include "mdtask/trace/summary.h"
 #include "mdtask/traj/generators.h"
 #include "mdtask/workflows/leaflet_runner.h"
 
 int main(int argc, char** argv) {
   using namespace mdtask;
+  // Pull out `--trace <path>` first; the rest stay positional.
+  const char* trace_path = nullptr;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(positional.size()) + 1;
+  std::vector<char*> args(1, argv[0]);
+  args.insert(args.end(), positional.begin(), positional.end());
+  argv = args.data();
+
   workflows::EngineKind engine = workflows::EngineKind::kSpark;
   if (argc > 1) {
     const std::string name = argv[1];
@@ -53,10 +73,13 @@ int main(int argc, char** argv) {
               workflows::to_string(engine));
   table.set_header({"approach", "wall_s", "tasks", "data_moved",
                     "matches_reference"});
+  trace::Tracer& tracer = trace::Tracer::global();
+  if (trace_path != nullptr) tracer.set_enabled(true);
   for (int approach = 1; approach <= 4; ++approach) {
     workflows::LfRunConfig config;
     config.workers = workers;
     config.target_tasks = tasks;
+    if (trace_path != nullptr) config.tracer = &tracer;
     const auto result = workflows::run_leaflet_finder(
         engine, approach, membrane.positions, cutoff, config);
     if (!result.ok()) {
@@ -77,5 +100,19 @@ int main(int argc, char** argv) {
          value.leaflets.labels == reference.labels ? "yes" : "NO"});
   }
   std::printf("%s\n", table.render().c_str());
+
+  if (trace_path != nullptr) {
+    if (auto status = trace::write_chrome_trace(tracer, trace_path);
+        !status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s\n(trace: %s — open in Perfetto / chrome://tracing)\n",
+                trace::to_table(trace::summarize(tracer), "Span summary")
+                    .render()
+                    .c_str(),
+                trace_path);
+  }
   return 0;
 }

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "mdtask/trace/tracer.h"
+
 namespace mdtask {
 
 /// Fixed-size FIFO thread pool. Tasks are std::function<void()>; submit()
@@ -44,16 +46,39 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Starts emitting spans to `tracer` under process track `pid`: one
+  /// thread track per worker ("<worker_prefix>-<i>"), a "queue-wait"
+  /// span from enqueue to pickup and a "job" span around each run.
+  /// Call before submitting work (engines call it right after
+  /// construction); jobs posted earlier carry no queue-wait stamp.
+  void enable_tracing(trace::Tracer& tracer, std::uint32_t pid,
+                      const std::string& worker_prefix = "worker");
+
+  /// The calling worker thread's trace track, or nullptr when the
+  /// caller is not a traced pool worker. Engines use this to put task
+  /// spans on the executing worker's timeline.
+  static const trace::Track* current_worker_track() noexcept;
+
+  /// The calling worker thread's index in its pool, or -1 off-pool.
+  static std::ptrdiff_t current_worker_index() noexcept;
+
  private:
-  void worker_loop();
+  struct Job {
+    std::function<void()> fn;
+    double enqueue_us = -1.0;  ///< tracer timestamp; -1 = not stamped
+  };
+
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  trace::Tracer* tracer_ = nullptr;       ///< guarded by mu_
+  std::vector<trace::Track> tracks_;      ///< per worker; guarded by mu_
 };
 
 }  // namespace mdtask

@@ -23,14 +23,19 @@ struct EngineMetrics {
   std::atomic<std::uint64_t> staged_bytes{0};      ///< file staging (RP)
   std::atomic<std::uint64_t> db_roundtrips{0};     ///< MongoDB ops (RP)
 
+  /// Zeroes every counter with relaxed atomic stores, so a reset racing
+  /// with worker-side increments can never tear or deadlock. Increments
+  /// in flight during the reset may land before or after the store and
+  /// be kept or discarded accordingly — quiesce the engine (e.g.
+  /// ThreadPool::wait_idle) first when exact post-reset counts matter.
   void reset() noexcept {
-    tasks_executed = 0;
-    stages_executed = 0;
-    shuffle_bytes = 0;
-    shuffle_records = 0;
-    broadcast_bytes = 0;
-    staged_bytes = 0;
-    db_roundtrips = 0;
+    tasks_executed.store(0, std::memory_order_relaxed);
+    stages_executed.store(0, std::memory_order_relaxed);
+    shuffle_bytes.store(0, std::memory_order_relaxed);
+    shuffle_records.store(0, std::memory_order_relaxed);
+    broadcast_bytes.store(0, std::memory_order_relaxed);
+    staged_bytes.store(0, std::memory_order_relaxed);
+    db_roundtrips.store(0, std::memory_order_relaxed);
   }
 };
 

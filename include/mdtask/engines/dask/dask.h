@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "mdtask/engines/core.h"
+#include "mdtask/trace/tracer.h"
 
 namespace mdtask::dask {
 
@@ -51,6 +52,7 @@ struct TaskNode {
   std::mutex mu;                         ///< guards dependents/submitted
   bool finished = false;
   bool scheduled = false;
+  double enqueue_us = -1.0;  ///< tracer stamp at ready time; -1 = untraced
 };
 
 template <typename T>
@@ -159,6 +161,10 @@ class DaskClient {
   /// Blocks until the whole submitted graph has drained.
   void wait_all();
 
+  /// Registers a "dask" process track (client thread + one per worker)
+  /// and starts emitting per-task spans and queue-wait events.
+  void enable_tracing(trace::Tracer& tracer);
+
   engines::EngineMetrics& metrics() noexcept { return metrics_; }
   const DaskConfig& config() const noexcept { return config_; }
 
@@ -219,7 +225,7 @@ class DaskClient {
       const std::vector<std::shared_ptr<detail::TaskNode>>& deps);
   void enqueue_ready(std::shared_ptr<detail::TaskNode> node);
   void on_finished(const std::shared_ptr<detail::TaskNode>& node);
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   DaskConfig config_;
   engines::EngineMetrics metrics_;
@@ -233,6 +239,10 @@ class DaskClient {
   std::size_t inflight_ = 0;
   std::uint64_t outstanding_ = 0;  ///< submitted but not finished
   bool stop_ = false;
+  trace::Tracer* tracer_ = nullptr;        ///< guarded by mu_
+  std::uint32_t trace_pid_ = 0;
+  trace::Track client_track_{};
+  std::vector<trace::Track> tracks_;       ///< per worker; guarded by mu_
 
   friend struct DaskClientAccess;
 };

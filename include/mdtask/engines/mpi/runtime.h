@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mdtask/common/error.h"
+#include "mdtask/trace/tracer.h"
 
 namespace mdtask::mpi {
 
@@ -129,6 +130,7 @@ class Communicator {
   template <typename T>
   void bcast(std::vector<T>& data, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
+    auto span = collective_span("bcast");
     bcast_bytes_typed(data, root);
   }
 
@@ -137,6 +139,7 @@ class Communicator {
   template <typename T>
   std::vector<std::vector<T>> gather(std::span<const T> mine, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
+    auto span = collective_span("gather");
     std::vector<std::vector<T>> out;
     if (rank_ == root) {
       out.resize(static_cast<std::size_t>(size_));
@@ -156,6 +159,7 @@ class Communicator {
   template <typename T>
   std::vector<T> scatter(const std::vector<std::vector<T>>& parts, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
+    auto span = collective_span("scatter");
     if (rank_ == root) {
       for (int r = 0; r < size_; ++r) {
         if (r == root) continue;
@@ -170,6 +174,7 @@ class Communicator {
   template <typename T, typename Op>
   std::vector<T> reduce(std::vector<T> mine, int root, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
+    auto span = collective_span("reduce");
     if (rank_ == root) {
       for (int r = 0; r < size_; ++r) {
         if (r == root) continue;
@@ -187,6 +192,7 @@ class Communicator {
   /// Allreduce = reduce to rank 0 + bcast. Every rank gets the result.
   template <typename T, typename Op>
   std::vector<T> allreduce(std::vector<T> mine, Op op) {
+    auto span = collective_span("allreduce");
     auto result = reduce(std::move(mine), 0, op);
     bcast(result, 0);
     return result;
@@ -198,6 +204,7 @@ class Communicator {
   template <typename T>
   std::vector<std::vector<T>> allgather(std::span<const T> mine) {
     static_assert(std::is_trivially_copyable_v<T>);
+    auto span = collective_span("allgather");
     auto gathered = gather<T>(mine, 0);
     std::vector<std::uint64_t> counts(static_cast<std::size_t>(size_), 0);
     std::vector<T> flat;
@@ -226,6 +233,7 @@ class Communicator {
   std::vector<std::vector<T>> alltoall(
       const std::vector<std::vector<T>>& send_parts) {
     static_assert(std::is_trivially_copyable_v<T>);
+    auto span = collective_span("alltoall");
     std::vector<std::vector<T>> out(static_cast<std::size_t>(size_));
     out[static_cast<std::size_t>(rank_)] =
         send_parts[static_cast<std::size_t>(rank_)];
@@ -273,11 +281,20 @@ class Communicator {
   template <typename T>
   void bcast_bytes_typed(std::vector<T>& data, int root);
 
+  /// An RAII span on this rank's track for one collective call; inert
+  /// when the runner was launched without a tracer.
+  trace::Span collective_span(const char* name) {
+    if (tracer_ == nullptr) return trace::Span();
+    return tracer_->span(track_, name, "collective");
+  }
+
   detail::World* world_;
   int rank_;
   int size_;
   BcastAlgorithm bcast_algorithm_;
   CommStats stats_;
+  trace::Tracer* tracer_ = nullptr;  ///< set by SpmdRunner before launch
+  trace::Track track_{};
 };
 
 /// Result of an SPMD run: per-rank stats plus any rank error.
@@ -288,9 +305,12 @@ struct SpmdReport {
 
 /// Launches `ranks` threads each running `body(comm)`. Blocks until all
 /// complete. Exceptions thrown by a rank propagate (first one wins).
-/// Returns per-rank communication statistics.
+/// Returns per-rank communication statistics. With a tracer, each run
+/// registers an "mpi" process track with one "rank-<r>" thread per rank
+/// carrying a whole-rank span plus spans for every collective call.
 SpmdReport run_spmd(int ranks, const std::function<void(Communicator&)>& body,
-                    BcastAlgorithm bcast = BcastAlgorithm::kBinomialTree);
+                    BcastAlgorithm bcast = BcastAlgorithm::kBinomialTree,
+                    trace::Tracer* tracer = nullptr);
 
 // ---- template implementation ----
 

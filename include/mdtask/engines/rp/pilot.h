@@ -137,6 +137,11 @@ class UnitManager {
   /// Blocks until all submitted units are DONE or FAILED.
   void wait_units();
 
+  /// Registers an "rp" process track (client + one agent core per pilot
+  /// core) and starts emitting per-unit spans with staging/executing
+  /// phases plus a db_roundtrips counter.
+  void enable_tracing(trace::Tracer& tracer);
+
   SharedFilesystem& filesystem() noexcept { return fs_; }
   MongoDbStore& database() noexcept { return db_; }
   engines::EngineMetrics& metrics() noexcept { return metrics_; }
@@ -151,6 +156,9 @@ class UnitManager {
   SharedFilesystem fs_;
   engines::EngineMetrics metrics_;
   mdtask::ThreadPool agent_;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+  trace::Track client_track_{};
 };
 
 }  // namespace mdtask::rp

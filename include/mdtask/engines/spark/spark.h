@@ -116,7 +116,22 @@ class SparkContext {
   Broadcast<T> broadcast(T value, std::uint64_t approx_bytes) {
     // One copy per executor thread, as Spark ships one per executor.
     metrics_.broadcast_bytes += approx_bytes * pool_.size();
+    if (tracer_ != nullptr) {
+      tracer_->counter(driver_track_, "broadcast_bytes", tracer_->now_us(),
+                       static_cast<double>(metrics_.broadcast_bytes.load(
+                           std::memory_order_relaxed)));
+    }
     return Broadcast<T>(std::make_shared<const T>(std::move(value)));
+  }
+
+  /// Registers a "spark" process track with a driver thread plus one
+  /// executor thread per pool worker, and starts emitting stage/task
+  /// spans and shuffle/broadcast counters.
+  void enable_tracing(trace::Tracer& tracer) {
+    trace_pid_ = tracer.process("spark");
+    driver_track_ = tracer.thread(trace_pid_, "driver");
+    pool_.enable_tracing(tracer, trace_pid_, "executor");
+    tracer_ = &tracer;
   }
 
   engines::EngineMetrics& metrics() noexcept { return metrics_; }
@@ -132,6 +147,9 @@ class SparkContext {
   SparkConfig config_;
   mdtask::ThreadPool pool_;
   engines::EngineMetrics metrics_;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+  trace::Track driver_track_{};
 };
 
 /// The Resilient Distributed Dataset handle. Cheap to copy (shared node).
@@ -307,13 +325,28 @@ RDD<T> SparkContext::parallelize(std::vector<T> data,
 template <typename T>
 std::vector<std::vector<T>> SparkContext::run_stage(
     detail::RddNode<T>& node) {
-  metrics_.stages_executed += 1;
+  const std::uint64_t stage_id =
+      metrics_.stages_executed.fetch_add(1, std::memory_order_relaxed) + 1;
+  trace::Span stage_span;
+  if (tracer_ != nullptr) {
+    stage_span = tracer_->span(driver_track_,
+                               "stage-" + std::to_string(stage_id), "stage");
+    stage_span.arg_num("partitions",
+                       static_cast<double>(node.partitions));
+  }
   std::vector<std::vector<T>> outputs(node.partitions);
   std::vector<std::future<void>> futures;
   futures.reserve(node.partitions);
   for (std::size_t p = 0; p < node.partitions; ++p) {
     futures.push_back(pool_.submit([this, &node, &outputs, p] {
       metrics_.tasks_executed += 1;
+      trace::Span task_span;
+      if (tracer_ != nullptr) {
+        const trace::Track* track = ThreadPool::current_worker_track();
+        task_span = tracer_->span(track != nullptr ? *track : driver_track_,
+                                  "task", "task");
+        task_span.arg_num("partition", static_cast<double>(p));
+      }
       TaskContext tc(*this, p);
       if (!node.cached) {
         outputs[p] = node.compute(tc);
@@ -345,6 +378,15 @@ std::vector<std::vector<T>> SparkContext::run_stage(
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+  if (tracer_ != nullptr) {
+    const double now = tracer_->now_us();
+    tracer_->counter(driver_track_, "shuffle_bytes", now,
+                     static_cast<double>(metrics_.shuffle_bytes.load(
+                         std::memory_order_relaxed)));
+    tracer_->counter(driver_track_, "tasks_executed", now,
+                     static_cast<double>(metrics_.tasks_executed.load(
+                         std::memory_order_relaxed)));
+  }
   return outputs;
 }
 

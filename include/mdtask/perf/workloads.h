@@ -74,10 +74,13 @@ SimOutcome simulate_leaflet(const FrameworkModel& model,
 /// Replays one Leaflet Finder cell and returns the per-bucket core
 /// utilization over the compute phase (the straggler structure behind
 /// Fig. 7's speedup caps). Returns an empty vector for infeasible cells.
+/// With a tracer, the replay's scheduler dispatches and per-core task
+/// holds are mirrored as virtual-time spans under `trace_pid`.
 std::vector<double> leaflet_utilization_timeline(
     const FrameworkModel& model, const sim::ClusterSpec& cluster,
     int approach, const LfWorkload& workload, const KernelCosts& costs,
-    std::size_t buckets);
+    std::size_t buckets, trace::Tracer* tracer = nullptr,
+    std::uint32_t trace_pid = 0);
 
 // ---- Sec. 6 future-work extensions (ablation benches) ----
 

@@ -12,7 +12,11 @@
 #include <deque>
 #include <functional>
 #include <queue>
+#include <set>
+#include <string>
 #include <vector>
+
+#include "mdtask/trace/tracer.h"
 
 namespace mdtask::sim {
 
@@ -72,6 +76,16 @@ class Resource {
     trace_ = out;
   }
 
+  /// Mirrors every service interval into `tracer` as a span stamped with
+  /// VIRTUAL time (seconds -> microseconds), under process `pid`, one
+  /// thread track per server ("<server_prefix>-<slot>"). Holds are
+  /// assigned the lowest free slot, so identical simulations produce
+  /// byte-identical traces. Call before the first acquire; holds already
+  /// in flight keep their untraced slots. Pass nullptr to stop.
+  void set_trace(trace::Tracer* tracer, std::uint32_t pid,
+                 std::string server_prefix = "core",
+                 std::string span_name = "task");
+
   /// Requests one server for `duration` seconds; `on_complete` fires when
   /// the hold ends. May queue.
   void acquire(double duration, Simulation::Callback on_complete);
@@ -94,6 +108,10 @@ class Resource {
     Simulation::Callback on_complete;
   };
   void start(double duration, Simulation::Callback on_complete);
+  /// Claims the lowest free tracer slot, registering a fresh track when
+  /// every known slot is busy (lazy growth for add_servers).
+  std::size_t take_slot();
+  void release_slot(std::size_t slot) { free_slots_.insert(slot); }
 
   Simulation* simulation_;
   std::size_t free_;
@@ -101,6 +119,12 @@ class Resource {
   std::deque<Pending> pending_;
   double busy_time_ = 0.0;
   std::vector<ServiceInterval>* trace_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+  std::string slot_prefix_ = "core";
+  std::string span_name_ = "task";
+  std::vector<trace::Track> slot_tracks_;  ///< index = slot
+  std::set<std::size_t> free_slots_;       ///< slots not currently held
 };
 
 /// Alpha-beta network cost model plus collective algorithms.

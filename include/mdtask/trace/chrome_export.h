@@ -1,0 +1,50 @@
+// Chrome trace-event JSON export (chrome://tracing / Perfetto).
+//
+// Emits the JSON object form ({"traceEvents": [...]}) with metadata
+// events naming every registered track, "X" complete events for spans
+// and "C" events for counters. Timestamps are microseconds with fixed
+// three-decimal formatting, so a trace built from deterministic (DES
+// virtual-time) spans serializes byte-identically across runs — the
+// property the golden-file tests pin down.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "mdtask/common/error.h"
+#include "mdtask/trace/tracer.h"
+
+namespace mdtask::trace {
+
+struct ChromeExportOptions {
+  /// Stable-sorts span events by (ts, pid, tid, name) and counters by
+  /// (ts, pid, tid, name). This is the normalization pass that makes
+  /// multi-threaded traces comparable and golden files byte-exact.
+  bool sort_events = false;
+  /// Emit process_name/thread_name metadata events.
+  bool metadata = true;
+};
+
+/// Renders the tracer's events as a Chrome trace JSON document.
+std::string to_chrome_json(const Tracer& tracer,
+                           const ChromeExportOptions& options = {});
+
+/// Writes the JSON document to `path`.
+inline Status write_chrome_trace(const Tracer& tracer,
+                                 const std::string& path,
+                                 const ChromeExportOptions& options = {}) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Error(ErrorCode::kIoError,
+                 "cannot open trace output file: " + path);
+  }
+  const std::string json = to_chrome_json(tracer, options);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out) {
+    return Error(ErrorCode::kIoError, "short write to trace file: " + path);
+  }
+  return Status::success();
+}
+
+}  // namespace mdtask::trace

@@ -1,0 +1,112 @@
+// Span/counter event model for the mdtask tracing layer.
+//
+// A Track is one horizontal line in a trace viewer: `pid` groups related
+// tracks (one per engine instance or simulated node), `tid` is one worker,
+// core or rank within that group — matching the Chrome trace-event
+// process/thread vocabulary so exports load directly into Perfetto.
+//
+// Spans come in two flavours:
+//  * RAII `Span` handles (see tracer.h) stamped with the tracer's wall
+//    clock — used by the real engines and the thread pool.
+//  * explicit complete events (`Tracer::complete`) stamped by the caller
+//    — used by the DES, whose virtual timestamps make traces
+//    deterministic and golden-testable.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mdtask::trace {
+
+class Tracer;
+
+/// One timeline in the trace: a (process, thread) pair.
+struct Track {
+  std::uint32_t pid = 0;  ///< engine / node group (0 = unregistered)
+  std::uint32_t tid = 0;  ///< worker / core / rank within the group
+};
+
+/// Span arguments: small key/value annotations rendered into the
+/// exporter's `args` object (partition ids, byte counts, error text).
+using Args = std::vector<std::pair<std::string, std::string>>;
+
+/// Deterministic numeric rendering for args: exact integers print
+/// without decimals, everything else as %.6g.
+inline std::string format_number(double value) {
+  char buf[40];
+  if (std::floor(value) == value && std::fabs(value) < 0x1.0p53) {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+  }
+  return buf;
+}
+
+/// A closed span: [start_us, start_us + dur_us) on one track.
+/// Timestamps are microseconds — wall time since the tracer's epoch for
+/// RAII spans, virtual time for DES-emitted spans.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  Track track;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  Args args;
+};
+
+/// A sampled counter value (monotonic byte/task counters).
+struct CounterEvent {
+  std::string name;
+  Track track;
+  double ts_us = 0.0;
+  double value = 0.0;
+};
+
+/// RAII span handle. Obtained from Tracer::span(); records one
+/// TraceEvent when destroyed (or end()ed), even during exception
+/// unwinding — a throwing task can never leak an open span.
+/// A default-constructed Span is inert (the disabled-tracing path).
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { end(); }
+
+  /// Attaches a string annotation. No-op on an inert span.
+  void arg(std::string key, std::string value);
+  /// Attaches a numeric annotation (integers render without decimals).
+  void arg_num(std::string key, double value);
+
+  /// Records the span now instead of at destruction. Idempotent.
+  void end();
+
+  /// True when this span will record an event.
+  bool active() const noexcept { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, Track track, std::string name, std::string category,
+       double start_us)
+      : tracer_(tracer),
+        track_(track),
+        name_(std::move(name)),
+        category_(std::move(category)),
+        start_us_(start_us) {}
+
+  Tracer* tracer_ = nullptr;
+  Track track_;
+  std::string name_;
+  std::string category_;
+  double start_us_ = 0.0;
+  Args args_;
+};
+
+}  // namespace mdtask::trace

@@ -1,0 +1,63 @@
+// In-process trace summary: per-span-name duration statistics and
+// counter finals, rendered through the bench Table so every engine run
+// can print a "where did the time go" digest without leaving the
+// terminal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdtask/common/table.h"
+#include "mdtask/trace/tracer.h"
+
+namespace mdtask::trace {
+
+/// Aggregated statistics for one (category, name) span group.
+struct SpanStats {
+  std::string category;
+  std::string name;
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double p50_us = 0.0;  ///< nearest-rank percentile of span durations
+  double p95_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Final/max of one counter series.
+struct CounterStats {
+  std::string name;
+  std::uint64_t samples = 0;
+  double last = 0.0;
+  double max = 0.0;
+};
+
+struct TraceSummary {
+  std::vector<SpanStats> spans;        ///< sorted by (category, name)
+  std::vector<CounterStats> counters;  ///< sorted by name
+};
+
+/// Aggregates every recorded span and counter in the tracer.
+TraceSummary summarize(const Tracer& tracer);
+
+/// Renders the summary: one row per span group (count, wall totals,
+/// p50/p95/max) and one per counter.
+inline Table to_table(const TraceSummary& summary, std::string title) {
+  Table table(std::move(title));
+  table.set_header({"category", "span", "count", "total_ms", "p50_ms",
+                    "p95_ms", "max_ms"});
+  for (const auto& s : summary.spans) {
+    table.add_row({s.category, s.name, std::to_string(s.count),
+                   Table::fmt(s.total_us / 1000.0, 3),
+                   Table::fmt(s.p50_us / 1000.0, 3),
+                   Table::fmt(s.p95_us / 1000.0, 3),
+                   Table::fmt(s.max_us / 1000.0, 3)});
+  }
+  for (const auto& c : summary.counters) {
+    table.add_row({"(counter)", c.name, std::to_string(c.samples),
+                   Table::fmt(c.last, 0), "-", "-", Table::fmt(c.max, 0)});
+  }
+  return table;
+}
+
+}  // namespace mdtask::trace

@@ -1,0 +1,182 @@
+// The engine-wide tracing collector.
+//
+// One Tracer instance gathers spans and counters from every execution
+// layer — the four mini-engines, the ThreadPool, the DES and the
+// workflow runners — onto named (pid, tid) tracks, for export as a
+// Chrome/Perfetto trace (chrome_export.h) or an in-process summary
+// table (summary.h).
+//
+// Cost model: tracing is OFF by default. The runtime toggle is one
+// relaxed atomic load on the hot path, and every instrumentation site in
+// the library is additionally guarded by a nullable tracer pointer, so a
+// run that never enables tracing pays a single predictable branch per
+// task. Defining MDTASK_TRACE_DISABLED at compile time makes the
+// MDTASK_SCOPED_SPAN macro expand to an inert local, removing even that
+// branch from macro call sites.
+//
+// Thread safety: all members are callable from any thread. Recording
+// takes one short mutex-protected vector append per closed span — far
+// below the cost of the tasks being traced (the engines execute whole
+// partitions per span).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mdtask/trace/span.h"
+
+namespace mdtask::trace {
+
+/// Thread-safe span/counter collector. See file comment for the model.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide default instance (what `--trace` flags enable).
+  static Tracer& global() noexcept;
+
+  /// Runtime toggle. Disabled tracers hand out inert spans and drop
+  /// complete()/counter() calls.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers (or looks up) the pid for a process-level track group —
+  /// one per engine instance or simulated node. Idempotent per name.
+  std::uint32_t process(const std::string& name);
+
+  /// Registers the next thread track under `pid` (workers, cores,
+  /// ranks). Each call allocates a fresh tid.
+  Track thread(std::uint32_t pid, const std::string& name);
+
+  /// Like thread(), but idempotent: reuses the existing track when a
+  /// thread with this exact name is already registered under `pid`
+  /// (workflow runners call this once per run on shared tracks).
+  Track named_thread(std::uint32_t pid, const std::string& name);
+
+  /// Microseconds of wall time since this tracer was constructed (the
+  /// RAII span clock). DES emitters use virtual time instead.
+  double now_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Opens a wall-clock RAII span; inert when tracing is disabled.
+  Span span(Track track, std::string name, std::string category) {
+    if (!enabled()) return Span();
+    open_spans_.fetch_add(1, std::memory_order_relaxed);
+    return Span(this, track, std::move(name), std::move(category),
+                now_us());
+  }
+
+  /// Records a closed span with caller-supplied timestamps (virtual
+  /// time under the DES). Dropped while disabled.
+  void complete(Track track, std::string name, std::string category,
+                double start_us, double dur_us, Args args = {});
+
+  /// Samples a counter value. Dropped while disabled.
+  void counter(Track track, std::string name, double ts_us, double value);
+
+  // ---- introspection (snapshots; safe while tracing continues) ----
+
+  std::vector<TraceEvent> events() const;
+  std::vector<CounterEvent> counters() const;
+
+  /// A registered process/thread track name.
+  struct TrackName {
+    Track track;
+    bool is_process = false;
+    std::string name;
+  };
+  std::vector<TrackName> track_names() const;
+
+  std::size_t event_count() const;
+
+  /// RAII spans currently open (created but not yet recorded). Zero
+  /// after every task has unwound — tests assert this to prove throwing
+  /// tasks cannot leak spans.
+  std::int64_t open_spans() const noexcept {
+    return open_spans_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops recorded events and counters; keeps registered tracks and
+  /// the enabled flag.
+  void clear();
+
+ private:
+  friend class Span;
+  void note_span_closed() noexcept {
+    open_spans_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> open_spans_{0};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<CounterEvent> counters_;
+  std::vector<TrackName> names_;
+  std::unordered_map<std::string, std::uint32_t> pids_;
+  std::unordered_map<std::uint32_t, std::uint32_t> next_tid_;
+  std::uint32_t next_pid_ = 1;
+};
+
+// ---- Span inline implementation (needs the Tracer definition) ----
+
+inline Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    other.tracer_ = nullptr;
+    track_ = other.track_;
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    start_us_ = other.start_us_;
+    args_ = std::move(other.args_);
+  }
+  return *this;
+}
+
+inline void Span::arg(std::string key, std::string value) {
+  if (!tracer_) return;
+  args_.emplace_back(std::move(key), std::move(value));
+}
+
+inline void Span::arg_num(std::string key, double value) {
+  if (!tracer_) return;
+  args_.emplace_back(std::move(key), format_number(value));
+}
+
+inline void Span::end() {
+  if (!tracer_) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  const double end_us = tracer->now_us();
+  tracer->complete(track_, std::move(name_), std::move(category_),
+                   start_us_, end_us - start_us_, std::move(args_));
+  tracer->note_span_closed();
+}
+
+/// Declares a scoped RAII span named `var`. Compiles to an inert local
+/// when MDTASK_TRACE_DISABLED is defined — the compile-time kill switch.
+#ifndef MDTASK_TRACE_DISABLED
+#define MDTASK_SCOPED_SPAN(var, tracer, track, name, category) \
+  ::mdtask::trace::Span var = (tracer).span((track), (name), (category))
+#else
+#define MDTASK_SCOPED_SPAN(var, tracer, track, name, category) \
+  ::mdtask::trace::Span var
+#endif
+
+}  // namespace mdtask::trace

@@ -20,6 +20,7 @@
 
 #include "mdtask/analysis/leaflet.h"
 #include "mdtask/common/error.h"
+#include "mdtask/trace/tracer.h"
 #include "mdtask/workflows/common.h"
 
 namespace mdtask::workflows {
@@ -35,6 +36,10 @@ struct LfRunConfig {
   /// Approaches 3-4: merge partial components inside the framework as a
   /// tree reduce (true) or gather-and-merge at the driver (false).
   bool tree_reduce = true;
+  /// When set, the run registers engine/worker tracks on this tracer and
+  /// emits spans for stages, tasks, collectives and staging phases
+  /// (export with trace::write_chrome_trace).
+  trace::Tracer* tracer = nullptr;
 };
 
 struct LfRunResult {

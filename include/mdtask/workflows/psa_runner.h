@@ -12,6 +12,7 @@
 #pragma once
 
 #include "mdtask/analysis/psa.h"
+#include "mdtask/trace/tracer.h"
 #include "mdtask/traj/trajectory.h"
 #include "mdtask/workflows/common.h"
 
@@ -30,6 +31,9 @@ struct PsaRunConfig {
   /// (the paper generates one task per core).
   std::size_t block_size = 0;
   PsaMetric metric = PsaMetric::kHausdorff;
+  /// When set, the run registers engine/worker tracks on this tracer and
+  /// emits spans for the engine's tasks and collectives.
+  trace::Tracer* tracer = nullptr;
 };
 
 struct PsaRunResult {

@@ -1,14 +1,26 @@
 #include "mdtask/common/thread_pool.h"
 
 #include <algorithm>
+#include <cstddef>
 
 namespace mdtask {
+namespace {
+
+// Per-thread identity of traced pool workers. A worker copies its Track
+// here (under the pool mutex) before running each job, so engine code
+// executing inside the job can place task spans on the worker's
+// timeline via current_worker_track() without touching the pool.
+thread_local trace::Track tls_worker_track{};
+thread_local bool tls_worker_traced = false;
+thread_local std::ptrdiff_t tls_worker_index = -1;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   threads = std::max<std::size_t>(1, threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -24,7 +36,12 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::post(std::function<void()> job) {
   {
     std::lock_guard lk(mu_);
-    queue_.push_back(std::move(job));
+    Job j;
+    j.fn = std::move(job);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      j.enqueue_us = tracer_->now_us();
+    }
+    queue_.push_back(std::move(j));
   }
   cv_.notify_one();
 }
@@ -34,9 +51,32 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::enable_tracing(trace::Tracer& tracer, std::uint32_t pid,
+                                const std::string& worker_prefix) {
+  std::vector<trace::Track> tracks;
+  tracks.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    tracks.push_back(tracer.thread(pid, worker_prefix + "-" +
+                                            std::to_string(i)));
+  }
+  std::lock_guard lk(mu_);
+  tracer_ = &tracer;
+  tracks_ = std::move(tracks);
+}
+
+const trace::Track* ThreadPool::current_worker_track() noexcept {
+  return tls_worker_traced ? &tls_worker_track : nullptr;
+}
+
+std::ptrdiff_t ThreadPool::current_worker_index() noexcept {
+  return tls_worker_index;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_index = static_cast<std::ptrdiff_t>(index);
   for (;;) {
-    std::function<void()> job;
+    Job job;
+    trace::Tracer* tracer = nullptr;
     {
       std::unique_lock lk(mu_);
       cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
@@ -44,8 +84,30 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      // tracer_/tracks_ are written under mu_, so this read is ordered
+      // after any enable_tracing() call; the thread-local copy lets the
+      // job body read its track without re-locking.
+      if (tracer_ != nullptr && index < tracks_.size()) {
+        tracer = tracer_;
+        tls_worker_track = tracks_[index];
+        tls_worker_traced = true;
+      }
     }
-    job();
+    if (tracer != nullptr && tracer->enabled()) {
+      if (job.enqueue_us >= 0.0) {
+        const double picked_us = tracer->now_us();
+        tracer->complete(tls_worker_track, "queue-wait", "queue",
+                         job.enqueue_us,
+                         std::max(0.0, picked_us - job.enqueue_us));
+      }
+      {
+        MDTASK_SCOPED_SPAN(job_span, *tracer, tls_worker_track, "job",
+                           "pool");
+        job.fn();
+      }
+    } else {
+      job.fn();
+    }
     {
       std::lock_guard lk(mu_);
       --active_;

@@ -6,7 +6,7 @@ DaskClient::DaskClient(DaskConfig config) : config_(config) {
   const std::size_t n = std::max<std::size_t>(1, config_.workers);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -18,6 +18,21 @@ DaskClient::~DaskClient() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+void DaskClient::enable_tracing(trace::Tracer& tracer) {
+  const std::uint32_t pid = tracer.process("dask");
+  const trace::Track client = tracer.thread(pid, "client");
+  std::vector<trace::Track> tracks;
+  tracks.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    tracks.push_back(tracer.thread(pid, "worker-" + std::to_string(i)));
+  }
+  std::lock_guard lk(mu_);
+  trace_pid_ = pid;
+  client_track_ = client;
+  tracks_ = std::move(tracks);
+  tracer_ = &tracer;
 }
 
 void DaskClient::wire_and_schedule(
@@ -51,6 +66,9 @@ void DaskClient::enqueue_ready(std::shared_ptr<detail::TaskNode> node) {
   }
   {
     std::lock_guard lk(mu_);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      node->enqueue_us = tracer_->now_us();
+    }
     ready_.push_back(std::move(node));
   }
   cv_.notify_one();
@@ -76,15 +94,31 @@ void DaskClient::on_finished(const std::shared_ptr<detail::TaskNode>& node) {
 }
 
 void DaskClient::wait_all() {
-  std::unique_lock lk(mu_);
-  idle_cv_.wait(lk, [this] {
-    return outstanding_ == 0 && ready_.empty() && inflight_ == 0;
-  });
+  trace::Tracer* tracer = nullptr;
+  trace::Track client{};
+  {
+    std::unique_lock lk(mu_);
+    idle_cv_.wait(lk, [this] {
+      return outstanding_ == 0 && ready_.empty() && inflight_ == 0;
+    });
+    tracer = tracer_;
+    client = client_track_;
+  }
+  if (tracer != nullptr) {
+    const double now = tracer->now_us();
+    tracer->counter(client, "tasks_executed", now,
+                    static_cast<double>(metrics_.tasks_executed.load(
+                        std::memory_order_relaxed)));
+    tracer->counter(client, "worker_restarts", now,
+                    static_cast<double>(worker_restarts_.load()));
+  }
 }
 
-void DaskClient::worker_loop() {
+void DaskClient::worker_loop(std::size_t index) {
   for (;;) {
     std::shared_ptr<detail::TaskNode> node;
+    trace::Tracer* tracer = nullptr;
+    trace::Track track{};
     {
       std::unique_lock lk(mu_);
       cv_.wait(lk, [this] { return stop_ || !ready_.empty(); });
@@ -92,8 +126,24 @@ void DaskClient::worker_loop() {
       node = std::move(ready_.front());
       ready_.pop_front();
       ++inflight_;
+      if (tracer_ != nullptr && index < tracks_.size()) {
+        tracer = tracer_;
+        track = tracks_[index];
+      }
     }
-    node->run();
+    if (tracer != nullptr && tracer->enabled()) {
+      if (node->enqueue_us >= 0.0) {
+        const double picked_us = tracer->now_us();
+        tracer->complete(track, "queue-wait", "queue", node->enqueue_us,
+                         std::max(0.0, picked_us - node->enqueue_us));
+      }
+      {
+        MDTASK_SCOPED_SPAN(task_span, *tracer, track, "task", "task");
+        node->run();
+      }
+    } else {
+      node->run();
+    }
     {
       std::lock_guard lk(mu_);
       --inflight_;

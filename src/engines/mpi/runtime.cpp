@@ -119,12 +119,22 @@ void Communicator::barrier() { world_->barrier(size_); }
 struct SpmdRunner {
   static SpmdReport run(int ranks,
                         const std::function<void(Communicator&)>& body,
-                        BcastAlgorithm bcast) {
+                        BcastAlgorithm bcast, trace::Tracer* tracer) {
     detail::World world(ranks);
     std::vector<Communicator> comms;
     comms.reserve(static_cast<std::size_t>(ranks));
     for (int r = 0; r < ranks; ++r) {
       comms.push_back(Communicator(&world, r, ranks, bcast));
+    }
+    if (tracer != nullptr) {
+      // Rank tracks are assigned before any thread launches, so their
+      // tid order is deterministic regardless of thread scheduling.
+      const std::uint32_t pid = tracer->process("mpi");
+      for (int r = 0; r < ranks; ++r) {
+        auto& comm = comms[static_cast<std::size_t>(r)];
+        comm.tracer_ = tracer;
+        comm.track_ = tracer->thread(pid, "rank-" + std::to_string(r));
+      }
     }
 
     std::vector<std::thread> threads;
@@ -133,8 +143,16 @@ struct SpmdRunner {
     std::mutex error_mu;
     for (int r = 0; r < ranks; ++r) {
       threads.emplace_back([&, r] {
+        auto& comm = comms[static_cast<std::size_t>(r)];
+        // RAII: the rank span closes even when the body throws, so a
+        // failed rank can never leave an open span behind.
+        trace::Span rank_span;
+        if (comm.tracer_ != nullptr) {
+          rank_span = comm.tracer_->span(comm.track_, "rank", "rank");
+          rank_span.arg_num("rank", r);
+        }
         try {
-          body(comms[static_cast<std::size_t>(r)]);
+          body(comm);
         } catch (...) {
           std::lock_guard lk(error_mu);
           if (!first_error) first_error = std::current_exception();
@@ -155,11 +173,11 @@ struct SpmdRunner {
 };
 
 SpmdReport run_spmd(int ranks, const std::function<void(Communicator&)>& body,
-                    BcastAlgorithm bcast) {
+                    BcastAlgorithm bcast, trace::Tracer* tracer) {
   if (ranks <= 0) {
     throw std::invalid_argument("run_spmd: ranks must be positive");
   }
-  return SpmdRunner::run(ranks, body, bcast);
+  return SpmdRunner::run(ranks, body, bcast, tracer);
 }
 
 }  // namespace mdtask::mpi

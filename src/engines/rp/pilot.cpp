@@ -67,7 +67,23 @@ std::vector<std::shared_ptr<ComputeUnit>> UnitManager::submit_units(
   return units;
 }
 
-void UnitManager::wait_units() { agent_.wait_idle(); }
+void UnitManager::wait_units() {
+  agent_.wait_idle();
+  if (tracer_ != nullptr) {
+    tracer_->counter(client_track_, "db_roundtrips", tracer_->now_us(),
+                     static_cast<double>(metrics_.db_roundtrips.load(
+                         std::memory_order_relaxed)));
+  }
+}
+
+void UnitManager::enable_tracing(trace::Tracer& tracer) {
+  // Call before submit_units: the pool's enable_tracing publishes the
+  // tracer to agent threads; units already in flight stay untraced.
+  trace_pid_ = tracer.process("rp");
+  client_track_ = tracer.thread(trace_pid_, "client");
+  agent_.enable_tracing(tracer, trace_pid_, "agent-core");
+  tracer_ = &tracer;
+}
 
 void UnitManager::transition(ComputeUnit& unit, UnitState next) {
   // Every state change is written back to the database; this is the
@@ -92,36 +108,70 @@ UnitState ComputeUnit::wait() const {
 
 void UnitManager::run_unit(const std::shared_ptr<ComputeUnit>& unit) {
   metrics_.tasks_executed += 1;
+  // The unit span and the phase spans below are RAII: every early
+  // return (failed staging, throwing executable) still closes them.
+  const trace::Track* worker = ThreadPool::current_worker_track();
+  const trace::Track track =
+      (tracer_ != nullptr && worker != nullptr) ? *worker : client_track_;
+  trace::Span unit_span;
+  if (tracer_ != nullptr) {
+    unit_span = tracer_->span(track,
+                              unit->description_.name.empty()
+                                  ? std::string("unit")
+                                  : unit->description_.name,
+                              "unit");
+  }
   transition(*unit, UnitState::kStagingInput);
-  for (const auto& path : unit->description_.input_staging) {
-    auto data = fs_.get(path);
-    if (!data.ok()) {
-      unit->failure_ = data.error().to_string();
-      transition(*unit, UnitState::kFailed);
-      return;
+  {
+    trace::Span stage_span;
+    if (tracer_ != nullptr) {
+      stage_span = tracer_->span(track, "staging-input", "staging");
     }
-    metrics_.staged_bytes += data.value().size();
+    for (const auto& path : unit->description_.input_staging) {
+      auto data = fs_.get(path);
+      if (!data.ok()) {
+        unit->failure_ = data.error().to_string();
+        unit_span.arg("error", unit->failure_);
+        transition(*unit, UnitState::kFailed);
+        return;
+      }
+      metrics_.staged_bytes += data.value().size();
+    }
   }
   transition(*unit, UnitState::kAgentScheduling);
   transition(*unit, UnitState::kExecuting);
-  try {
-    if (unit->description_.executable) {
-      unit->description_.executable(fs_);
+  {
+    trace::Span exec_span;
+    if (tracer_ != nullptr) {
+      exec_span = tracer_->span(track, "executing", "task");
     }
-  } catch (const std::exception& e) {
-    unit->failure_ = e.what();
-    transition(*unit, UnitState::kFailed);
-    return;
-  }
-  transition(*unit, UnitState::kStagingOutput);
-  for (const auto& path : unit->description_.output_staging) {
-    if (!fs_.exists(path)) {
-      unit->failure_ = "missing declared output: " + path;
+    try {
+      if (unit->description_.executable) {
+        unit->description_.executable(fs_);
+      }
+    } catch (const std::exception& e) {
+      unit->failure_ = e.what();
+      unit_span.arg("error", unit->failure_);
       transition(*unit, UnitState::kFailed);
       return;
     }
-    auto data = fs_.get(path);
-    if (data.ok()) metrics_.staged_bytes += data.value().size();
+  }
+  transition(*unit, UnitState::kStagingOutput);
+  {
+    trace::Span stage_span;
+    if (tracer_ != nullptr) {
+      stage_span = tracer_->span(track, "staging-output", "staging");
+    }
+    for (const auto& path : unit->description_.output_staging) {
+      if (!fs_.exists(path)) {
+        unit->failure_ = "missing declared output: " + path;
+        unit_span.arg("error", unit->failure_);
+        transition(*unit, UnitState::kFailed);
+        return;
+      }
+      auto data = fs_.get(path);
+      if (data.ok()) metrics_.staged_bytes += data.value().size();
+    }
   }
   transition(*unit, UnitState::kDone);
 }

@@ -33,11 +33,19 @@ double fs_read_s(const sim::ClusterSpec& cluster, double bytes,
 double list_schedule(const FrameworkModel& model,
                      const sim::ClusterSpec& cluster,
                      const std::vector<double>& durations,
-                     std::vector<sim::ServiceInterval>* trace = nullptr) {
+                     std::vector<sim::ServiceInterval>* trace = nullptr,
+                     trace::Tracer* tracer = nullptr,
+                     std::uint32_t trace_pid = 0) {
   sim::Simulation simulation;
   sim::Resource scheduler(simulation, 1);
   sim::Resource cores(simulation, cluster.total_cores());
   cores.set_trace(trace);
+  if (tracer != nullptr) {
+    // Virtual-time spans: one "dispatch" track for the scheduler, one
+    // "core-<n>" track per simulated core.
+    scheduler.set_trace(tracer, trace_pid, "scheduler", "dispatch");
+    cores.set_trace(tracer, trace_pid, "core", "task");
+  }
   // The scheduler process runs on one of the machine's nodes, so its
   // service rate scales with the machine's core speed (Comet slightly
   // outperforms Wrangler in Figs. 2-3).
@@ -377,7 +385,7 @@ SimOutcome simulate_leaflet(const FrameworkModel& model,
 std::vector<double> leaflet_utilization_timeline(
     const FrameworkModel& model, const sim::ClusterSpec& cluster,
     int approach, const LfWorkload& workload, const KernelCosts& costs,
-    std::size_t buckets) {
+    std::size_t buckets, trace::Tracer* tracer, std::uint32_t trace_pid) {
   // Recreate the cell's map-task durations exactly as simulate_leaflet
   // does (shared helper below keeps the two in lockstep).
   const auto check = simulate_leaflet(model, cluster, approach, workload,
@@ -386,7 +394,7 @@ std::vector<double> leaflet_utilization_timeline(
   const auto durations =
       detail_leaflet_durations(model, cluster, approach, workload, costs);
   std::vector<sim::ServiceInterval> trace;
-  list_schedule(model, cluster, durations, &trace);
+  list_schedule(model, cluster, durations, &trace, tracer, trace_pid);
   return sim::utilization_timeline(trace, cluster.total_cores(), buckets);
 }
 

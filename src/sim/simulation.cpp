@@ -26,6 +26,36 @@ double Simulation::run() {
   return now_;
 }
 
+void Resource::set_trace(trace::Tracer* tracer, std::uint32_t pid,
+                         std::string server_prefix, std::string span_name) {
+  tracer_ = tracer;
+  if (tracer == nullptr) return;
+  trace_pid_ = pid;
+  slot_prefix_ = std::move(server_prefix);
+  span_name_ = std::move(span_name);
+  slot_tracks_.clear();
+  free_slots_.clear();
+  // Register the currently idle servers up front so tid order matches
+  // server order even before the first acquire.
+  for (std::size_t s = 0; s < free_; ++s) {
+    slot_tracks_.push_back(
+        tracer->thread(trace_pid_, slot_prefix_ + "-" + std::to_string(s)));
+    free_slots_.insert(s);
+  }
+}
+
+std::size_t Resource::take_slot() {
+  if (!free_slots_.empty()) {
+    const std::size_t slot = *free_slots_.begin();
+    free_slots_.erase(free_slots_.begin());
+    return slot;
+  }
+  const std::size_t slot = slot_tracks_.size();
+  slot_tracks_.push_back(tracer_->thread(
+      trace_pid_, slot_prefix_ + "-" + std::to_string(slot)));
+  return slot;
+}
+
 void Resource::acquire(double duration, Simulation::Callback on_complete) {
   if (free_ > 0) {
     --free_;
@@ -40,12 +70,25 @@ void Resource::start(double duration, Simulation::Callback on_complete) {
   if (trace_) {
     trace_->push_back({simulation_->now(), simulation_->now() + duration});
   }
-  simulation_->after(duration, [this, cb = std::move(on_complete)] {
+  // The DES knows the full interval at start time, so the span is
+  // recorded immediately with virtual timestamps — this is what makes
+  // simulated traces deterministic (no wall clock involved).
+  std::size_t slot = 0;
+  bool traced = false;
+  if (tracer_ != nullptr) {
+    slot = take_slot();
+    traced = true;
+    tracer_->complete(slot_tracks_[slot], span_name_, "task",
+                      simulation_->now() * 1e6, duration * 1e6);
+  }
+  simulation_->after(duration,
+                     [this, slot, traced, cb = std::move(on_complete)] {
     cb();
     if (to_remove_ > 0) {
       --to_remove_;  // this server leaves the pool instead of recycling
-      return;
+      return;        // its trace slot retires with it
     }
+    if (traced && tracer_ != nullptr) release_slot(slot);
     if (!pending_.empty()) {
       Pending next = std::move(pending_.front());
       pending_.pop_front();

@@ -1,0 +1,140 @@
+#include "mdtask/trace/chrome_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+namespace mdtask::trace {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Fixed three-decimal microsecond formatting: identical doubles always
+/// serialize identically (the golden-file determinism contract).
+void append_us(std::string& out, double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  out += buf;
+}
+
+void append_args(std::string& out, const Args& args) {
+  if (args.empty()) return;
+  out += ",\"args\":{";
+  bool first = true;
+  for (const auto& [key, value] : args) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, key);
+    out += "\":\"";
+    append_escaped(out, value);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_chrome_json(const Tracer& tracer,
+                           const ChromeExportOptions& options) {
+  auto events = tracer.events();
+  auto counters = tracer.counters();
+  auto names = tracer.track_names();
+
+  // Track metadata is always emitted in (pid, processes-first, tid)
+  // order so the header is stable regardless of registration
+  // interleaving across threads.
+  std::stable_sort(names.begin(), names.end(),
+                   [](const Tracer::TrackName& a, const Tracer::TrackName& b) {
+                     return std::make_tuple(a.track.pid, !a.is_process,
+                                            a.track.tid, a.name) <
+                            std::make_tuple(b.track.pid, !b.is_process,
+                                            b.track.tid, b.name);
+                   });
+  if (options.sort_events) {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return std::make_tuple(a.start_us, a.track.pid,
+                                              a.track.tid, a.name) <
+                              std::make_tuple(b.start_us, b.track.pid,
+                                              b.track.tid, b.name);
+                     });
+    std::stable_sort(counters.begin(), counters.end(),
+                     [](const CounterEvent& a, const CounterEvent& b) {
+                       return std::make_tuple(a.ts_us, a.track.pid,
+                                              a.track.tid, a.name) <
+                              std::make_tuple(b.ts_us, b.track.pid,
+                                              b.track.tid, b.name);
+                     });
+  }
+
+  std::string out;
+  out.reserve(256 + events.size() * 128 + counters.size() * 96);
+  out += "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&out, &first] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  if (options.metadata) {
+    for (const auto& n : names) {
+      sep();
+      out += "{\"ph\":\"M\",\"pid\":" + std::to_string(n.track.pid) +
+             ",\"tid\":" + std::to_string(n.track.tid) + ",\"name\":\"";
+      out += n.is_process ? "process_name" : "thread_name";
+      out += "\",\"args\":{\"name\":\"";
+      append_escaped(out, n.name);
+      out += "\"}}";
+    }
+  }
+  for (const auto& e : events) {
+    sep();
+    out += "{\"ph\":\"X\",\"pid\":" + std::to_string(e.track.pid) +
+           ",\"tid\":" + std::to_string(e.track.tid) + ",\"ts\":";
+    append_us(out, e.start_us);
+    out += ",\"dur\":";
+    append_us(out, e.dur_us);
+    out += ",\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.category);
+    out += '"';
+    append_args(out, e.args);
+    out += '}';
+  }
+  for (const auto& c : counters) {
+    sep();
+    out += "{\"ph\":\"C\",\"pid\":" + std::to_string(c.track.pid) +
+           ",\"tid\":" + std::to_string(c.track.tid) + ",\"ts\":";
+    append_us(out, c.ts_us);
+    out += ",\"name\":\"";
+    append_escaped(out, c.name);
+    out += "\",\"args\":{\"value\":";
+    append_us(out, c.value);
+    out += "}}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+}  // namespace mdtask::trace

@@ -1,0 +1,56 @@
+#include "mdtask/trace/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace mdtask::trace {
+namespace {
+
+/// Nearest-rank percentile of a sorted sample (q in (0, 1]).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, std::max<std::size_t>(1, rank) - 1)];
+}
+
+}  // namespace
+
+TraceSummary summarize(const Tracer& tracer) {
+  TraceSummary summary;
+
+  std::map<std::pair<std::string, std::string>, std::vector<double>> groups;
+  for (const auto& event : tracer.events()) {
+    groups[{event.category, event.name}].push_back(event.dur_us);
+  }
+  summary.spans.reserve(groups.size());
+  for (auto& [key, durations] : groups) {
+    std::sort(durations.begin(), durations.end());
+    SpanStats stats;
+    stats.category = key.first;
+    stats.name = key.second;
+    stats.count = durations.size();
+    for (const double d : durations) stats.total_us += d;
+    stats.p50_us = percentile(durations, 0.50);
+    stats.p95_us = percentile(durations, 0.95);
+    stats.max_us = durations.back();
+    summary.spans.push_back(std::move(stats));
+  }
+
+  std::map<std::string, CounterStats> counters;
+  for (const auto& sample : tracer.counters()) {
+    auto& c = counters[sample.name];
+    c.name = sample.name;
+    c.samples += 1;
+    c.last = sample.value;  // recording order; finals for monotonic counters
+    c.max = std::max(c.max, sample.value);
+  }
+  summary.counters.reserve(counters.size());
+  for (auto& [name, stats] : counters) {
+    summary.counters.push_back(std::move(stats));
+  }
+  return summary;
+}
+
+}  // namespace mdtask::trace

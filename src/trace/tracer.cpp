@@ -1,0 +1,84 @@
+#include "mdtask/trace/tracer.h"
+
+namespace mdtask::trace {
+
+Tracer& Tracer::global() noexcept {
+  static Tracer instance;
+  return instance;
+}
+
+std::uint32_t Tracer::process(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto [it, inserted] = pids_.try_emplace(name, next_pid_);
+  if (inserted) {
+    ++next_pid_;
+    names_.push_back({Track{it->second, 0}, true, name});
+  }
+  return it->second;
+}
+
+Track Tracer::thread(std::uint32_t pid, const std::string& name) {
+  std::lock_guard lk(mu_);
+  const std::uint32_t tid = next_tid_[pid]++;
+  Track track{pid, tid};
+  names_.push_back({track, false, name});
+  return track;
+}
+
+Track Tracer::named_thread(std::uint32_t pid, const std::string& name) {
+  std::lock_guard lk(mu_);
+  for (const auto& n : names_) {
+    if (!n.is_process && n.track.pid == pid && n.name == name) {
+      return n.track;
+    }
+  }
+  const std::uint32_t tid = next_tid_[pid]++;
+  Track track{pid, tid};
+  names_.push_back({track, false, name});
+  return track;
+}
+
+void Tracer::complete(Track track, std::string name, std::string category,
+                      double start_us, double dur_us, Args args) {
+  if (!enabled()) return;
+  TraceEvent event{std::move(name), std::move(category), track, start_us,
+                   dur_us, std::move(args)};
+  std::lock_guard lk(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::counter(Track track, std::string name, double ts_us,
+                     double value) {
+  if (!enabled()) return;
+  CounterEvent event{std::move(name), track, ts_us, value};
+  std::lock_guard lk(mu_);
+  counters_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lk(mu_);
+  return events_;
+}
+
+std::vector<CounterEvent> Tracer::counters() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
+std::vector<Tracer::TrackName> Tracer::track_names() const {
+  std::lock_guard lk(mu_);
+  return names_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lk(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard lk(mu_);
+  events_.clear();
+  counters_.clear();
+}
+
+}  // namespace mdtask::trace

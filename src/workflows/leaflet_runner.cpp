@@ -99,9 +99,7 @@ Result<LfRunResult> run_mpi(int approach, std::span<const Vec3> atoms,
   std::vector<PartialComponents> root_parts;
   double distribute_seconds = 0.0;
 
-  auto report = mpi::run_spmd(
-      static_cast<int>(std::max<std::size_t>(1, config.workers)),
-      [&](mpi::Communicator& comm) {
+  auto body = [&](mpi::Communicator& comm) {
         // Approach 1 really broadcasts the positions through the MPI
         // runtime (Fig. 8 measures this phase); other approaches assume
         // pre-partitioned data on the shared filesystem.
@@ -156,7 +154,10 @@ Result<LfRunResult> run_mpi(int approach, std::span<const Vec3> atoms,
             }
           }
         }
-      });
+  };
+  auto report = mpi::run_spmd(
+      static_cast<int>(std::max<std::size_t>(1, config.workers)), body,
+      mpi::BcastAlgorithm::kBinomialTree, config.tracer);
 
   if (memory_failed.load()) {
     return Error(ErrorCode::kResourceExhausted,
@@ -181,6 +182,7 @@ Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
   spark::SparkContext sc(
       spark::SparkConfig{.executor_threads = config.workers,
                          .task_memory_limit = config.task_memory_limit});
+  if (config.tracer != nullptr) sc.enable_tracing(*config.tracer);
 
   // Approach 1 broadcasts the full system; the others account only the
   // per-task block inputs (task-API style).
@@ -268,6 +270,7 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
   dask::DaskClient client(
       dask::DaskConfig{.workers = config.workers,
                        .task_memory_limit = config.task_memory_limit});
+  if (config.tracer != nullptr) client.enable_tracing(*config.tracer);
 
   // Approach 1: scatter/replicate the positions to workers (Dask's
   // broadcast is weaker than Spark's — modelled in the perf layer; here
@@ -358,6 +361,7 @@ Result<LfRunResult> run_rp(int approach, std::span<const Vec3> atoms,
                            double cutoff, const LfRunConfig& config) {
   const auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
   rp::UnitManager um(rp::PilotDescription{.cores = config.workers});
+  if (config.tracer != nullptr) um.enable_tracing(*config.tracer);
 
   WallTimer timer;
   std::vector<rp::ComputeUnitDescription> descriptions;
@@ -435,6 +439,17 @@ Result<LfRunResult> run_leaflet_finder(EngineKind engine, int approach,
   if (approach < 1 || approach > 4) {
     return Error(ErrorCode::kInvalidArgument,
                  "leaflet finder approach must be 1..4");
+  }
+  // Whole-run span on the shared "workflow" driver track, enclosing the
+  // engine-level spans the run emits below it in the timeline.
+  trace::Span run_span;
+  if (config.tracer != nullptr) {
+    const std::uint32_t pid = config.tracer->process("workflow");
+    run_span = config.tracer->span(
+        config.tracer->named_thread(pid, "driver"),
+        std::string("leaflet-finder/") + to_string(engine), "workflow");
+    run_span.arg_num("approach", approach);
+    run_span.arg_num("atoms", static_cast<double>(atoms.size()));
   }
   switch (engine) {
     case EngineKind::kMpi: return run_mpi(approach, atoms, cutoff, config);

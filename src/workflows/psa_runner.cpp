@@ -90,7 +90,8 @@ PsaRunResult run_psa_mpi(const traj::Ensemble& ensemble,
         if (comm.rank() == 0) {
           for (const auto& part : gathered) fill_matrix(result.matrix, part);
         }
-      });
+      },
+      mpi::BcastAlgorithm::kBinomialTree, config.tracer);
   result.metrics.wall_seconds = timer.seconds();
   result.metrics.tasks = blocks.size();
   result.metrics.shuffle_bytes = report.total.bytes_sent;
@@ -102,6 +103,7 @@ PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
   auto blocks = plan_blocks(ensemble, config);
   spark::SparkContext sc(
       spark::SparkConfig{.executor_threads = config.workers});
+  if (config.tracer != nullptr) sc.enable_tracing(*config.tracer);
   // The trajectory ensemble is a broadcast variable, as the paper's
   // PySpark implementation ships the file set description to executors.
   std::uint64_t ensemble_bytes = 0;
@@ -137,6 +139,7 @@ PsaRunResult run_psa_dask(const traj::Ensemble& ensemble,
                           const PsaRunConfig& config) {
   const auto blocks = plan_blocks(ensemble, config);
   dask::DaskClient client(dask::DaskConfig{.workers = config.workers});
+  if (config.tracer != nullptr) client.enable_tracing(*config.tracer);
   WallTimer timer;
   std::vector<dask::Future<std::vector<MatrixEntry>>> futures;
   futures.reserve(blocks.size());
@@ -158,6 +161,7 @@ PsaRunResult run_psa_rp(const traj::Ensemble& ensemble,
                         const PsaRunConfig& config) {
   const auto blocks = plan_blocks(ensemble, config);
   rp::UnitManager um(rp::PilotDescription{.cores = config.workers});
+  if (config.tracer != nullptr) um.enable_tracing(*config.tracer);
   WallTimer timer;
   std::vector<rp::ComputeUnitDescription> descriptions;
   descriptions.reserve(blocks.size());
@@ -211,6 +215,15 @@ std::size_t psa_effective_block_size(std::size_t n_trajectories,
 
 PsaRunResult run_psa(EngineKind engine, const traj::Ensemble& ensemble,
                      const PsaRunConfig& config) {
+  // Whole-run span on the shared "workflow" driver track.
+  trace::Span run_span;
+  if (config.tracer != nullptr) {
+    const std::uint32_t pid = config.tracer->process("workflow");
+    run_span = config.tracer->span(
+        config.tracer->named_thread(pid, "driver"),
+        std::string("psa/") + to_string(engine), "workflow");
+    run_span.arg_num("trajectories", static_cast<double>(ensemble.size()));
+  }
   switch (engine) {
     case EngineKind::kMpi: return run_psa_mpi(ensemble, config);
     case EngineKind::kSpark: return run_psa_spark(ensemble, config);

@@ -7,8 +7,10 @@
 
 #include "mdtask/common/timer.h"
 #include "mdtask/engines/dask/dask.h"
+#include "mdtask/engines/mpi/runtime.h"
 #include "mdtask/engines/rp/pilot.h"
 #include "mdtask/engines/spark/spark.h"
+#include "mdtask/trace/tracer.h"
 
 namespace mdtask {
 namespace {
@@ -119,6 +121,150 @@ TEST(RpFailureTest, MixedSuccessAndFailureUnitsCoexist) {
   EXPECT_EQ(units[0]->state(), rp::UnitState::kDone);
   EXPECT_EQ(units[1]->state(), rp::UnitState::kFailed);
   EXPECT_EQ(units[2]->state(), rp::UnitState::kFailed);
+}
+
+TEST(MpiFailureTest, RankExceptionPropagates) {
+  // One rank throws after the collective completes, so the other ranks
+  // exit cleanly (nobody is left blocked in a collective) and run_spmd
+  // rethrows the rank's error after joining everyone.
+  EXPECT_THROW(
+      mpi::run_spmd(4,
+                    [](mpi::Communicator& comm) {
+                      std::vector<int> v{comm.rank()};
+                      comm.allreduce(v, [](int a, int b) { return a + b; });
+                      if (comm.rank() == 1) {
+                        throw std::domain_error("rank 1 poisoned");
+                      }
+                    }),
+      std::domain_error);
+}
+
+TEST(MpiFailureTest, EmptyBcastAndGatherStayCorrect) {
+  auto report = mpi::run_spmd(3, [](mpi::Communicator& comm) {
+    // Zero-byte broadcast: every rank ends with an empty vector.
+    std::vector<double> payload;
+    if (comm.rank() == 0) payload.clear();
+    comm.bcast(payload, 0);
+    EXPECT_TRUE(payload.empty());
+    // Gather of empty contributions: root sees size() empty buffers.
+    const std::vector<int> mine;
+    auto gathered = comm.gather<int>(mine, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(gathered.size(), 3u);
+      for (const auto& g : gathered) EXPECT_TRUE(g.empty());
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+  EXPECT_GT(report.total.messages_sent, 0u);
+}
+
+TEST(MpiFailureTest, SkewedAllgatherStaysCorrect) {
+  // Rank r contributes r elements (maximally skewed contribution sizes,
+  // including one empty buffer) — every rank must still reassemble the
+  // full picture in rank order.
+  mpi::run_spmd(5, [](mpi::Communicator& comm) {
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()),
+                          comm.rank());
+    auto all = comm.allgather<int>(mine);
+    ASSERT_EQ(all.size(), 5u);
+    for (int r = 0; r < 5; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r));
+      for (const int x : all[static_cast<std::size_t>(r)]) EXPECT_EQ(x, r);
+    }
+  });
+}
+
+TEST(MpiFailureTest, TracingClosesSpansWhenRankThrows) {
+  trace::Tracer tracer;
+  tracer.set_enabled(true);
+  EXPECT_THROW(
+      mpi::run_spmd(
+          4,
+          [](mpi::Communicator& comm) {
+            std::vector<int> v{1};
+            comm.bcast(v, 0);  // opens and closes a collective span
+            if (comm.rank() == 2) throw std::runtime_error("mid-run");
+          },
+          mpi::BcastAlgorithm::kBinomialTree, &tracer),
+      std::runtime_error);
+  // The throwing rank's collective and whole-rank spans unwound through
+  // RAII: nothing is left open and every rank span was recorded.
+  EXPECT_EQ(tracer.open_spans(), 0);
+  int rank_spans = 0;
+  for (const auto& e : tracer.events()) {
+    if (e.name == "rank") ++rank_spans;
+  }
+  EXPECT_EQ(rank_spans, 4);
+}
+
+TEST(SparkFailureTest, TracingClosesSpansWhenTaskThrows) {
+  trace::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    spark::SparkContext sc;
+    sc.enable_tracing(tracer);
+    auto rdd = sc.parallelize(std::vector<int>{1, 2, 3, 4}, 4)
+                   .map([](const int& x) {
+                     if (x % 2 == 0) throw std::domain_error("boom");
+                     return x;
+                   });
+    EXPECT_THROW(rdd.collect(), std::domain_error);
+  }  // context teardown joins the executor pool
+  EXPECT_EQ(tracer.open_spans(), 0);
+  EXPECT_GT(tracer.event_count(), 0u);
+}
+
+TEST(DaskFailureTest, TracingClosesSpansWhenTaskThrows) {
+  trace::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    dask::DaskClient client(dask::DaskConfig{.workers = 2});
+    client.enable_tracing(tracer);
+    auto bad = client.submit([]() -> int { throw std::logic_error("x"); });
+    auto good = client.submit([] { return 3; });
+    EXPECT_THROW(bad.get(), std::logic_error);
+    EXPECT_EQ(good.get(), 3);
+  }  // client teardown drains workers
+  EXPECT_EQ(tracer.open_spans(), 0);
+  int task_spans = 0;
+  for (const auto& e : tracer.events()) {
+    if (e.name == "task") ++task_spans;
+  }
+  EXPECT_EQ(task_spans, 2);  // failed task still recorded its span
+}
+
+TEST(RpFailureTest, TracingClosesSpansOnUnitFailure) {
+  trace::Tracer tracer;
+  tracer.set_enabled(true);
+  rp::UnitManager um(rp::PilotDescription{.cores = 2});
+  um.enable_tracing(tracer);
+  std::vector<rp::ComputeUnitDescription> descriptions;
+  descriptions.push_back({.name = "thrower",
+                          .executable = [](rp::SharedFilesystem&) {
+                            throw std::logic_error("broken kernel");
+                          }});
+  descriptions.push_back({.name = "bad_input",
+                          .executable = [](rp::SharedFilesystem&) {},
+                          .input_staging = {"missing.bin"}});
+  descriptions.push_back({.name = "ok",
+                          .executable = [](rp::SharedFilesystem&) {}});
+  auto units = um.submit_units(std::move(descriptions));
+  um.wait_units();
+  EXPECT_EQ(units[0]->state(), rp::UnitState::kFailed);
+  EXPECT_EQ(units[1]->state(), rp::UnitState::kFailed);
+  EXPECT_EQ(units[2]->state(), rp::UnitState::kDone);
+  // Failed units unwound through their RAII unit/phase spans, and the
+  // failure reason was attached as a span arg.
+  EXPECT_EQ(tracer.open_spans(), 0);
+  bool saw_error_arg = false;
+  for (const auto& e : tracer.events()) {
+    for (const auto& [key, value] : e.args) {
+      if (key == "error" && !value.empty()) saw_error_arg = true;
+    }
+  }
+  EXPECT_TRUE(saw_error_arg);
 }
 
 TEST(RpFailureTest, WaitOnAlreadyTerminalUnitReturnsImmediately) {

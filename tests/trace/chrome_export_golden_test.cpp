@@ -1,0 +1,155 @@
+// Golden-file test for the Chrome trace exporter.
+//
+// A fixed-duration workload replayed through the DES produces spans
+// stamped with VIRTUAL time, so the exported JSON must be byte-identical
+// on every run, on every machine — the determinism contract that makes
+// traces diffable artifacts. The golden bytes live in
+// trace/golden/des_trace.json; regenerate with
+//   MDTASK_UPDATE_GOLDEN=1 ./trace_test --gtest_filter='*Golden*'
+// after an intentional format change, and review the diff.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mdtask/sim/simulation.h"
+#include "mdtask/trace/chrome_export.h"
+#include "mdtask/trace/tracer.h"
+
+namespace mdtask::trace {
+namespace {
+
+constexpr const char* kGoldenPath =
+    MDTASK_TEST_SOURCE_DIR "/trace/golden/des_trace.json";
+
+/// Replays a small fixed workload: 5 tasks with hard-coded durations
+/// staggered onto a 2-server resource (forcing queueing and slot reuse),
+/// a queue-depth counter, and one explicit span with args that exercise
+/// string escaping. No wall-clock value can reach the tracer.
+void replay_fixed_workload(Tracer& tracer) {
+  tracer.set_enabled(true);
+  const std::uint32_t pid = tracer.process("des");
+  const Track meta = tracer.named_thread(pid, "scheduler");
+
+  sim::Simulation simulation;
+  sim::Resource cores(simulation, 2);
+  cores.set_trace(&tracer, pid, "core", "task");
+
+  const double durations[] = {0.004, 0.002, 0.003, 0.001, 0.002};
+  for (int i = 0; i < 5; ++i) {
+    simulation.at(0.0005 * i, [&, i] {
+      cores.acquire(durations[i], [] {});
+      tracer.counter(meta, "queued", simulation.now() * 1e6,
+                     static_cast<double>(cores.queued()));
+    });
+  }
+  const double makespan = simulation.run();
+  tracer.complete(meta, "replay", "workflow", 0.0, makespan * 1e6,
+                  {{"tasks", "5"},
+                   {"note", "fixed \"golden\" workload\n(2 cores)"}});
+}
+
+std::string export_fixed_workload() {
+  Tracer tracer;
+  replay_fixed_workload(tracer);
+  ChromeExportOptions options;
+  options.sort_events = true;
+  return to_chrome_json(tracer, options);
+}
+
+TEST(ChromeExportGoldenTest, DesTraceMatchesGoldenBytes) {
+  const std::string actual = export_fixed_workload();
+
+  if (std::getenv("MDTASK_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated at " << kGoldenPath;
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << kGoldenPath
+      << " — regenerate with MDTASK_UPDATE_GOLDEN=1";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(actual, golden.str());
+}
+
+TEST(ChromeExportGoldenTest, ReplayIsByteIdenticalAcrossRuns) {
+  // Two independent simulations and two exports of the same tracer must
+  // all agree — any wall-clock leakage into the DES path breaks this.
+  const std::string first = export_fixed_workload();
+  const std::string second = export_fixed_workload();
+  EXPECT_EQ(first, second);
+
+  Tracer tracer;
+  replay_fixed_workload(tracer);
+  ChromeExportOptions options;
+  options.sort_events = true;
+  EXPECT_EQ(to_chrome_json(tracer, options), to_chrome_json(tracer, options));
+}
+
+TEST(ChromeExportGoldenTest, SortNormalizesRecordingOrder) {
+  // The same events recorded in different interleavings (as concurrent
+  // workers would) export identically once sort_events is on.
+  const auto record = [](Tracer& tracer, bool reversed) {
+    tracer.set_enabled(true);
+    const std::uint32_t pid = tracer.process("p");
+    const Track t0 = tracer.named_thread(pid, "w0");
+    const Track t1 = tracer.named_thread(pid, "w1");
+    if (reversed) {
+      tracer.complete(t1, "b", "test", 10.0, 5.0);
+      tracer.counter(t1, "n", 20.0, 2.0);
+      tracer.complete(t0, "a", "test", 0.0, 5.0);
+      tracer.counter(t0, "n", 10.0, 1.0);
+    } else {
+      tracer.complete(t0, "a", "test", 0.0, 5.0);
+      tracer.counter(t0, "n", 10.0, 1.0);
+      tracer.complete(t1, "b", "test", 10.0, 5.0);
+      tracer.counter(t1, "n", 20.0, 2.0);
+    }
+  };
+  Tracer forward;
+  record(forward, false);
+  Tracer reversed;
+  record(reversed, true);
+  ChromeExportOptions options;
+  options.sort_events = true;
+  EXPECT_EQ(to_chrome_json(forward, options),
+            to_chrome_json(reversed, options));
+}
+
+TEST(ChromeExportTest, EscapesStringsAndOmitsMetadataWhenAsked) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const std::uint32_t pid = tracer.process("quote\"slash\\");
+  tracer.complete(Track{pid, 0}, "tab\there", "line\nbreak", 1.0, 2.0,
+                  {{"k", "\x01"}});
+  const std::string with = to_chrome_json(tracer);
+  EXPECT_NE(with.find("quote\\\"slash\\\\"), std::string::npos);
+  EXPECT_NE(with.find("tab\\there"), std::string::npos);
+  EXPECT_NE(with.find("line\\nbreak"), std::string::npos);
+  EXPECT_NE(with.find("\\u0001"), std::string::npos);
+  EXPECT_NE(with.find("process_name"), std::string::npos);
+
+  ChromeExportOptions bare;
+  bare.metadata = false;
+  const std::string without = to_chrome_json(tracer, bare);
+  EXPECT_EQ(without.find("process_name"), std::string::npos);
+  EXPECT_NE(without.find("tab\\there"), std::string::npos);
+}
+
+TEST(ChromeExportTest, WriteChromeTraceReportsIoError) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.complete(Track{1, 0}, "x", "t", 0.0, 1.0);
+  const auto bad =
+      write_chrome_trace(tracer, "/nonexistent-dir/trace.json");
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace mdtask::trace

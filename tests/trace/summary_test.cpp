@@ -1,0 +1,102 @@
+// Trace summary aggregation: per-(category, name) duration percentiles
+// and counter finals, plus the table rendering the benches print.
+#include "mdtask/trace/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mdtask::trace {
+namespace {
+
+TEST(SummaryTest, EmptyTracerSummarizesToNothing) {
+  Tracer tracer;
+  const TraceSummary summary = summarize(tracer);
+  EXPECT_TRUE(summary.spans.empty());
+  EXPECT_TRUE(summary.counters.empty());
+}
+
+TEST(SummaryTest, NearestRankPercentilesOverUniformDurations) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const Track track{1, 0};
+  // Durations 1..100 us, recorded out of order: percentiles must not
+  // depend on recording order.
+  for (int i = 100; i >= 1; --i) {
+    tracer.complete(track, "op", "cat", 0.0, static_cast<double>(i));
+  }
+  const TraceSummary summary = summarize(tracer);
+  ASSERT_EQ(summary.spans.size(), 1u);
+  const SpanStats& s = summary.spans[0];
+  EXPECT_EQ(s.category, "cat");
+  EXPECT_EQ(s.name, "op");
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.total_us, 5050.0);
+  EXPECT_DOUBLE_EQ(s.p50_us, 50.0);  // nearest-rank
+  EXPECT_DOUBLE_EQ(s.p95_us, 95.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+}
+
+TEST(SummaryTest, SingleSpanHasDegeneratePercentiles) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.complete(Track{1, 0}, "lonely", "cat", 0.0, 7.0);
+  const TraceSummary summary = summarize(tracer);
+  ASSERT_EQ(summary.spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(summary.spans[0].p50_us, 7.0);
+  EXPECT_DOUBLE_EQ(summary.spans[0].p95_us, 7.0);
+  EXPECT_DOUBLE_EQ(summary.spans[0].max_us, 7.0);
+}
+
+TEST(SummaryTest, GroupsByCategoryAndNameInSortedOrder) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const Track track{1, 0};
+  tracer.complete(track, "task", "task", 0.0, 1.0);
+  tracer.complete(track, "bcast", "collective", 0.0, 2.0);
+  tracer.complete(track, "task", "task", 0.0, 3.0);  // same group
+  tracer.complete(track, "gather", "collective", 0.0, 4.0);
+  const TraceSummary summary = summarize(tracer);
+  ASSERT_EQ(summary.spans.size(), 3u);
+  EXPECT_EQ(summary.spans[0].name, "bcast");
+  EXPECT_EQ(summary.spans[1].name, "gather");
+  EXPECT_EQ(summary.spans[2].name, "task");
+  EXPECT_EQ(summary.spans[2].count, 2u);
+  EXPECT_DOUBLE_EQ(summary.spans[2].total_us, 4.0);
+}
+
+TEST(SummaryTest, CountersKeepLastAndMax) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const Track track{1, 0};
+  tracer.counter(track, "queued", 0.0, 3.0);
+  tracer.counter(track, "queued", 1.0, 9.0);
+  tracer.counter(track, "queued", 2.0, 4.0);
+  tracer.counter(track, "bytes", 0.0, 100.0);
+  const TraceSummary summary = summarize(tracer);
+  ASSERT_EQ(summary.counters.size(), 2u);
+  EXPECT_EQ(summary.counters[0].name, "bytes");  // sorted by name
+  EXPECT_EQ(summary.counters[1].name, "queued");
+  EXPECT_EQ(summary.counters[1].samples, 3u);
+  EXPECT_DOUBLE_EQ(summary.counters[1].last, 4.0);
+  EXPECT_DOUBLE_EQ(summary.counters[1].max, 9.0);
+}
+
+TEST(SummaryTest, TableRendersOneRowPerGroupPlusCounters) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const Track track{1, 0};
+  tracer.complete(track, "task", "task", 0.0, 1500.0);  // 1.5 ms
+  tracer.counter(track, "tasks_executed", 0.0, 42.0);
+  const std::string rendered =
+      to_table(summarize(tracer), "digest").render();
+  EXPECT_NE(rendered.find("digest"), std::string::npos);
+  EXPECT_NE(rendered.find("task"), std::string::npos);
+  EXPECT_NE(rendered.find("1.500"), std::string::npos);  // total_ms
+  EXPECT_NE(rendered.find("(counter)"), std::string::npos);
+  EXPECT_NE(rendered.find("tasks_executed"), std::string::npos);
+  EXPECT_NE(rendered.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdtask::trace

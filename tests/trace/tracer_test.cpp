@@ -1,0 +1,234 @@
+// Tracer/Span semantics: RAII closure (including during exception
+// unwinding), cross-thread recording, the disabled fast path, and track
+// registration — the contracts every instrumented engine relies on.
+#include "mdtask/trace/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mdtask::trace {
+namespace {
+
+TEST(TracerTest, DisabledTracerHandsOutInertSpans) {
+  Tracer tracer;  // disabled by default
+  {
+    Span span = tracer.span(Track{1, 0}, "work", "test");
+    EXPECT_FALSE(span.active());
+    span.arg("key", "value");  // must be a no-op, not a crash
+  }
+  tracer.complete(Track{1, 0}, "explicit", "test", 0.0, 1.0);
+  tracer.counter(Track{1, 0}, "count", 0.0, 1.0);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_TRUE(tracer.counters().empty());
+  EXPECT_EQ(tracer.open_spans(), 0);
+}
+
+TEST(TracerTest, SpanRecordsOnDestruction) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const Track track{tracer.process("p"), 0};
+  {
+    Span span = tracer.span(track, "work", "test");
+    EXPECT_TRUE(span.active());
+    EXPECT_EQ(tracer.open_spans(), 1);
+    EXPECT_EQ(tracer.event_count(), 0u);  // nothing recorded while open
+  }
+  EXPECT_EQ(tracer.open_spans(), 0);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST(TracerTest, NestedSpansCloseInnerFirstAndStayContained) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const Track track{tracer.process("p"), 0};
+  {
+    Span outer = tracer.span(track, "outer", "test");
+    {
+      Span inner = tracer.span(track, "inner", "test");
+      EXPECT_EQ(tracer.open_spans(), 2);
+    }
+    EXPECT_EQ(tracer.open_spans(), 1);
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner is recorded first (closed first), and its interval must lie
+  // inside the outer interval — what a trace viewer renders as nesting.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[0].start_us + events[0].dur_us,
+            events[1].start_us + events[1].dur_us);
+}
+
+TEST(TracerTest, SpanClosesDuringExceptionUnwinding) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const Track track{tracer.process("p"), 0};
+  try {
+    Span span = tracer.span(track, "doomed", "test");
+    span.arg("stage", "before-throw");
+    throw std::runtime_error("task failed");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(tracer.open_spans(), 0);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "doomed");
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].second, "before-throw");
+}
+
+TEST(TracerTest, EndIsIdempotentAndMoveTransfersOwnership) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const Track track{tracer.process("p"), 0};
+
+  Span a = tracer.span(track, "moved", "test");
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): tested
+  EXPECT_TRUE(b.active());
+  EXPECT_EQ(tracer.open_spans(), 1);
+
+  b.end();
+  EXPECT_EQ(tracer.open_spans(), 0);
+  b.end();  // second end must not double-record
+  EXPECT_EQ(tracer.event_count(), 1u);
+
+  // Move-assigning over an open span closes the target first.
+  Span c = tracer.span(track, "closed-by-assign", "test");
+  Span d = tracer.span(track, "survivor", "test");
+  c = std::move(d);
+  EXPECT_EQ(tracer.open_spans(), 1);
+  c.end();
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].name, "closed-by-assign");
+  EXPECT_EQ(events[2].name, "survivor");
+}
+
+TEST(TracerTest, NumericArgsRenderDeterministically) {
+  EXPECT_EQ(format_number(42.0), "42");
+  EXPECT_EQ(format_number(-7.0), "-7");
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(2.5), "2.5");
+  EXPECT_EQ(format_number(1.0 / 3.0), "0.333333");
+
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span span = tracer.span(Track{1, 0}, "args", "test");
+    span.arg_num("partition", 17);
+    span.arg_num("fraction", 0.25);
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].second, "17");
+  EXPECT_EQ(events[0].args[1].second, "0.25");
+}
+
+TEST(TracerTest, ProcessIsIdempotentAndThreadAllocatesFreshTids) {
+  Tracer tracer;
+  const std::uint32_t a = tracer.process("spark");
+  const std::uint32_t b = tracer.process("dask");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracer.process("spark"), a);
+
+  const Track t0 = tracer.thread(a, "worker");
+  const Track t1 = tracer.thread(a, "worker");  // same name, fresh tid
+  EXPECT_EQ(t0.pid, a);
+  EXPECT_NE(t0.tid, t1.tid);
+  // tids are per-process: the other pid restarts from its own sequence.
+  EXPECT_EQ(tracer.thread(b, "worker").tid, t0.tid);
+}
+
+TEST(TracerTest, NamedThreadReusesExistingTrack) {
+  Tracer tracer;
+  const std::uint32_t pid = tracer.process("workflow");
+  const Track first = tracer.named_thread(pid, "driver");
+  const Track again = tracer.named_thread(pid, "driver");
+  EXPECT_EQ(first.tid, again.tid);
+  EXPECT_NE(tracer.named_thread(pid, "other").tid, first.tid);
+  // Same name under a different pid is a distinct track.
+  const std::uint32_t pid2 = tracer.process("engine");
+  EXPECT_EQ(tracer.named_thread(pid2, "driver").pid, pid2);
+}
+
+TEST(TracerTest, CrossThreadSpansAllRecorded) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const std::uint32_t pid = tracer.process("pool");
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 250;
+
+  std::vector<Track> tracks;
+  tracks.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    std::string name = "w";
+    name += std::to_string(t);
+    tracks.push_back(tracer.thread(pid, name));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, track = tracks[static_cast<std::size_t>(
+                              t)]] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span = tracer.span(track, "op", "test");
+        span.arg_num("i", i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(tracer.open_spans(), 0);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  std::vector<int> per_tid(kThreads, 0);
+  for (const auto& e : events) {
+    ASSERT_LT(e.track.tid, static_cast<std::uint32_t>(kThreads));
+    ++per_tid[e.track.tid];
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_tid[t], kSpansPerThread);
+}
+
+TEST(TracerTest, ClearDropsEventsButKeepsTracksAndToggle) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const std::uint32_t pid = tracer.process("p");
+  const Track track = tracer.thread(pid, "t");
+  tracer.complete(track, "a", "test", 0.0, 1.0);
+  tracer.counter(track, "c", 0.0, 2.0);
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_TRUE(tracer.counters().empty());
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_EQ(tracer.track_names().size(), 2u);  // process + thread survive
+  // The pid/tid sequences continue, they do not restart.
+  EXPECT_EQ(tracer.process("p"), pid);
+  EXPECT_EQ(tracer.thread(pid, "t2").tid, track.tid + 1);
+}
+
+TEST(TracerTest, ScopedSpanMacroRecords) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const Track track{tracer.process("p"), 0};
+  {
+    MDTASK_SCOPED_SPAN(span, tracer, track, "macro", "test");
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "macro");
+}
+
+}  // namespace
+}  // namespace mdtask::trace
