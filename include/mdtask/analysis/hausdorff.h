@@ -11,6 +11,7 @@
 #include <functional>
 #include <span>
 
+#include "mdtask/kernels/policy.h"
 #include "mdtask/traj/trajectory.h"
 
 namespace mdtask::analysis {
@@ -33,13 +34,29 @@ double hausdorff_early_break(const traj::Trajectory& t1,
                              const traj::Trajectory& t2,
                              const FrameMetric& metric);
 
-/// Convenience overloads with the default positional-RMSD frame metric.
+/// Overloads with the default positional-RMSD frame metric. These take
+/// the devirtualized fast path: the frame metric is called directly on a
+/// packed SoA layout (mdtask::kernels) instead of through the
+/// std::function indirection, with the batch kernel variant selected by
+/// `policy`. kScalar reproduces the seed's values and evaluation counts
+/// bit-for-bit; kBlocked adds tiling (identical values, early break at
+/// tile granularity); kVectorized additionally accumulates in single
+/// precision (values equal to ~1e-6 relative). The policy defaults to
+/// kernels::default_policy() (env MDTASK_KERNEL_POLICY).
+double hausdorff_naive(const traj::Trajectory& t1, const traj::Trajectory& t2,
+                       kernels::KernelPolicy policy);
+double hausdorff_early_break(const traj::Trajectory& t1,
+                             const traj::Trajectory& t2,
+                             kernels::KernelPolicy policy);
 double hausdorff_naive(const traj::Trajectory& t1, const traj::Trajectory& t2);
 double hausdorff_early_break(const traj::Trajectory& t1,
                              const traj::Trajectory& t2);
 
 /// Counts metric evaluations; used by tests/ablations to demonstrate the
 /// early-break saving. Both run to completion and must agree on value.
+/// On the blocked/vectorized paths the early-break count is at tile
+/// granularity and can exceed the scalar per-pair count, but never the
+/// naive frames^2 total.
 struct HausdorffProfile {
   double distance = 0.0;
   std::size_t metric_evals = 0;
@@ -48,5 +65,11 @@ HausdorffProfile hausdorff_naive_profiled(const traj::Trajectory& t1,
                                           const traj::Trajectory& t2);
 HausdorffProfile hausdorff_early_break_profiled(const traj::Trajectory& t1,
                                                 const traj::Trajectory& t2);
+HausdorffProfile hausdorff_naive_profiled(const traj::Trajectory& t1,
+                                          const traj::Trajectory& t2,
+                                          kernels::KernelPolicy policy);
+HausdorffProfile hausdorff_early_break_profiled(const traj::Trajectory& t1,
+                                                const traj::Trajectory& t2,
+                                                kernels::KernelPolicy policy);
 
 }  // namespace mdtask::analysis

@@ -74,10 +74,29 @@ std::vector<Edge> lf_edges_1d(std::span<const traj::Vec3> all_atoms,
 std::vector<Edge> lf_edges_2d(std::span<const traj::Vec3> all_atoms,
                               const BlockPair& block, double cutoff);
 
+/// Policy-selected variants of the cdist map kernels. kScalar runs the
+/// materializing cdist path above, bit-identical to the seed (including
+/// its sqrt-then-compare predicate). kBlocked/kVectorized stream the
+/// block through the cache-blocked cutoff kernel instead — no dense
+/// block is materialized, and the predicate is the squared-distance form
+/// `dist2 <= cutoff^2` (the same one edges_within_cutoff and the
+/// serial reference use).
+std::vector<Edge> lf_edges_1d(std::span<const traj::Vec3> all_atoms,
+                              const AtomChunk& chunk, double cutoff,
+                              kernels::KernelPolicy policy);
+std::vector<Edge> lf_edges_2d(std::span<const traj::Vec3> all_atoms,
+                              const BlockPair& block, double cutoff,
+                              kernels::KernelPolicy policy);
+
 /// Map kernel, approach 4: edges within one 2-D block via a BallTree over
-/// the column chunk queried by the row chunk atoms.
+/// the column chunk queried by the row chunk atoms. The policy overload
+/// forwards to the BallTree leaf-scan kernel (identical hit sets under
+/// every policy); the 3-arg form uses kernels::default_policy().
 std::vector<Edge> lf_edges_tree(std::span<const traj::Vec3> all_atoms,
                                 const BlockPair& block, double cutoff);
+std::vector<Edge> lf_edges_tree(std::span<const traj::Vec3> all_atoms,
+                                const BlockPair& block, double cutoff,
+                                kernels::KernelPolicy policy);
 
 /// Bytes a map task's cdist block materializes for the given block shape;
 /// drives the paper's memory-pressure behaviour (42k tasks at 4M atoms,

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "mdtask/kernels/policy.h"
 #include "mdtask/traj/vec3.h"
 
 namespace mdtask::analysis {
@@ -56,5 +57,18 @@ std::vector<Edge> edges_within_cutoff(std::span<const traj::Vec3> xs,
                                       std::span<const std::uint32_t> x_ids,
                                       std::span<const std::uint32_t> y_ids,
                                       double cutoff);
+
+/// Policy-selected variant: kScalar runs the streaming scan above;
+/// kBlocked/kVectorized pack both point sets into SoA lanes and run the
+/// cache-blocked cutoff kernel (mdtask/kernels/batch.h). Positions are
+/// already single precision, so the per-pair predicate is the exact
+/// `dist2(p, q) <= cutoff^2` of the scalar scan under every policy; the
+/// edge list (values and order) is identical.
+std::vector<Edge> edges_within_cutoff(std::span<const traj::Vec3> xs,
+                                      std::span<const traj::Vec3> ys,
+                                      std::span<const std::uint32_t> x_ids,
+                                      std::span<const std::uint32_t> y_ids,
+                                      double cutoff,
+                                      kernels::KernelPolicy policy);
 
 }  // namespace mdtask::analysis

@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "mdtask/common/error.h"
+#include "mdtask/common/thread_pool.h"
+#include "mdtask/kernels/policy.h"
+#include "mdtask/trace/tracer.h"
 #include "mdtask/traj/trajectory.h"
 
 namespace mdtask::analysis {
@@ -60,14 +63,32 @@ Result<std::vector<PsaBlock>> make_psa_blocks(std::size_t n_trajectories,
 enum class HausdorffKernel { kNaive, kEarlyBreak };
 
 /// Computes one block of the distance matrix into `out` (which must be
-/// N x N). This is the per-task kernel every engine schedules.
+/// N x N). This is the per-task kernel every engine schedules. `policy`
+/// selects the batch-kernel implementation (mdtask/kernels/policy.h);
+/// row trajectories are packed once per block, not once per pair.
+void compute_psa_block(const traj::Ensemble& ensemble, const PsaBlock& block,
+                       HausdorffKernel kernel, kernels::KernelPolicy policy,
+                       DistanceMatrix& out);
 void compute_psa_block(const traj::Ensemble& ensemble, const PsaBlock& block,
                        HausdorffKernel kernel, DistanceMatrix& out);
 
 /// Serial reference: full PSA matrix. Ensemble members must share a
 /// topology (equal atom counts); frame counts may differ.
 DistanceMatrix psa_reference(const traj::Ensemble& ensemble,
-                             HausdorffKernel kernel = HausdorffKernel::kNaive);
+                             HausdorffKernel kernel = HausdorffKernel::kNaive,
+                             kernels::KernelPolicy policy =
+                                 kernels::default_policy());
+
+/// Shared-memory parallel PSA: the blocks of Alg. 2 are scheduled as
+/// tile tasks on `pool`, each computing its slice with the selected
+/// batch-kernel policy. When `tracer` is set every tile emits a span on
+/// the executing worker's track (category "kernels"), so the kernel
+/// speedups are visible in --trace output. Identical matrix to
+/// psa_reference under the same policy.
+DistanceMatrix psa_parallel(const traj::Ensemble& ensemble,
+                            HausdorffKernel kernel,
+                            kernels::KernelPolicy policy, ThreadPool& pool,
+                            trace::Tracer* tracer = nullptr);
 
 /// Discrete-Frechet variants: PSA's second published metric (Seyler et
 /// al. 2015). Same blocking/partitioning as the Hausdorff kernels.

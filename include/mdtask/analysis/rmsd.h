@@ -6,11 +6,27 @@
 // pipeline and, as an extension, the rotationally-minimized Kabsch RMSD.
 #pragma once
 
+#include <array>
 #include <span>
 
 #include "mdtask/traj/vec3.h"
 
 namespace mdtask::analysis {
+
+namespace detail {
+
+/// Largest eigenvalue of a symmetric 4x4 matrix (the Davenport key
+/// matrix of kabsch_rmsd). Power iteration with a Gershgorin shift
+/// handles the common well-separated case in a few iterations; when the
+/// top eigenvalues are (near-)degenerate — planar or otherwise
+/// degenerate conformations — the iteration cannot converge, and the
+/// result is polished by Newton's method on the characteristic
+/// polynomial, started from the Gershgorin upper bound (monotone
+/// convergence to the largest real root of a symmetric matrix).
+/// Exposed for the degenerate-conformation regression tests.
+double max_eigenvalue_sym4(const std::array<std::array<double, 4>, 4>& m);
+
+}  // namespace detail
 
 /// Positional RMSD between two equally-sized frames (no superposition):
 ///   sqrt( (1/N) * sum_i |a_i - b_i|^2 ).

@@ -17,8 +17,11 @@
 
 namespace mdtask::cpptraj {
 
-/// Which build of the kernel to run (Fig. 6's two curves).
-enum class Rmsd2dKernel { kReference, kOptimized };
+/// Which build of the kernel to run. kReference and kOptimized are
+/// Fig. 6's two curves; kTiled is the batch-kernel successor running the
+/// cache-blocked SoA kernel of mdtask/kernels/batch.h (vectorized
+/// policy).
+enum class Rmsd2dKernel { kReference, kOptimized, kTiled };
 
 /// All-pairs frame RMSD between two trajectories, row-major
 /// [t1.frames() x t2.frames()]. Reference build (compiled -O0).
@@ -28,6 +31,13 @@ std::vector<double> rmsd2d_block_reference(const traj::Trajectory& t1,
 /// Same contract, optimized build (compiled -O3, blocked accumulation).
 std::vector<double> rmsd2d_block_optimized(const traj::Trajectory& t1,
                                            const traj::Trajectory& t2);
+
+/// Same contract via the tiled SoA batch kernel (kernels::rmsd2d_packed,
+/// kVectorized policy): packs both trajectories once and fills the
+/// matrix in kFrameTile x kFrameTile tiles. Values agree with the other
+/// kernels to ~1e-6 relative (single-precision lane accumulation).
+std::vector<double> rmsd2d_block_tiled(const traj::Trajectory& t1,
+                                       const traj::Trajectory& t2);
 
 /// Dispatches on the kernel enum.
 std::vector<double> rmsd2d_block(const traj::Trajectory& t1,

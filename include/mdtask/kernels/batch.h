@@ -1,0 +1,100 @@
+// Vectorized, cache-blocked batch kernels over packed frames.
+//
+// These are the compute cores behind the PSA Hausdorff distance, the
+// cpptraj 2D-RMSD comparator and the Leaflet Finder cutoff graph. Each
+// kernel takes a KernelPolicy selecting the scalar reference, the
+// cache-blocked single-accumulator variant (bit-identical results) or
+// the SIMD-lane variant (single-precision accumulation with periodic
+// double drains, ~1e-6 relative differences; the cutoff predicate
+// kernel emits identical pair lists under every policy).
+//
+// Distances are compared in the squared-sum domain wherever possible:
+// sqrt and the division by the atom count are monotone, so min/max and
+// early-break decisions commute with them and only one sqrt per reduced
+// value is ever taken.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mdtask/common/thread_pool.h"
+#include "mdtask/kernels/frame_pack.h"
+#include "mdtask/kernels/policy.h"
+#include "mdtask/trace/tracer.h"
+
+namespace mdtask::kernels {
+
+/// Frames per inner tile of the one-to-many and 2-D kernels. The
+/// Hausdorff early break applies at this granularity on the blocked
+/// paths; equivalence tests exercise sizes of kFrameTile +/- 1.
+inline constexpr std::size_t kFrameTile = 16;
+
+/// Column-tile width (points) of the blocked cutoff kernel.
+inline constexpr std::size_t kCutoffTile = 256;
+
+/// Sum of squared coordinate differences between frame `frame_a` of `a`
+/// and frame `frame_b` of `b` (the pre-sqrt RMSD numerator). Scalar and
+/// blocked policies reproduce the seed's accumulation order exactly.
+double frame_sumsq_packed(const FramePack& a, std::size_t frame_a,
+                          const FramePack& b, std::size_t frame_b,
+                          KernelPolicy policy) noexcept;
+
+/// One frame of A against the frame block [j_begin, j_end) of B: writes
+/// the per-frame squared sums to out_sumsq[j - j_begin] and returns the
+/// minimum over the block (+inf for an empty block). This is the tile
+/// primitive the blocked Hausdorff scan is built from.
+double sumsq_one_to_many(const FramePack& a, std::size_t frame_a,
+                         const FramePack& b, std::size_t j_begin,
+                         std::size_t j_end, std::span<double> out_sumsq,
+                         KernelPolicy policy) noexcept;
+
+/// Directed Hausdorff h(A -> B) over packed trajectories, RMSD frame
+/// metric. With `early_break`, the Taha-Hanbury cutoff is applied at
+/// kFrameTile granularity: a row's inner scan stops after the first tile
+/// whose running minimum can no longer raise the directed maximum, so
+/// the evaluation count never exceeds the naive frames(A) x frames(B)
+/// and the value is identical. `evals` (optional) accumulates the number
+/// of frame pairs evaluated.
+double hausdorff_directed_packed(const FramePack& a, const FramePack& b,
+                                 bool early_break, KernelPolicy policy,
+                                 std::size_t* evals = nullptr) noexcept;
+
+/// Symmetric Hausdorff max(h(A->B), h(B->A)) over packed trajectories.
+double hausdorff_packed(const FramePack& a, const FramePack& b,
+                        bool early_break, KernelPolicy policy,
+                        std::size_t* evals = nullptr) noexcept;
+
+/// Tiled all-pairs frame RMSD (the cpptraj "2D-RMSD" comparator):
+/// out[i * b.frames() + j] = rmsd(a[i], b[j]); out.size() must be
+/// a.frames() * b.frames(). Tiles of kFrameTile x kFrameTile frames keep
+/// the B-side tile hot across the A-side rows.
+void rmsd2d_packed(const FramePack& a, const FramePack& b,
+                   KernelPolicy policy, std::span<double> out) noexcept;
+
+/// Same kernel with the row-tile loop parallelized over `pool`. When
+/// `tracer` is non-null each tile task emits a span on the executing
+/// worker's track (category "kernels"), so per-tile speedups are visible
+/// in --trace output.
+void rmsd2d_packed_parallel(const FramePack& a, const FramePack& b,
+                            KernelPolicy policy, ThreadPool& pool,
+                            trace::Tracer* tracer, std::span<double> out);
+
+/// A (row, col) hit of the cutoff kernel, indices local to the packs.
+struct IndexPair {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+
+  friend bool operator==(const IndexPair&, const IndexPair&) = default;
+};
+
+/// Appends every (i, j) with |rows[i] - cols[j]|^2 <= cutoff^2 to `out`,
+/// in row-major scan order. Operates on frame 0 of each pack (the
+/// point-cloud convention of pack_points). The squared-distance
+/// expression matches traj::dist2 exactly, so all three policies emit
+/// identical pair lists.
+void cutoff_pairs_packed(const FramePack& rows, const FramePack& cols,
+                         double cutoff, KernelPolicy policy,
+                         std::vector<IndexPair>& out);
+
+}  // namespace mdtask::kernels

@@ -1,0 +1,84 @@
+// Packed structure-of-arrays frame storage for the batch kernels.
+//
+// A FramePack holds the same [frames x atoms] positions as a
+// traj::Trajectory, but each frame's coordinates are split into three
+// contiguous float lanes (all x, then all y, then all z), each lane
+// 64-byte aligned and padded to a multiple of 16 floats. The layout lets
+// the distance kernels stream unit-stride float loads that convert
+// cleanly to double SIMD lanes, instead of the AoS Vec3 gather pattern.
+// Padding floats are zero in both operands of a sum-of-squares kernel,
+// so they contribute exactly 0 and loops may run over either the exact
+// atom count or the padded stride.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+
+#include "mdtask/traj/trajectory.h"
+#include "mdtask/traj/vec3.h"
+
+namespace mdtask::kernels {
+
+/// Lane alignment in bytes (one cache line / one AVX-512 vector).
+inline constexpr std::size_t kLaneAlignment = 64;
+
+/// Lane padding granularity in floats (kLaneAlignment / sizeof(float)).
+inline constexpr std::size_t kLanePadFloats = kLaneAlignment / sizeof(float);
+
+class FramePack {
+ public:
+  FramePack() = default;
+
+  /// Allocates a zero-initialized pack of the given shape.
+  FramePack(std::size_t n_frames, std::size_t n_atoms);
+
+  FramePack(FramePack&& other) noexcept;
+  FramePack& operator=(FramePack&& other) noexcept;
+  FramePack(const FramePack&) = delete;
+  FramePack& operator=(const FramePack&) = delete;
+  ~FramePack();
+
+  std::size_t frames() const noexcept { return n_frames_; }
+  std::size_t atoms() const noexcept { return n_atoms_; }
+  /// Floats per lane (atoms rounded up to kLanePadFloats).
+  std::size_t stride() const noexcept { return stride_; }
+  bool empty() const noexcept { return n_frames_ == 0 || n_atoms_ == 0; }
+  std::size_t byte_size() const noexcept {
+    return n_frames_ * 3 * stride_ * sizeof(float);
+  }
+
+  /// Coordinate lanes of frame `f`; each points at `stride()` floats of
+  /// which the first `atoms()` are live and the rest are zero.
+  const float* x(std::size_t f) const noexcept { return lane(f, 0); }
+  const float* y(std::size_t f) const noexcept { return lane(f, 1); }
+  const float* z(std::size_t f) const noexcept { return lane(f, 2); }
+  float* x(std::size_t f) noexcept { return lane(f, 0); }
+  float* y(std::size_t f) noexcept { return lane(f, 1); }
+  float* z(std::size_t f) noexcept { return lane(f, 2); }
+
+  /// Overwrites frame `f` from an AoS position span (size == atoms()).
+  void set_frame(std::size_t f, std::span<const traj::Vec3> positions);
+
+ private:
+  const float* lane(std::size_t f, std::size_t axis) const noexcept {
+    return data_ + (f * 3 + axis) * stride_;
+  }
+  float* lane(std::size_t f, std::size_t axis) noexcept {
+    return data_ + (f * 3 + axis) * stride_;
+  }
+
+  std::size_t n_frames_ = 0;
+  std::size_t n_atoms_ = 0;
+  std::size_t stride_ = 0;
+  float* data_ = nullptr;  ///< 64-byte aligned, frames * 3 * stride floats
+};
+
+/// Packs a whole trajectory ([frames x atoms]).
+FramePack pack_trajectory(const traj::Trajectory& t);
+
+/// Packs a point cloud as a single-frame pack (atoms == points.size()).
+FramePack pack_points(std::span<const traj::Vec3> points);
+
+}  // namespace mdtask::kernels

@@ -7,7 +7,10 @@
 // `core_speed` then rescales them to the simulated testbed.
 #pragma once
 
+#include <array>
 #include <cstddef>
+
+#include "mdtask/kernels/policy.h"
 
 namespace mdtask::perf {
 
@@ -32,6 +35,24 @@ struct KernelCosts {
   double rmsd2d_atom_naive = 0.0;
   /// Same, optimized kernel (the "Intel -O3" build of Fig. 6).
   double rmsd2d_atom_optimized = 0.0;
+
+  // ---- per-policy batch-kernel figures (mdtask/kernels) ----
+  // Indexed by static_cast<std::size_t>(kernels::KernelPolicy); measured
+  // from the same workloads as the scalar figures above so the speedup
+  // ratios are directly comparable.
+
+  /// Hausdorff pair cost per (frame-pair x atom) under each policy.
+  std::array<double, kernels::kPolicyCount> hausdorff_unit_by_policy{};
+  /// Streaming cutoff scan cost per candidate pair under each policy.
+  std::array<double, kernels::kPolicyCount> cutoff_element_by_policy{};
+  /// 2D-RMSD cost per (frame-pair x atom) under each policy.
+  std::array<double, kernels::kPolicyCount> rmsd2d_atom_by_policy{};
+
+  /// Which policy produced the scalar figures the simulations charge
+  /// (hausdorff_unit, cdist_element, rmsd2d_atom_*). Always kScalar:
+  /// the DES reproduces the paper's unvectorized Python/C++ pipelines,
+  /// so the virtual-time curves are unaffected by the batch kernels.
+  kernels::KernelPolicy simulation_policy = kernels::KernelPolicy::kScalar;
 };
 
 /// Runs the micro-measurements (a few hundred ms total). Deterministic

@@ -36,6 +36,11 @@ struct LfRunConfig {
   /// Approaches 3-4: merge partial components inside the framework as a
   /// tree reduce (true) or gather-and-merge at the driver (false).
   bool tree_reduce = true;
+  /// Batch-kernel policy for edge discovery (mdtask/kernels/policy.h):
+  /// kScalar materializes cdist blocks exactly as the seed; blocked and
+  /// vectorized stream the cutoff kernel. The default honours
+  /// MDTASK_KERNEL_POLICY.
+  kernels::KernelPolicy kernel_policy = kernels::default_policy();
   /// When set, the run registers engine/worker tracks on this tracer and
   /// emits spans for stages, tasks, collectives and staging phases
   /// (export with trace::write_chrome_trace).

@@ -31,6 +31,10 @@ struct PsaRunConfig {
   /// (the paper generates one task per core).
   std::size_t block_size = 0;
   PsaMetric metric = PsaMetric::kHausdorff;
+  /// Batch-kernel policy the map tasks compute their blocks with
+  /// (mdtask/kernels/policy.h). kScalar reproduces the seed's arithmetic
+  /// bit-for-bit; the default honours MDTASK_KERNEL_POLICY.
+  kernels::KernelPolicy kernel_policy = kernels::default_policy();
   /// When set, the run registers engine/worker tracks on this tracer and
   /// emits spans for the engine's tasks and collectives.
   trace::Tracer* tracer = nullptr;

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Diff a bench_kernels --json run against the committed baseline.
+
+Usage:
+    bench_kernels --json --quick --out=current.json
+    python3 scripts/check_bench_regression.py \
+        --baseline bench/BENCH_kernels.json --current current.json \
+        [--max-regression 0.25] \
+        [--min-speedup hausdorff_rmsd=2.0 --min-speedup leaflet_cutoff=2.0]
+
+Exit status is non-zero when any (kernel, policy) cell is more than
+--max-regression slower than the baseline, or when a --min-speedup
+kernel's vectorized/scalar ratio falls below the requested factor.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(e["kernel"], e["policy"]): e["ns_per_unit"]
+            for e in doc["entries"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--max-regression", type=float, default=0.25,
+                    help="fail when current > baseline * (1 + this)")
+    ap.add_argument("--min-speedup", action="append", default=[],
+                    metavar="KERNEL=FACTOR",
+                    help="fail when vectorized is not FACTOR x faster "
+                         "than scalar for KERNEL (repeatable)")
+    args = ap.parse_args()
+
+    baseline = load_entries(args.baseline)
+    current = load_entries(args.current)
+
+    failures = []
+    for key, base_ns in sorted(baseline.items()):
+        kernel, policy = key
+        cur_ns = current.get(key)
+        if cur_ns is None:
+            failures.append(f"{kernel}/{policy}: missing from current run")
+            continue
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.max_regression:
+            status = "REGRESSION"
+            failures.append(
+                f"{kernel}/{policy}: {cur_ns:.2f} ns vs baseline "
+                f"{base_ns:.2f} ns ({ratio:.2f}x, limit "
+                f"{1.0 + args.max_regression:.2f}x)")
+        print(f"{kernel:<16} {policy:<12} baseline {base_ns:>9.2f}  "
+              f"current {cur_ns:>9.2f}  ratio {ratio:5.2f}  {status}")
+
+    for spec in args.min_speedup:
+        kernel, _, factor = spec.partition("=")
+        factor = float(factor)
+        scalar = current.get((kernel, "scalar"))
+        vectorized = current.get((kernel, "vectorized"))
+        if scalar is None or vectorized is None:
+            failures.append(f"{kernel}: scalar/vectorized cells missing")
+            continue
+        speedup = scalar / vectorized if vectorized > 0 else float("inf")
+        ok = speedup >= factor
+        print(f"{kernel:<16} vectorized speedup {speedup:5.2f}x "
+              f"(required {factor:.2f}x)  {'ok' if ok else 'TOO SLOW'}")
+        if not ok:
+            failures.append(
+                f"{kernel}: vectorized speedup {speedup:.2f}x < "
+                f"required {factor:.2f}x")
+
+    if failures:
+        print("\nFAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall kernel benchmarks within limits")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

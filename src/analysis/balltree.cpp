@@ -6,7 +6,9 @@
 
 namespace mdtask::analysis {
 
-BallTree::BallTree(std::span<const traj::Vec3> points, std::size_t leaf_size) {
+BallTree::BallTree(std::span<const traj::Vec3> points, std::size_t leaf_size,
+                   kernels::KernelPolicy policy)
+    : policy_(policy) {
   points_.assign(points.begin(), points.end());
   ids_.resize(points_.size());
   std::iota(ids_.begin(), ids_.end(), 0u);
@@ -14,6 +16,16 @@ BallTree::BallTree(std::span<const traj::Vec3> points, std::size_t leaf_size) {
     nodes_.reserve(2 * points_.size() / std::max<std::size_t>(1, leaf_size));
     build(0, static_cast<std::uint32_t>(points_.size()),
           std::max<std::size_t>(1, leaf_size));
+  }
+  // SoA lanes mirror points_ after the build's reordering; leaf scans
+  // stream them instead of the AoS structs.
+  xs_.resize(points_.size());
+  ys_.resize(points_.size());
+  zs_.resize(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    xs_[i] = points_[i].x;
+    ys_[i] = points_[i].y;
+    zs_[i] = points_[i].z;
   }
 }
 
@@ -91,16 +103,48 @@ std::uint32_t BallTree::build(std::uint32_t begin, std::uint32_t end,
   return node_index;
 }
 
+void BallTree::scan_leaf(const Node& node, traj::Vec3 q, double r2,
+                         std::vector<std::uint32_t>& out) const {
+  if (policy_ == kernels::KernelPolicy::kScalar) {
+    for (std::uint32_t i = node.begin; i < node.end; ++i) {
+      if (traj::dist2(points_[i], q) <= r2) out.push_back(ids_[i]);
+    }
+    return;
+  }
+  // Branch-free SoA sweep: distances into a buffer first (the loop the
+  // compiler vectorizes), then a branchless hit compaction — the same
+  // two-pass shape as the blocked cutoff kernel.
+  constexpr std::size_t kLeafTile = 256;
+  double d2[kLeafTile];
+  std::uint32_t hits[kLeafTile];
+  const double qx = q.x, qy = q.y, qz = q.z;
+  for (std::uint32_t t0 = node.begin; t0 < node.end;
+       t0 += static_cast<std::uint32_t>(kLeafTile)) {
+    const std::uint32_t t1 = std::min<std::uint32_t>(
+        t0 + static_cast<std::uint32_t>(kLeafTile), node.end);
+    const std::uint32_t w = t1 - t0;
+    for (std::uint32_t j = 0; j < w; ++j) {
+      const double dx = static_cast<double>(xs_[t0 + j]) - qx;
+      const double dy = static_cast<double>(ys_[t0 + j]) - qy;
+      const double dz = static_cast<double>(zs_[t0 + j]) - qz;
+      d2[j] = dx * dx + dy * dy + dz * dz;
+    }
+    std::uint32_t m = 0;
+    for (std::uint32_t j = 0; j < w; ++j) {
+      hits[m] = t0 + j;
+      m += d2[j] <= r2 ? 1 : 0;
+    }
+    for (std::uint32_t h = 0; h < m; ++h) out.push_back(ids_[hits[h]]);
+  }
+}
+
 void BallTree::query(std::uint32_t node_index, traj::Vec3 q, double radius,
                      std::vector<std::uint32_t>& out) const {
   const Node& node = nodes_[node_index];
   const double d = traj::dist(node.center, q);
   if (d > radius + node.radius) return;  // ball cannot intersect query
   if (node.left < 0) {
-    const double r2 = radius * radius;
-    for (std::uint32_t i = node.begin; i < node.end; ++i) {
-      if (traj::dist2(points_[i], q) <= r2) out.push_back(ids_[i]);
-    }
+    scan_leaf(node, q, radius * radius, out);
     return;
   }
   // If the query ball contains the node ball entirely, every point hits.

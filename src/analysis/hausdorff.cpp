@@ -4,12 +4,14 @@
 #include <limits>
 
 #include "mdtask/analysis/rmsd.h"
+#include "mdtask/kernels/batch.h"
 
 namespace mdtask::analysis {
 namespace {
 
 /// Directed Hausdorff h(A -> B) = max over frames a of min over frames b
-/// of metric(a, b), naive full scan.
+/// of metric(a, b), naive full scan. Kept for the pluggable-metric API;
+/// the default RMSD metric takes the packed fast path below.
 double directed_naive(const traj::Trajectory& ta, const traj::Trajectory& tb,
                       const FrameMetric& metric, std::size_t* evals) {
   double dmax = 0.0;
@@ -45,10 +47,15 @@ double directed_early(const traj::Trajectory& ta, const traj::Trajectory& tb,
   return cmax;
 }
 
-FrameMetric default_metric() {
-  return [](std::span<const traj::Vec3> a, std::span<const traj::Vec3> b) {
-    return frame_rmsd(a, b);
-  };
+/// Default-metric fast path: pack both trajectories once and run the
+/// batch kernel, bypassing the per-pair std::function dispatch.
+double hausdorff_packed_rmsd(const traj::Trajectory& t1,
+                             const traj::Trajectory& t2, bool early_break,
+                             kernels::KernelPolicy policy,
+                             std::size_t* evals) {
+  const kernels::FramePack a = kernels::pack_trajectory(t1);
+  const kernels::FramePack b = kernels::pack_trajectory(t2);
+  return kernels::hausdorff_packed(a, b, early_break, policy, evals);
 }
 
 }  // namespace
@@ -66,32 +73,55 @@ double hausdorff_early_break(const traj::Trajectory& t1,
                   directed_early(t2, t1, metric, nullptr));
 }
 
+double hausdorff_naive(const traj::Trajectory& t1, const traj::Trajectory& t2,
+                       kernels::KernelPolicy policy) {
+  return hausdorff_packed_rmsd(t1, t2, /*early_break=*/false, policy,
+                               nullptr);
+}
+
+double hausdorff_early_break(const traj::Trajectory& t1,
+                             const traj::Trajectory& t2,
+                             kernels::KernelPolicy policy) {
+  return hausdorff_packed_rmsd(t1, t2, /*early_break=*/true, policy,
+                               nullptr);
+}
+
 double hausdorff_naive(const traj::Trajectory& t1,
                        const traj::Trajectory& t2) {
-  return hausdorff_naive(t1, t2, default_metric());
+  return hausdorff_naive(t1, t2, kernels::default_policy());
 }
 
 double hausdorff_early_break(const traj::Trajectory& t1,
                              const traj::Trajectory& t2) {
-  return hausdorff_early_break(t1, t2, default_metric());
+  return hausdorff_early_break(t1, t2, kernels::default_policy());
 }
 
 HausdorffProfile hausdorff_naive_profiled(const traj::Trajectory& t1,
-                                          const traj::Trajectory& t2) {
+                                          const traj::Trajectory& t2,
+                                          kernels::KernelPolicy policy) {
   HausdorffProfile p;
-  const auto metric = default_metric();
-  p.distance = std::max(directed_naive(t1, t2, metric, &p.metric_evals),
-                        directed_naive(t2, t1, metric, &p.metric_evals));
+  p.distance = hausdorff_packed_rmsd(t1, t2, /*early_break=*/false, policy,
+                                     &p.metric_evals);
   return p;
 }
 
 HausdorffProfile hausdorff_early_break_profiled(const traj::Trajectory& t1,
-                                                const traj::Trajectory& t2) {
+                                                const traj::Trajectory& t2,
+                                                kernels::KernelPolicy policy) {
   HausdorffProfile p;
-  const auto metric = default_metric();
-  p.distance = std::max(directed_early(t1, t2, metric, &p.metric_evals),
-                        directed_early(t2, t1, metric, &p.metric_evals));
+  p.distance = hausdorff_packed_rmsd(t1, t2, /*early_break=*/true, policy,
+                                     &p.metric_evals);
   return p;
+}
+
+HausdorffProfile hausdorff_naive_profiled(const traj::Trajectory& t1,
+                                          const traj::Trajectory& t2) {
+  return hausdorff_naive_profiled(t1, t2, kernels::default_policy());
+}
+
+HausdorffProfile hausdorff_early_break_profiled(const traj::Trajectory& t1,
+                                                const traj::Trajectory& t2) {
+  return hausdorff_early_break_profiled(t1, t2, kernels::default_policy());
 }
 
 }  // namespace mdtask::analysis

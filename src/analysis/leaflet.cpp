@@ -127,10 +127,43 @@ std::vector<Edge> lf_edges_2d(std::span<const traj::Vec3> all_atoms,
       col_ids, cutoff);
 }
 
+std::vector<Edge> lf_edges_1d(std::span<const traj::Vec3> all_atoms,
+                              const AtomChunk& chunk, double cutoff,
+                              kernels::KernelPolicy policy) {
+  if (policy == kernels::KernelPolicy::kScalar) {
+    return lf_edges_1d(all_atoms, chunk, cutoff);
+  }
+  const auto row_ids = iota_ids(chunk.begin, chunk.end);
+  const auto col_ids =
+      iota_ids(0, static_cast<std::uint32_t>(all_atoms.size()));
+  return edges_within_cutoff(all_atoms.subspan(chunk.begin, chunk.size()),
+                             all_atoms, row_ids, col_ids, cutoff, policy);
+}
+
+std::vector<Edge> lf_edges_2d(std::span<const traj::Vec3> all_atoms,
+                              const BlockPair& block, double cutoff,
+                              kernels::KernelPolicy policy) {
+  if (policy == kernels::KernelPolicy::kScalar) {
+    return lf_edges_2d(all_atoms, block, cutoff);
+  }
+  const auto row_ids = iota_ids(block.rows.begin, block.rows.end);
+  const auto col_ids = iota_ids(block.cols.begin, block.cols.end);
+  return edges_within_cutoff(
+      all_atoms.subspan(block.rows.begin, block.rows.size()),
+      all_atoms.subspan(block.cols.begin, block.cols.size()), row_ids,
+      col_ids, cutoff, policy);
+}
+
 std::vector<Edge> lf_edges_tree(std::span<const traj::Vec3> all_atoms,
                                 const BlockPair& block, double cutoff) {
-  const BallTree tree(
-      all_atoms.subspan(block.cols.begin, block.cols.size()));
+  return lf_edges_tree(all_atoms, block, cutoff, kernels::default_policy());
+}
+
+std::vector<Edge> lf_edges_tree(std::span<const traj::Vec3> all_atoms,
+                                const BlockPair& block, double cutoff,
+                                kernels::KernelPolicy policy) {
+  const BallTree tree(all_atoms.subspan(block.cols.begin, block.cols.size()),
+                      /*leaf_size=*/32, policy);
   std::vector<Edge> edges;
   std::vector<std::uint32_t> hits;
   for (std::uint32_t i = block.rows.begin; i < block.rows.end; ++i) {

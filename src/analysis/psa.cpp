@@ -2,11 +2,42 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <limits>
 
 #include "mdtask/analysis/frechet.h"
 #include "mdtask/analysis/hausdorff.h"
+#include "mdtask/kernels/batch.h"
 
 namespace mdtask::analysis {
+namespace {
+
+/// Packs the ensemble members a block touches, keyed by trajectory
+/// index. Packing is O(frames x atoms) per member against the block's
+/// O(frames^2 x atoms) pair work, so the pack cost amortizes away.
+std::vector<kernels::FramePack> pack_ensemble(const traj::Ensemble& ensemble) {
+  std::vector<kernels::FramePack> packs;
+  packs.reserve(ensemble.size());
+  for (const auto& t : ensemble) packs.push_back(kernels::pack_trajectory(t));
+  return packs;
+}
+
+void compute_psa_block_packed(std::span<const kernels::FramePack> packs,
+                              const PsaBlock& block, HausdorffKernel kernel,
+                              kernels::KernelPolicy policy,
+                              DistanceMatrix& out) {
+  const bool early = kernel == HausdorffKernel::kEarlyBreak;
+  for (std::size_t i = block.row_begin; i < block.row_end; ++i) {
+    for (std::size_t j = block.col_begin; j < block.col_end; ++j) {
+      out.set(i, j,
+              i == j ? 0.0
+                     : kernels::hausdorff_packed(packs[i], packs[j], early,
+                                                 policy));
+    }
+  }
+}
+
+}  // namespace
 
 double DistanceMatrix::max_abs_diff(
     const DistanceMatrix& other) const noexcept {
@@ -34,25 +65,74 @@ Result<std::vector<PsaBlock>> make_psa_blocks(std::size_t n_trajectories,
 }
 
 void compute_psa_block(const traj::Ensemble& ensemble, const PsaBlock& block,
-                       HausdorffKernel kernel, DistanceMatrix& out) {
-  for (std::size_t i = block.row_begin; i < block.row_end; ++i) {
-    for (std::size_t j = block.col_begin; j < block.col_end; ++j) {
-      double d = 0.0;
-      if (i != j) {
-        d = kernel == HausdorffKernel::kNaive
-                ? hausdorff_naive(ensemble[i], ensemble[j])
-                : hausdorff_early_break(ensemble[i], ensemble[j]);
+                       HausdorffKernel kernel, kernels::KernelPolicy policy,
+                       DistanceMatrix& out) {
+  // Pack each trajectory the block touches exactly once (row and column
+  // ranges usually overlap on the diagonal blocks).
+  std::vector<kernels::FramePack> packs(ensemble.size());
+  std::vector<bool> packed(ensemble.size(), false);
+  auto ensure = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!packed[i]) {
+        packs[i] = kernels::pack_trajectory(ensemble[i]);
+        packed[i] = true;
       }
-      out.set(i, j, d);
     }
-  }
+  };
+  ensure(block.row_begin, block.row_end);
+  ensure(block.col_begin, block.col_end);
+  compute_psa_block_packed(packs, block, kernel, policy, out);
+}
+
+void compute_psa_block(const traj::Ensemble& ensemble, const PsaBlock& block,
+                       HausdorffKernel kernel, DistanceMatrix& out) {
+  compute_psa_block(ensemble, block, kernel, kernels::default_policy(), out);
 }
 
 DistanceMatrix psa_reference(const traj::Ensemble& ensemble,
-                             HausdorffKernel kernel) {
+                             HausdorffKernel kernel,
+                             kernels::KernelPolicy policy) {
   DistanceMatrix out(ensemble.size());
+  const auto packs = pack_ensemble(ensemble);
   const PsaBlock whole{0, ensemble.size(), 0, ensemble.size()};
-  compute_psa_block(ensemble, whole, kernel, out);
+  compute_psa_block_packed(packs, whole, kernel, policy, out);
+  return out;
+}
+
+DistanceMatrix psa_parallel(const traj::Ensemble& ensemble,
+                            HausdorffKernel kernel,
+                            kernels::KernelPolicy policy, ThreadPool& pool,
+                            trace::Tracer* tracer) {
+  DistanceMatrix out(ensemble.size());
+  if (ensemble.empty()) return out;
+  const auto packs = pack_ensemble(ensemble);
+
+  // One tile per pool worker pair target, same shape rule as the paper's
+  // Alg. 2 block partitioning.
+  const double k = std::ceil(std::sqrt(
+      2.0 * static_cast<double>(std::max<std::size_t>(1, pool.size()))));
+  const auto n1 = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(static_cast<double>(ensemble.size()) / k)));
+  auto blocks = make_psa_blocks(ensemble.size(), n1).value();
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(blocks.size());
+  for (const auto& block : blocks) {
+    pending.push_back(pool.submit([&packs, &out, block, kernel, policy,
+                                   tracer] {
+      trace::Span span;
+      if (tracer != nullptr) {
+        if (const trace::Track* track = ThreadPool::current_worker_track()) {
+          span = tracer->span(*track, "psa-tile", "kernels");
+          span.arg_num("pairs", static_cast<double>(block.pair_count()));
+        }
+      }
+      // Blocks partition the matrix, so tiles write disjoint cells.
+      compute_psa_block_packed(packs, block, kernel, policy, out);
+    }));
+  }
+  for (auto& f : pending) f.get();
   return out;
 }
 

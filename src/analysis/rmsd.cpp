@@ -23,12 +23,75 @@ double frame_rmsd(std::span<const traj::Vec3> a,
   return std::sqrt(frame_sumsq(a, b) / static_cast<double>(a.size()));
 }
 
+namespace detail {
 namespace {
 
-/// Largest eigenvalue of a symmetric 4x4 matrix by power iteration with
-/// shift; sufficient accuracy for RMSD purposes (converges fast because
-/// the Davenport matrix has a well-separated top eigenvalue for
-/// non-degenerate conformations).
+using Mat4 = std::array<std::array<double, 4>, 4>;
+
+Mat4 matmul4(const Mat4& a, const Mat4& b) {
+  Mat4 c{};
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      for (int j = 0; j < 4; ++j) c[i][j] += a[i][k] * b[k][j];
+    }
+  }
+  return c;
+}
+
+double trace4(const Mat4& m) {
+  return m[0][0] + m[1][1] + m[2][2] + m[3][3];
+}
+
+double det4(const Mat4& m) {
+  // Laplace expansion along the first two rows via 2x2 minors.
+  const double s0 = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+  const double s1 = m[0][0] * m[1][2] - m[0][2] * m[1][0];
+  const double s2 = m[0][0] * m[1][3] - m[0][3] * m[1][0];
+  const double s3 = m[0][1] * m[1][2] - m[0][2] * m[1][1];
+  const double s4 = m[0][1] * m[1][3] - m[0][3] * m[1][1];
+  const double s5 = m[0][2] * m[1][3] - m[0][3] * m[1][2];
+  const double c5 = m[2][2] * m[3][3] - m[2][3] * m[3][2];
+  const double c4 = m[2][1] * m[3][3] - m[2][3] * m[3][1];
+  const double c3 = m[2][1] * m[3][2] - m[2][2] * m[3][1];
+  const double c2 = m[2][0] * m[3][3] - m[2][3] * m[3][0];
+  const double c1 = m[2][0] * m[3][2] - m[2][2] * m[3][0];
+  const double c0 = m[2][0] * m[3][1] - m[2][1] * m[3][0];
+  return s0 * c5 - s1 * c4 + s2 * c3 + s3 * c2 - s4 * c1 + s5 * c0;
+}
+
+/// Newton's method on the characteristic polynomial
+///   p(x) = x^4 + a3 x^3 + a2 x^2 + a1 x + a0
+/// whose coefficients come from the matrix invariants (traces of powers
+/// and the determinant). A symmetric matrix has only real roots, so
+/// Newton started from the Gershgorin upper bound descends monotonically
+/// onto the largest one — including multiple roots, where power
+/// iteration's Rayleigh estimate stalls.
+double largest_root_newton(const Mat4& m, double upper_bound) {
+  const Mat4 m2 = matmul4(m, m);
+  const double t1 = trace4(m);
+  const double t2 = trace4(m2);
+  const double t3 = trace4(matmul4(m2, m));
+  const double a3 = -t1;
+  const double a2 = (t1 * t1 - t2) / 2.0;
+  const double a1 = -(t1 * t1 * t1 - 3.0 * t1 * t2 + 2.0 * t3) / 6.0;
+  const double a0 = det4(m);
+
+  double x = upper_bound;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double p = (((x + a3) * x + a2) * x + a1) * x + a0;
+    const double dp = ((4.0 * x + 3.0 * a3) * x + 2.0 * a2) * x + a1;
+    if (dp == 0.0) break;
+    const double next = x - p / dp;
+    if (std::abs(next - x) <= 1e-14 * std::max(1.0, std::abs(next))) {
+      return next;
+    }
+    x = next;
+  }
+  return x;
+}
+
+}  // namespace
+
 double max_eigenvalue_sym4(const std::array<std::array<double, 4>, 4>& m) {
   // Gershgorin shift makes the matrix positive definite so power
   // iteration converges to the algebraically largest eigenvalue.
@@ -57,10 +120,13 @@ double max_eigenvalue_sym4(const std::array<std::array<double, 4>, 4>& m) {
     }
     lambda = next;
   }
-  return lambda;
+  // The iteration cap was hit without convergence: the top eigenvalues
+  // are (near-)degenerate. Recover the exact value from the matrix
+  // invariants instead of returning the stalled iterate.
+  return largest_root_newton(m, shift);
 }
 
-}  // namespace
+}  // namespace detail
 
 double kabsch_rmsd(std::span<const traj::Vec3> a,
                    std::span<const traj::Vec3> b) {
@@ -103,7 +169,7 @@ double kabsch_rmsd(std::span<const traj::Vec3> a,
       {r[0][1] - r[1][0], r[0][2] + r[2][0], r[1][2] + r[2][1],
        r[2][2] - r[0][0] - r[1][1]},
   }};
-  const double lambda = max_eigenvalue_sym4(k);
+  const double lambda = detail::max_eigenvalue_sym4(k);
   const double msd = std::max(0.0, (ga + gb - 2.0 * lambda) / n);
   return std::sqrt(msd);
 }

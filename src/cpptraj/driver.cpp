@@ -5,15 +5,32 @@
 #include "mdtask/common/timer.h"
 #include "mdtask/cpptraj/rmsd2d.h"
 #include "mdtask/engines/mpi/runtime.h"
+#include "mdtask/kernels/batch.h"
 
 namespace mdtask::cpptraj {
+
+std::vector<double> rmsd2d_block_tiled(const traj::Trajectory& t1,
+                                       const traj::Trajectory& t2) {
+  std::vector<double> out(t1.frames() * t2.frames(), 0.0);
+  if (out.empty()) return out;
+  const kernels::FramePack a = kernels::pack_trajectory(t1);
+  const kernels::FramePack b = kernels::pack_trajectory(t2);
+  kernels::rmsd2d_packed(a, b, kernels::KernelPolicy::kVectorized, out);
+  return out;
+}
 
 std::vector<double> rmsd2d_block(const traj::Trajectory& t1,
                                  const traj::Trajectory& t2,
                                  Rmsd2dKernel kernel) {
-  return kernel == Rmsd2dKernel::kReference
-             ? rmsd2d_block_reference(t1, t2)
-             : rmsd2d_block_optimized(t1, t2);
+  switch (kernel) {
+    case Rmsd2dKernel::kReference:
+      return rmsd2d_block_reference(t1, t2);
+    case Rmsd2dKernel::kOptimized:
+      return rmsd2d_block_optimized(t1, t2);
+    case Rmsd2dKernel::kTiled:
+      return rmsd2d_block_tiled(t1, t2);
+  }
+  return rmsd2d_block_optimized(t1, t2);
 }
 
 double hausdorff_from_matrix(const std::vector<double>& matrix,

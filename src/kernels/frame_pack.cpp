@@ -1,0 +1,77 @@
+#include "mdtask/kernels/frame_pack.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mdtask::kernels {
+namespace {
+
+std::size_t padded_stride(std::size_t n_atoms) {
+  return (n_atoms + kLanePadFloats - 1) / kLanePadFloats * kLanePadFloats;
+}
+
+}  // namespace
+
+FramePack::FramePack(std::size_t n_frames, std::size_t n_atoms)
+    : n_frames_(n_frames),
+      n_atoms_(n_atoms),
+      stride_(padded_stride(n_atoms)) {
+  const std::size_t floats = n_frames_ * 3 * stride_;
+  if (floats == 0) return;
+  data_ = static_cast<float*>(::operator new[](
+      floats * sizeof(float), std::align_val_t{kLaneAlignment}));
+  std::memset(data_, 0, floats * sizeof(float));
+}
+
+FramePack::FramePack(FramePack&& other) noexcept
+    : n_frames_(other.n_frames_),
+      n_atoms_(other.n_atoms_),
+      stride_(other.stride_),
+      data_(other.data_) {
+  other.n_frames_ = other.n_atoms_ = other.stride_ = 0;
+  other.data_ = nullptr;
+}
+
+FramePack& FramePack::operator=(FramePack&& other) noexcept {
+  if (this != &other) {
+    this->~FramePack();
+    new (this) FramePack(std::move(other));
+  }
+  return *this;
+}
+
+FramePack::~FramePack() {
+  if (data_ != nullptr) {
+    ::operator delete[](data_, std::align_val_t{kLaneAlignment});
+    data_ = nullptr;
+  }
+}
+
+void FramePack::set_frame(std::size_t f,
+                          std::span<const traj::Vec3> positions) {
+  float* xs = x(f);
+  float* ys = y(f);
+  float* zs = z(f);
+  const std::size_t n = std::min(positions.size(), n_atoms_);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = positions[i].x;
+    ys[i] = positions[i].y;
+    zs[i] = positions[i].z;
+  }
+}
+
+FramePack pack_trajectory(const traj::Trajectory& t) {
+  FramePack pack(t.frames(), t.atoms());
+  for (std::size_t f = 0; f < t.frames(); ++f) {
+    pack.set_frame(f, t.frame(f));
+  }
+  return pack;
+}
+
+FramePack pack_points(std::span<const traj::Vec3> points) {
+  FramePack pack(points.empty() ? 0 : 1, points.size());
+  if (!points.empty()) pack.set_frame(0, points);
+  return pack;
+}
+
+}  // namespace mdtask::kernels

@@ -11,6 +11,7 @@
 #include "mdtask/common/rng.h"
 #include "mdtask/common/timer.h"
 #include "mdtask/cpptraj/rmsd2d.h"
+#include "mdtask/kernels/batch.h"
 #include "mdtask/traj/generators.h"
 
 namespace mdtask::perf {
@@ -46,7 +47,8 @@ std::vector<traj::Vec3> random_cloud(std::size_t n, std::uint64_t seed) {
 KernelCosts calibrate_kernels() {
   KernelCosts costs;
 
-  // Hausdorff: two 24-frame, 512-atom trajectories.
+  // Hausdorff: two 24-frame, 512-atom trajectories, once per policy.
+  // The simulations charge the scalar figure (simulation_policy).
   {
     traj::ProteinTrajectoryParams p;
     p.frames = 24;
@@ -55,12 +57,18 @@ KernelCosts calibrate_kernels() {
     const auto a = traj::make_protein_trajectory(p);
     p.seed = 12;
     const auto b = traj::make_protein_trajectory(p);
+    const double units =
+        2.0 * static_cast<double>(p.frames) * p.frames * p.atoms;
     volatile double sink = 0.0;
-    const double t = median_time(5, [&] {
-      sink = sink + analysis::hausdorff_naive(a, b);
-    });
-    costs.hausdorff_unit =
-        t / (2.0 * static_cast<double>(p.frames) * p.frames * p.atoms);
+    for (const auto policy : kernels::kAllPolicies) {
+      const double t = median_time(5, [&] {
+        sink = sink + analysis::hausdorff_naive(a, b, policy);
+      });
+      costs.hausdorff_unit_by_policy[static_cast<std::size_t>(policy)] =
+          t / units;
+    }
+    costs.hausdorff_unit = costs.hausdorff_unit_by_policy[
+        static_cast<std::size_t>(costs.simulation_policy)];
   }
 
   // cdist: 512 x 512 block.
@@ -73,6 +81,27 @@ KernelCosts calibrate_kernels() {
       sink = sink + block[1000];
     });
     costs.cdist_element = t / (512.0 * 512.0);
+  }
+
+  // Streaming cutoff scan over the same 512 x 512 pair grid, per policy.
+  {
+    const auto xs = random_cloud(512, 21);
+    const auto ys = random_cloud(512, 22);
+    std::vector<std::uint32_t> x_ids(512), y_ids(512);
+    for (std::uint32_t i = 0; i < 512; ++i) {
+      x_ids[i] = i;
+      y_ids[i] = 512 + i;
+    }
+    volatile std::size_t sink = 0;
+    for (const auto policy : kernels::kAllPolicies) {
+      const double t = median_time(5, [&] {
+        const auto edges =
+            analysis::edges_within_cutoff(xs, ys, x_ids, y_ids, 3.0, policy);
+        sink = sink + edges.size();
+      });
+      costs.cutoff_element_by_policy[static_cast<std::size_t>(policy)] =
+          t / (512.0 * 512.0);
+    }
   }
 
   // BallTree build + query over 8192 points.
@@ -143,6 +172,20 @@ KernelCosts calibrate_kernels() {
     });
     costs.rmsd2d_atom_optimized =
         opt / (pairs * static_cast<double>(p.atoms));
+
+    // Batch rmsd2d kernel per policy (packing cost included, as the
+    // tiled comparator pays it per block).
+    const kernels::FramePack pa = kernels::pack_trajectory(t1);
+    const kernels::FramePack pb = kernels::pack_trajectory(t2);
+    std::vector<double> matrix(static_cast<std::size_t>(p.frames) * p.frames);
+    for (const auto policy : kernels::kAllPolicies) {
+      const double t = median_time(3, [&] {
+        kernels::rmsd2d_packed(pa, pb, policy, matrix);
+        sink = sink + matrix.back();
+      });
+      costs.rmsd2d_atom_by_policy[static_cast<std::size_t>(policy)] =
+          t / (pairs * static_cast<double>(p.atoms));
+    }
   }
 
   return costs;

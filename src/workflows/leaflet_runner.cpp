@@ -53,18 +53,20 @@ std::uint64_t task_memory_bytes(int approach, const MapTask& task) {
   return task.block.cols.size() * 24;
 }
 
-/// Runs one map task's edge discovery.
+/// Runs one map task's edge discovery with the configured batch-kernel
+/// policy (kScalar = the seed's materializing cdist path).
 std::vector<Edge> discover_edges(int approach,
                                  std::span<const Vec3> atoms,
-                                 const MapTask& task, double cutoff) {
+                                 const MapTask& task, double cutoff,
+                                 kernels::KernelPolicy policy) {
   switch (approach) {
     case 1:
-      return analysis::lf_edges_1d(atoms, task.block.rows, cutoff);
+      return analysis::lf_edges_1d(atoms, task.block.rows, cutoff, policy);
     case 2:
     case 3:
-      return analysis::lf_edges_2d(atoms, task.block, cutoff);
+      return analysis::lf_edges_2d(atoms, task.block, cutoff, policy);
     default:
-      return analysis::lf_edges_tree(atoms, task.block, cutoff);
+      return analysis::lf_edges_tree(atoms, task.block, cutoff, policy);
   }
 }
 
@@ -128,7 +130,8 @@ Result<LfRunResult> run_mpi(int approach, std::span<const Vec3> atoms,
             memory_failed.store(true);
             break;
           }
-          auto edges = discover_edges(approach, view, tasks[t], cutoff);
+          auto edges = discover_edges(approach, view, tasks[t], cutoff,
+                                      config.kernel_policy);
           if (uses_partial_components(approach)) {
             auto part = analysis::partial_components(edges);
             my_pairs.insert(my_pairs.end(), part.vertex_root.begin(),
@@ -198,13 +201,13 @@ Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
   try {
     if (uses_partial_components(approach)) {
       auto parts_rdd = base.map_partitions(
-          [positions, approach, cutoff](spark::TaskContext& tc,
-                                        std::vector<MapTask>& mine) {
+          [positions, approach, cutoff, policy = config.kernel_policy](
+              spark::TaskContext& tc, std::vector<MapTask>& mine) {
             std::vector<PartialComponents> out;
             for (const auto& task : mine) {
               tc.reserve_memory(task_memory_bytes(approach, task));
-              out.push_back(analysis::partial_components(
-                  discover_edges(approach, *positions, task, cutoff)));
+              out.push_back(analysis::partial_components(discover_edges(
+                  approach, *positions, task, cutoff, policy)));
             }
             return out;
           });
@@ -233,13 +236,14 @@ Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
     } else {
       auto edges =
           base.map_partitions(
-                  [positions, approach, cutoff](spark::TaskContext& tc,
-                                                std::vector<MapTask>& mine) {
+                  [positions, approach, cutoff,
+                   policy = config.kernel_policy](
+                      spark::TaskContext& tc, std::vector<MapTask>& mine) {
                     std::vector<Edge> out;
                     for (const auto& task : mine) {
                       tc.reserve_memory(task_memory_bytes(approach, task));
-                      auto part =
-                          discover_edges(approach, *positions, task, cutoff);
+                      auto part = discover_edges(approach, *positions, task,
+                                                 cutoff, policy);
                       out.insert(out.end(), part.begin(), part.end());
                     }
                     return out;
@@ -288,10 +292,11 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
       futures.reserve(tasks.size());
       for (const auto& task : tasks) {
         futures.push_back(client.submit([&client, &atoms, task, approach,
-                                         cutoff] {
+                                         cutoff,
+                                         policy = config.kernel_policy] {
           client.reserve_memory(task_memory_bytes(approach, task));
           auto part = analysis::partial_components(
-              discover_edges(approach, atoms, task, cutoff));
+              discover_edges(approach, atoms, task, cutoff, policy));
           // The summary is what moves to the reduce side (Table 2).
           client.metrics().shuffle_bytes += part.byte_size();
           client.metrics().shuffle_records += part.vertex_root.size();
@@ -327,10 +332,11 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
       std::vector<dask::Future<std::vector<Edge>>> futures;
       futures.reserve(tasks.size());
       for (const auto& task : tasks) {
-        futures.push_back(
-            client.submit([&client, &atoms, task, approach, cutoff] {
+        futures.push_back(client.submit(
+            [&client, &atoms, task, approach, cutoff,
+             policy = config.kernel_policy] {
               client.reserve_memory(task_memory_bytes(approach, task));
-              return discover_edges(approach, atoms, task, cutoff);
+              return discover_edges(approach, atoms, task, cutoff, policy);
             }));
       }
       std::vector<Edge> edges;
@@ -372,11 +378,13 @@ Result<LfRunResult> run_rp(int approach, std::span<const Vec3> atoms,
         .name = "lf_task_" + std::to_string(t),
         .executable =
             [&atoms, task = tasks[t], approach, cutoff, out_path,
-             limit = config.task_memory_limit](rp::SharedFilesystem& fs) {
+             limit = config.task_memory_limit,
+             policy = config.kernel_policy](rp::SharedFilesystem& fs) {
               engines::check_task_memory(task_memory_bytes(approach, task),
                                          limit);
               ByteWriter writer;
-              auto edges = discover_edges(approach, atoms, task, cutoff);
+              auto edges =
+                  discover_edges(approach, atoms, task, cutoff, policy);
               if (uses_partial_components(approach)) {
                 auto part = analysis::partial_components(edges);
                 writer.put_span<analysis::VertexRoot>(part.vertex_root);

@@ -24,21 +24,21 @@ struct MatrixEntry {
 };
 
 std::vector<MatrixEntry> compute_block_entries(
-    const traj::Ensemble& ensemble, const PsaBlock& block,
-    PsaMetric metric) {
+    const traj::Ensemble& ensemble, const PsaBlock& block, PsaMetric metric,
+    kernels::KernelPolicy policy) {
   std::vector<MatrixEntry> out;
   out.reserve(block.pair_count());
   DistanceMatrix scratch(ensemble.size());
   switch (metric) {
     case PsaMetric::kHausdorff:
       analysis::compute_psa_block(ensemble, block,
-                                  analysis::HausdorffKernel::kNaive,
+                                  analysis::HausdorffKernel::kNaive, policy,
                                   scratch);
       break;
     case PsaMetric::kHausdorffEarlyBreak:
       analysis::compute_psa_block(ensemble, block,
                                   analysis::HausdorffKernel::kEarlyBreak,
-                                  scratch);
+                                  policy, scratch);
       break;
     case PsaMetric::kFrechet:
       analysis::compute_psa_block_frechet(ensemble, block, scratch);
@@ -82,8 +82,8 @@ PsaRunResult run_psa_mpi(const traj::Ensemble& ensemble,
         for (std::size_t b = static_cast<std::size_t>(comm.rank());
              b < blocks.size();
              b += static_cast<std::size_t>(comm.size())) {
-          auto entries =
-              compute_block_entries(ensemble, blocks[b], config.metric);
+          auto entries = compute_block_entries(
+              ensemble, blocks[b], config.metric, config.kernel_policy);
           mine.insert(mine.end(), entries.begin(), entries.end());
         }
         auto gathered = comm.gather<MatrixEntry>(mine, 0);
@@ -113,13 +113,15 @@ PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
   WallTimer timer;
   const std::size_t n_blocks = blocks.size();
   const auto metric = config.metric;
+  const auto policy = config.kernel_policy;
   auto entries =
       sc.parallelize(std::move(blocks), n_blocks)
-          .map_partitions([shared, metric](spark::TaskContext&,
-                                           std::vector<PsaBlock>& mine) {
+          .map_partitions([shared, metric, policy](spark::TaskContext&,
+                                                   std::vector<PsaBlock>& mine) {
             std::vector<MatrixEntry> out;
             for (const auto& block : mine) {
-              auto part = compute_block_entries(**shared, block, metric);
+              auto part =
+                  compute_block_entries(**shared, block, metric, policy);
               out.insert(out.end(), part.begin(), part.end());
             }
             return out;
@@ -146,7 +148,8 @@ PsaRunResult run_psa_dask(const traj::Ensemble& ensemble,
   for (const auto& block : blocks) {
     // One delayed function per block task, exactly the paper's Dask PSA.
     futures.push_back(client.submit([&ensemble, block, &config] {
-      return compute_block_entries(ensemble, block, config.metric);
+      return compute_block_entries(ensemble, block, config.metric,
+                                   config.kernel_policy);
     }));
   }
   PsaRunResult result;
@@ -171,8 +174,10 @@ PsaRunResult run_psa_rp(const traj::Ensemble& ensemble,
         .name = "psa_block_" + std::to_string(b),
         .executable =
             [&ensemble, block = blocks[b], metric = config.metric,
+             policy = config.kernel_policy,
              out_path](rp::SharedFilesystem& fs) {
-              auto entries = compute_block_entries(ensemble, block, metric);
+              auto entries =
+                  compute_block_entries(ensemble, block, metric, policy);
               ByteWriter writer;
               writer.put_span<MatrixEntry>(entries);
               fs.put(out_path, std::move(writer).take());

@@ -1,0 +1,116 @@
+#include "mdtask/kernels/frame_pack.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mdtask/traj/generators.h"
+
+namespace mdtask::kernels {
+namespace {
+
+traj::Trajectory make_traj(std::uint64_t seed, std::size_t frames,
+                           std::size_t atoms) {
+  traj::ProteinTrajectoryParams p;
+  p.atoms = atoms;
+  p.frames = frames;
+  p.seed = seed;
+  return traj::make_protein_trajectory(p);
+}
+
+TEST(FramePackTest, DefaultIsEmpty) {
+  const FramePack p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.frames(), 0u);
+  EXPECT_EQ(p.atoms(), 0u);
+  EXPECT_EQ(p.byte_size(), 0u);
+}
+
+TEST(FramePackTest, StrideRoundsUpToPadGranularity) {
+  for (const std::size_t atoms :
+       {std::size_t{1}, kLanePadFloats - 1, kLanePadFloats,
+        kLanePadFloats + 1, std::size_t{100}}) {
+    const FramePack p(2, atoms);
+    EXPECT_GE(p.stride(), atoms);
+    EXPECT_EQ(p.stride() % kLanePadFloats, 0u) << "atoms " << atoms;
+    EXPECT_LT(p.stride() - atoms, kLanePadFloats) << "atoms " << atoms;
+  }
+}
+
+TEST(FramePackTest, LanesAreAligned) {
+  const FramePack p(3, 17);
+  for (std::size_t f = 0; f < p.frames(); ++f) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p.x(f)) % kLaneAlignment, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p.y(f)) % kLaneAlignment, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p.z(f)) % kLaneAlignment, 0u);
+  }
+}
+
+TEST(FramePackTest, FreshPackIsZeroIncludingPadding) {
+  const FramePack p(2, 5);
+  for (std::size_t f = 0; f < p.frames(); ++f) {
+    for (std::size_t k = 0; k < p.stride(); ++k) {
+      EXPECT_EQ(p.x(f)[k], 0.0f);
+      EXPECT_EQ(p.y(f)[k], 0.0f);
+      EXPECT_EQ(p.z(f)[k], 0.0f);
+    }
+  }
+}
+
+TEST(FramePackTest, SetFrameKeepsPaddingZero) {
+  FramePack p(1, 5);
+  const std::vector<traj::Vec3> pos = {
+      {1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}, {7.0f, 8.0f, 9.0f},
+      {10.0f, 11.0f, 12.0f}, {13.0f, 14.0f, 15.0f}};
+  p.set_frame(0, pos);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_EQ(p.x(0)[i], pos[i].x);
+    EXPECT_EQ(p.y(0)[i], pos[i].y);
+    EXPECT_EQ(p.z(0)[i], pos[i].z);
+  }
+  for (std::size_t k = pos.size(); k < p.stride(); ++k) {
+    EXPECT_EQ(p.x(0)[k], 0.0f);
+    EXPECT_EQ(p.y(0)[k], 0.0f);
+    EXPECT_EQ(p.z(0)[k], 0.0f);
+  }
+}
+
+TEST(FramePackTest, PackTrajectoryRoundTripsEveryCoordinate) {
+  const auto t = make_traj(11, 7, 19);
+  const FramePack p = pack_trajectory(t);
+  ASSERT_EQ(p.frames(), t.frames());
+  ASSERT_EQ(p.atoms(), t.atoms());
+  for (std::size_t f = 0; f < t.frames(); ++f) {
+    const auto frame = t.frame(f);
+    for (std::size_t i = 0; i < t.atoms(); ++i) {
+      // Positions are floats end to end, so packing is lossless.
+      EXPECT_EQ(p.x(f)[i], frame[i].x);
+      EXPECT_EQ(p.y(f)[i], frame[i].y);
+      EXPECT_EQ(p.z(f)[i], frame[i].z);
+    }
+  }
+}
+
+TEST(FramePackTest, PackPointsIsSingleFrame) {
+  const std::vector<traj::Vec3> pts = {{1.0f, 0.0f, -1.0f},
+                                       {2.5f, 3.5f, 4.5f}};
+  const FramePack p = pack_points(pts);
+  ASSERT_EQ(p.frames(), 1u);
+  ASSERT_EQ(p.atoms(), 2u);
+  EXPECT_EQ(p.x(0)[1], 2.5f);
+  EXPECT_EQ(p.z(0)[0], -1.0f);
+}
+
+TEST(FramePackTest, MoveTransfersOwnership) {
+  FramePack a(2, 4);
+  a.x(0)[0] = 42.0f;
+  const float* lane = a.x(0);
+  FramePack b(std::move(a));
+  EXPECT_EQ(b.x(0), lane);
+  EXPECT_EQ(b.x(0)[0], 42.0f);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): moved-from spec
+}
+
+}  // namespace
+}  // namespace mdtask::kernels
