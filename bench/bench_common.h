@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
@@ -17,6 +19,24 @@
 #include "mdtask/sim/simulation.h"
 
 namespace mdtask::bench {
+
+/// Parses `--seed N` (default 42, the canonical fault-plan seed). The
+/// seed feeds every fault plan / straggler stream the bench replays;
+/// the default reproduces the published CSVs. Print it with
+/// `print_seed` so runs are attributable without perturbing the CSV
+/// rows (table titles flow into the CSV, stdout headers do not).
+inline std::uint64_t parse_seed(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return 42;
+}
+
+inline void print_seed(std::uint64_t seed) {
+  std::printf("(seed: %llu)\n", static_cast<unsigned long long>(seed));
+}
 
 /// Paper-style Wrangler allocation: 32 cores/node (figure labels
 /// "32/1 64/2 128/4 256/8" and "16/1 64/2 256/8" imply 32 used cores

@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
   }
+  const std::uint64_t seed = bench::parse_seed(argc, argv);
+  bench::print_seed(seed);
   trace::Tracer& tracer = trace::Tracer::global();
   if (trace_path != nullptr) tracer.set_enabled(true);
 
@@ -53,8 +55,8 @@ int main(int argc, char** argv) {
         double base = 0.0;
         for (std::size_t cores : {32u, 64u, 128u, 256u}) {
           const auto cluster = bench::wrangler_alloc(cores);
-          const auto outcome =
-              simulate_leaflet(model, cluster, approach, workload, costs);
+          const auto outcome = simulate_leaflet(model, cluster, approach,
+                                                workload, costs, seed);
           const std::string alloc =
               std::to_string(cores) + "/" + std::to_string(cluster.nodes);
           if (!outcome.feasible) {
@@ -74,7 +76,7 @@ int main(int argc, char** argv) {
               size == traj::LfSize::k131k) {
             leaflet_utilization_timeline(model, cluster, approach, workload,
                                          costs, 12, &tracer,
-                                         tracer.process(model.name));
+                                         tracer.process(model.name), seed);
           }
         }
       }

@@ -9,7 +9,9 @@
 using namespace mdtask;
 using namespace mdtask::perf;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::uint64_t seed = bench::parse_seed(argc, argv);
+  bench::print_seed(seed);
   {
     Table table("Future work (a): speculative execution vs stragglers "
                 "(1024 x 1 s tasks, 64 cores)");
@@ -19,10 +21,12 @@ int main() {
     for (double fraction : {0.01, 0.05, 0.10}) {
       for (double factor : {4.0, 10.0}) {
         const double plain = simulate_straggler_makespan(
-            cluster, 1024, 1.0, fraction, factor, SpeculationPolicy{});
+            cluster, 1024, 1.0, fraction, factor, SpeculationPolicy{},
+            seed);
         const double spec = simulate_straggler_makespan(
             cluster, 1024, 1.0, fraction, factor,
-            SpeculationPolicy{.enabled = true, .threshold_factor = 1.5});
+            SpeculationPolicy{.enabled = true, .threshold_factor = 1.5},
+            seed);
         table.add_row({Table::fmt(fraction, 2), Table::fmt(factor, 0),
                        Table::fmt(plain, 2), Table::fmt(spec, 2),
                        Table::fmt(100.0 * (1.0 - spec / plain), 1) + "%"});

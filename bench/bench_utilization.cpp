@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "bench_common.h"
+#include "mdtask/fault/sim_faults.h"
 #include "mdtask/perf/workloads.h"
 #include "mdtask/trace/chrome_export.h"
 #include "mdtask/trace/summary.h"
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
   }
+  const std::uint64_t seed = bench::parse_seed(argc, argv);
+  bench::print_seed(seed);
   trace::Tracer& tracer = trace::Tracer::global();
   if (trace_path != nullptr) tracer.set_enabled(true);
 
@@ -43,7 +46,7 @@ int main(int argc, char** argv) {
       const bool traced = trace_path != nullptr && approach == 3;
       const auto timeline = leaflet_utilization_timeline(
           model, cluster, approach, workload, costs, 12,
-          traced ? &tracer : nullptr, pid);
+          traced ? &tracer : nullptr, pid, seed);
       if (timeline.empty()) {
         table.add_row({model.name, std::to_string(approach), "infeasible",
                        "-"});
@@ -65,6 +68,44 @@ int main(int argc, char** argv) {
   bench::emit(table, "utilization");
   std::printf("(profile digits: tenths of the allocation busy per "
               "time bucket; trailing low digits are the straggler tail)\n");
+
+  {
+    // Fault-injected replay of the same task wave: background fault
+    // rates drawn from the plan seed, recovered by each engine's native
+    // policy. Pure virtual time — byte-identical per seed. The CSV is
+    // a recovery-behaviour record, not a timing baseline (regression
+    // tooling skips fault-injection entries).
+    Table faults("Task-wave recovery under injected faults "
+                 "(1024 x 1 s tasks, 256 cores, per-engine policy)");
+    faults.set_header({"engine", "completed", "faults_injected", "retries",
+                       "speculative_copies", "makespan_s", "vs_fault_free"});
+    fault::FaultPlan plan;
+    plan.seed = seed;
+    plan.rates.node_crash = 0.002;
+    plan.rates.worker_oom = 0.01;
+    plan.rates.straggler = 0.02;
+    plan.rates.fs_stall = 0.01;
+    plan.speculation.enabled = true;
+    const std::vector<double> durations(1024, 1.0);
+    const double fault_free =
+        fault::simulate_task_wave(256, durations, fault::FaultPlan{},
+                                  fault::EngineId::kSpark)
+            .makespan_s;
+    for (auto engine :
+         {fault::EngineId::kSpark, fault::EngineId::kDask,
+          fault::EngineId::kRp, fault::EngineId::kMpi}) {
+      const auto outcome =
+          fault::simulate_task_wave(256, durations, plan, engine);
+      faults.add_row(
+          {fault::to_string(engine), outcome.completed ? "yes" : "no",
+           std::to_string(outcome.faults_injected),
+           std::to_string(outcome.retries),
+           std::to_string(outcome.speculative_copies),
+           Table::fmt(outcome.makespan_s, 2),
+           Table::fmt(outcome.makespan_s / fault_free, 2) + "x"});
+    }
+    bench::emit(faults, "utilization_faults");
+  }
 
   if (trace_path != nullptr) {
     trace::ChromeExportOptions options;

@@ -6,6 +6,7 @@
 // a context where callers always inspect the outcome).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -28,7 +29,24 @@ enum class ErrorCode {
 /// Human-readable name of an ErrorCode.
 const char* to_string(ErrorCode code) noexcept;
 
-/// A recoverable error: a code plus a context message.
+/// Structured context for a task-level failure: which engine ran the
+/// task, which task and attempt failed, and which fault kind (if any)
+/// caused it. Attached to Errors by the engine runtimes so callers and
+/// logs can correlate a failure with the fault-injection schedule
+/// without parsing message strings.
+struct TaskFailureContext {
+  std::string engine;         ///< "spark" | "dask" | "rp" | "mpi"
+  std::uint64_t task_id = 0;  ///< engine-level deterministic task id
+  int attempt = 0;            ///< 0-based attempt that failed
+  std::string fault_kind;     ///< fault::to_string(kind); "" = not injected
+
+  /// " [engine=dask task=12 attempt=2 fault=worker-oom-kill]" rendering
+  /// (fault omitted when empty).
+  std::string to_string() const;
+};
+
+/// A recoverable error: a code plus a context message, optionally
+/// annotated with the task-level failure context.
 class Error {
  public:
   Error(ErrorCode code, std::string message)
@@ -37,12 +55,29 @@ class Error {
   ErrorCode code() const noexcept { return code_; }
   const std::string& message() const noexcept { return message_; }
 
-  /// "kIoError: could not open file" style rendering.
+  /// Attaches task-failure context (builder style, chainable).
+  Error&& with_task(TaskFailureContext context) && {
+    task_ = std::move(context);
+    return std::move(*this);
+  }
+  Error& with_task(TaskFailureContext context) & {
+    task_ = std::move(context);
+    return *this;
+  }
+
+  /// The task-level failure context, when an engine attached one.
+  const std::optional<TaskFailureContext>& task() const noexcept {
+    return task_;
+  }
+
+  /// "kIoError: could not open file" style rendering; appends the task
+  /// context when present.
   std::string to_string() const;
 
  private:
   ErrorCode code_;
   std::string message_;
+  std::optional<TaskFailureContext> task_;
 };
 
 /// Minimal expected-like result type. Holds either a value or an Error.

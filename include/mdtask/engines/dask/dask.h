@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -28,6 +29,8 @@
 #include <vector>
 
 #include "mdtask/engines/core.h"
+#include "mdtask/fault/injector.h"
+#include "mdtask/fault/recovery.h"
 #include "mdtask/trace/tracer.h"
 
 namespace mdtask::dask {
@@ -39,6 +42,12 @@ struct DaskConfig {
   /// simulated worker restart before the whole computation fails
   /// (distributed's allowed-failures behaviour).
   int allowed_failures = 3;
+  /// Optional fault-injection plan (not owned; must outlive the client).
+  /// OOM kills and node crashes become simulated worker restarts with the
+  /// task rescheduled; transient faults are plain retries with backoff.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Optional sink for fault/recovery events (not owned).
+  fault::RecoveryLog* recovery_log = nullptr;
 };
 
 class DaskClient;
@@ -47,6 +56,9 @@ namespace detail {
 
 struct TaskNode {
   std::function<void()> run;             ///< set at submit time
+  /// Deterministic client-side id: submission order, assigned under the
+  /// scheduler lock in wire_and_schedule. The fault injector keys off it.
+  std::uint64_t id = 0;
   std::atomic<int> pending_deps{0};
   std::vector<std::shared_ptr<TaskNode>> dependents;
   std::mutex mu;                         ///< guards dependents/submitted
@@ -134,9 +146,12 @@ class DaskClient {
     auto node = std::make_shared<detail::TaskNode>();
     fut.node_ = node;
     auto state = fut.state_;
-    node->run = [this, fn = std::move(fn), state,
+    // Raw pointer: `run` is a member of the node, so the node outlives
+    // it; a shared_ptr capture would be a reference cycle. The id is
+    // assigned by wire_and_schedule before the task can run.
+    node->run = [this, fn = std::move(fn), state, raw = node.get(),
                  dep_states = std::make_tuple(deps.state_...)]() mutable {
-      run_guarded<R>(*state, [&] {
+      run_guarded<R>(raw->id, *state, [&] {
         // Propagate the first dependency error instead of reading a
         // value that was never produced.
         std::apply(
@@ -189,30 +204,76 @@ class DaskClient {
     auto node = std::make_shared<detail::TaskNode>();
     fut.node_ = node;
     auto state = fut.state_;
-    node->run = [this, fn = std::move(fn), state]() mutable {
-      run_guarded<R>(*state, fn);
+    node->run = [this, fn = std::move(fn), state, raw = node.get()]() mutable {
+      run_guarded<R>(raw->id, *state, fn);
     };
     wire_and_schedule(node, deps);
     return fut;
   }
 
-  /// Runs `make` with the memory-restart retry loop and publishes the
-  /// result into `state`.
+  /// Runs `make` with the memory-restart / fault-recovery retry loop and
+  /// publishes the result into `state`.
   template <typename R, typename Make>
-  void run_guarded(detail::SharedState<R>& state, Make&& make) {
+  void run_guarded(std::uint64_t task_id, detail::SharedState<R>& state,
+                   Make&& make) {
     metrics_.tasks_executed += 1;
     int attempts_left = config_.allowed_failures;
-    for (;;) {
+    const fault::FaultPlan* plan = config_.fault_plan;
+    const bool inject = plan != nullptr && !plan->empty();
+    for (int attempt = 0;; ++attempt) {
       try {
+        if (inject) {
+          const fault::FaultInjector injector(*plan,
+                                              fault::EngineId::kDask);
+          const fault::FaultSpec spec = injector.decide(task_id, attempt);
+          if (spec.kind == fault::FaultKind::kStraggler ||
+              spec.kind == fault::FaultKind::kFilesystemStall) {
+            if (spec.delay_s > 0.0) {
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(spec.delay_s));
+            }
+          } else if (spec.kind != fault::FaultKind::kNone) {
+            throw fault::InjectedFault(spec.kind, task_id, attempt);
+          }
+        }
         state.set_value(make());
         return;
       } catch (const engines::TaskMemoryExceeded&) {
         worker_restarts_ += 1;
+        if (config_.recovery_log != nullptr) {
+          config_.recovery_log->record(
+              {fault::EngineId::kDask, task_id, attempt,
+               fault::FaultKind::kWorkerOomKill,
+               attempts_left > 0 ? fault::RecoveryAction::kRestartWorker
+                                 : fault::RecoveryAction::kGiveUp,
+               0.0, 0.0});
+        }
         if (--attempts_left < 0) {
           state.set_error(std::current_exception());
           return;
         }
         // Simulated restart: the task is retried on a "fresh worker".
+      } catch (const fault::InjectedFault& f) {
+        const fault::RecoveryAction action = fault::recovery_action(
+            fault::EngineId::kDask, f.kind(), attempt, plan->retry);
+        const double backoff =
+            fault::backoff_for_attempt(plan->retry, attempt + 1);
+        if (config_.recovery_log != nullptr) {
+          config_.recovery_log->record({fault::EngineId::kDask, task_id,
+                                        attempt, f.kind(), action, backoff,
+                                        0.0});
+        }
+        if (action == fault::RecoveryAction::kGiveUp) {
+          state.set_error(std::current_exception());
+          return;
+        }
+        if (action == fault::RecoveryAction::kRestartWorker) {
+          worker_restarts_ += 1;
+        }
+        if (backoff > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(backoff));
+        }
       } catch (...) {
         state.set_error(std::current_exception());
         return;
@@ -238,6 +299,7 @@ class DaskClient {
   std::condition_variable idle_cv_;
   std::size_t inflight_ = 0;
   std::uint64_t outstanding_ = 0;  ///< submitted but not finished
+  std::uint64_t next_task_id_ = 0;  ///< submission-order ids; guarded by mu_
   bool stop_ = false;
   trace::Tracer* tracer_ = nullptr;        ///< guarded by mu_
   std::uint32_t trace_pid_ = 0;

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "mdtask/common/error.h"
+#include "mdtask/fault/fault.h"
+#include "mdtask/fault/recovery.h"
 #include "mdtask/trace/tracer.h"
 
 namespace mdtask::mpi {
@@ -311,6 +313,31 @@ struct SpmdReport {
 SpmdReport run_spmd(int ranks, const std::function<void(Communicator&)>& body,
                     BcastAlgorithm bcast = BcastAlgorithm::kBinomialTree,
                     trace::Tracer* tracer = nullptr);
+
+/// Body of a recoverable SPMD job: receives the communicator plus the
+/// job's checkpoint store, which persists across restart attempts —
+/// work put() there before an abort can be skipped after the relaunch.
+using RecoverableSpmdBody =
+    std::function<void(Communicator&, fault::CheckpointStore&)>;
+
+/// MPI-style checkpoint/abort/restart under a fault plan: there is no
+/// per-task recovery in MPI, so a fail-stop fault on ANY rank aborts the
+/// whole job (MPI_Abort semantics) and the wrapper relaunches it from
+/// the last checkpoint, bounded by plan.retry.max_attempts with
+/// exponential backoff between attempts.
+///
+/// Deadlock safety: every rank evaluates the same pure fault predicate
+/// before entering the body, so on a doomed attempt the faulty rank
+/// throws and every other rank returns before reaching any collective —
+/// no rank is ever left blocked in a collective waiting for a dead peer.
+/// Slowdown faults (stragglers, FS stalls) only delay their rank.
+///
+/// Throws InjectedFault when the restart budget is exhausted.
+SpmdReport run_spmd_with_recovery(
+    int ranks, const RecoverableSpmdBody& body, const fault::FaultPlan& plan,
+    fault::RecoveryLog* recovery_log = nullptr,
+    BcastAlgorithm bcast = BcastAlgorithm::kBinomialTree,
+    trace::Tracer* tracer = nullptr);
 
 // ---- template implementation ----
 

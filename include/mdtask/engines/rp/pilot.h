@@ -30,6 +30,8 @@
 #include "mdtask/common/error.h"
 #include "mdtask/common/thread_pool.h"
 #include "mdtask/engines/core.h"
+#include "mdtask/fault/injector.h"
+#include "mdtask/fault/recovery.h"
 
 namespace mdtask::rp {
 
@@ -111,6 +113,7 @@ class ComputeUnit {
   explicit ComputeUnit(ComputeUnitDescription d)
       : description_(std::move(d)) {}
   ComputeUnitDescription description_;
+  std::uint64_t task_index_ = 0;  ///< submission order; fault-injection key
   std::atomic<UnitState> state_{UnitState::kNew};
   std::string failure_;
   mutable std::mutex mu_;
@@ -121,6 +124,12 @@ class ComputeUnit {
 struct PilotDescription {
   std::size_t cores = 4;
   double db_roundtrip_latency_s = 0.0;
+  /// Optional fault-injection plan (not owned; must outlive the manager).
+  /// A faulted unit is retried at the pilot level with the plan's
+  /// exponential backoff, bounded by retry.max_attempts.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Optional sink for fault/recovery events (not owned).
+  fault::RecoveryLog* recovery_log = nullptr;
 };
 
 /// Client-side manager: owns the pilot's agent (a thread pool), the DB
@@ -156,6 +165,7 @@ class UnitManager {
   SharedFilesystem fs_;
   engines::EngineMetrics metrics_;
   mdtask::ThreadPool agent_;
+  std::uint64_t next_unit_index_ = 0;  ///< client-side submission counter
   trace::Tracer* tracer_ = nullptr;
   std::uint32_t trace_pid_ = 0;
   trace::Track client_track_{};

@@ -17,17 +17,21 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <exception>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "mdtask/common/thread_pool.h"
 #include "mdtask/engines/core.h"
+#include "mdtask/fault/injector.h"
+#include "mdtask/fault/recovery.h"
 
 namespace mdtask::spark {
 
@@ -36,6 +40,12 @@ struct SparkConfig {
   /// Simulated per-task transient memory limit (0 = unlimited); tasks
   /// declare large allocations via TaskContext::reserve_memory.
   std::uint64_t task_memory_limit = 0;
+  /// Optional fault-injection plan (not owned; must outlive the context).
+  /// Lost tasks are recovered by lineage re-execution: the partition is
+  /// simply recomputed, bounded by the plan's retry budget.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Optional sink for fault/recovery events (not owned).
+  fault::RecoveryLog* recovery_log = nullptr;
 };
 
 class SparkContext;
@@ -338,7 +348,7 @@ std::vector<std::vector<T>> SparkContext::run_stage(
   std::vector<std::future<void>> futures;
   futures.reserve(node.partitions);
   for (std::size_t p = 0; p < node.partitions; ++p) {
-    futures.push_back(pool_.submit([this, &node, &outputs, p] {
+    futures.push_back(pool_.submit([this, &node, &outputs, p, stage_id] {
       metrics_.tasks_executed += 1;
       trace::Span task_span;
       if (tracer_ != nullptr) {
@@ -347,24 +357,68 @@ std::vector<std::vector<T>> SparkContext::run_stage(
                                   "task", "task");
         task_span.arg_num("partition", static_cast<double>(p));
       }
-      TaskContext tc(*this, p);
-      if (!node.cached) {
-        outputs[p] = node.compute(tc);
-        return;
-      }
-      {
-        std::lock_guard lk(node.cache_mu);
-        if (node.cache_slots[p]) {
-          outputs[p] = *node.cache_slots[p];
+      const auto execute = [this, &node, &outputs, p] {
+        TaskContext tc(*this, p);
+        if (!node.cached) {
+          outputs[p] = node.compute(tc);
           return;
         }
+        {
+          std::lock_guard lk(node.cache_mu);
+          if (node.cache_slots[p]) {
+            outputs[p] = *node.cache_slots[p];
+            return;
+          }
+        }
+        auto data = node.compute(tc);
+        {
+          std::lock_guard lk(node.cache_mu);
+          node.cache_slots[p] = data;
+        }
+        outputs[p] = std::move(data);
+      };
+      if (config_.fault_plan == nullptr || config_.fault_plan->empty()) {
+        execute();
+        return;
       }
-      auto data = node.compute(tc);
-      {
-        std::lock_guard lk(node.cache_mu);
-        node.cache_slots[p] = data;
+      // Deterministic task id: stage in the high bits, partition in the
+      // low bits — stable across runs and thread interleavings.
+      const std::uint64_t task_id = (stage_id << 20) | p;
+      const fault::FaultInjector injector(*config_.fault_plan,
+                                          fault::EngineId::kSpark);
+      for (int attempt = 0;; ++attempt) {
+        const fault::FaultSpec spec = injector.decide(task_id, attempt);
+        if (spec.kind == fault::FaultKind::kNone) {
+          execute();
+          return;
+        }
+        if (spec.kind == fault::FaultKind::kStraggler ||
+            spec.kind == fault::FaultKind::kFilesystemStall) {
+          // Slowdowns complete; they just take longer.
+          if (spec.delay_s > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(spec.delay_s));
+          }
+          execute();
+          return;
+        }
+        // The attempt is lost before it can publish output — lineage
+        // makes the partition recomputable, so just try again.
+        const fault::RecoveryAction action = fault::recovery_action(
+            fault::EngineId::kSpark, spec.kind, attempt,
+            config_.fault_plan->retry);
+        if (config_.recovery_log != nullptr) {
+          config_.recovery_log->record(
+              {fault::EngineId::kSpark, task_id, attempt, spec.kind, action,
+               fault::backoff_for_attempt(config_.fault_plan->retry,
+                                          attempt + 1),
+               tracer_ != nullptr ? tracer_->now_us() : 0.0});
+        }
+        if (action == fault::RecoveryAction::kGiveUp) {
+          throw fault::InjectedFault(spec.kind, task_id, attempt);
+        }
+        metrics_.tasks_executed += 1;  // the re-execution is a new task
       }
-      outputs[p] = std::move(data);
     }));
   }
   // Stage barrier: drain EVERY task before surfacing an error, so no

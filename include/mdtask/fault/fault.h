@@ -1,0 +1,140 @@
+// The fault-model vocabulary shared by the DES and the four engines.
+//
+// The paper's Leaflet Finder results hinge on failure behaviour as much
+// as speed: Dask's broadcast dies at >= 524k atoms, approaches 2-3 OOM
+// at 4M, Dask workers restart at the 95% memory watermark (Secs.
+// 4.3.1-4.3.3), and Sec. 6 proposes speculative execution against
+// stragglers. mdtask::fault turns those outcomes into *injected faults*
+// processed by per-engine recovery policies, instead of hard-coded
+// special cases: a FaultPlan describes what breaks and when, and whether
+// a workload survives depends on how its engine recovers.
+//
+// Determinism contract: every injection decision is a pure function of
+// (plan seed, scope, task id, attempt) — see injector.h — so the same
+// seed reproduces the same fault schedule under any thread interleaving.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mdtask::fault {
+
+/// The failure modes the paper's testbeds exhibit (plus the Sec.-6
+/// straggler case).
+enum class FaultKind {
+  kNone,
+  kNodeCrash,         ///< a node dies; its in-flight tasks are lost
+  kWorkerOomKill,     ///< the memory watchdog kills one worker/task
+  kStraggler,         ///< the task runs several times longer than nominal
+  kNetworkPartition,  ///< transient partition: a broadcast/shuffle op fails
+  kFilesystemStall,   ///< the shared parallel filesystem stalls
+};
+const char* to_string(FaultKind kind) noexcept;
+
+/// The engine whose recovery policy handles an injected fault.
+enum class EngineId { kSpark, kDask, kRp, kMpi };
+const char* to_string(EngineId engine) noexcept;
+
+/// One scheduled injection. Explicit entries fire when task and attempt
+/// match; wildcard values widen the blast radius (kEveryTask turns an
+/// entry into "all tasks", kEveryAttempt into "every retry too" — the
+/// unrecoverable, physics-driven faults like an oversized cdist block).
+struct FaultSpec {
+  static constexpr std::uint64_t kEveryTask = ~0ull;
+  static constexpr int kEveryAttempt = -1;
+
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t task_id = kEveryTask;
+  int attempt = 0;
+  /// Virtual-time duration multiplier (DES stragglers) — 1.0 = none.
+  double factor = 1.0;
+  /// Real or virtual seconds of added delay (engine stragglers, FS
+  /// stalls, node-repair time).
+  double delay_s = 0.0;
+
+  bool fires_for(std::uint64_t task, int try_index) const noexcept {
+    return kind != FaultKind::kNone &&
+           (task_id == kEveryTask || task_id == task) &&
+           (attempt == kEveryAttempt || attempt == try_index);
+  }
+};
+
+/// Background fault probabilities, evaluated independently per
+/// (task, attempt) by the injector's hash. All default to zero.
+struct FaultRates {
+  double node_crash = 0.0;
+  double worker_oom = 0.0;
+  double straggler = 0.0;
+  double network_partition = 0.0;
+  double fs_stall = 0.0;
+  /// Duration multiplier a probabilistic straggler applies.
+  double straggler_factor = 4.0;
+  /// Seconds a probabilistic FS stall adds.
+  double fs_stall_s = 0.5;
+
+  bool empty() const noexcept {
+    return node_crash == 0.0 && worker_oom == 0.0 && straggler == 0.0 &&
+           network_partition == 0.0 && fs_stall == 0.0;
+  }
+};
+
+/// How an engine retries failed work: bounded attempts with exponential
+/// backoff (RADICAL-Pilot's pilot-level retry; Dask's allowed-failures;
+/// the MPI wrapper's restart budget).
+struct RetryPolicy {
+  int max_attempts = 3;            ///< total tries including the first
+  double backoff_s = 0.0;          ///< delay before the first retry
+  double backoff_multiplier = 2.0; ///< growth per further retry
+  double timeout_s = 0.0;          ///< per-attempt watchdog (0 = none)
+};
+
+/// Backoff before retry number `attempt` (1-based: the delay between
+/// attempt-1 failing and attempt starting). Exponential, never negative.
+double backoff_for_attempt(const RetryPolicy& policy, int attempt) noexcept;
+
+/// Sec.-6 speculative execution: once a task has run threshold_factor x
+/// its nominal duration, launch a backup copy; first finisher wins.
+struct SpeculationConfig {
+  bool enabled = false;
+  double threshold_factor = 1.5;
+};
+
+/// A complete failure scenario: seed + background rates + explicit
+/// schedule + how hard the engine fights back. Consumed by all four
+/// engine runtimes, the workflow runners and the DES replays.
+struct FaultPlan {
+  std::uint64_t seed = 42;
+  FaultRates rates;
+  std::vector<FaultSpec> schedule;
+  RetryPolicy retry;
+  SpeculationConfig speculation;
+
+  bool empty() const noexcept {
+    return schedule.empty() && rates.empty();
+  }
+};
+
+/// Thrown inside an engine task when an injected fault fires and the
+/// engine's recovery policy gives up (or surfaces it to the caller).
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(FaultKind kind, std::uint64_t task_id, int attempt)
+      : std::runtime_error(std::string("injected fault: ") +
+                           fault::to_string(kind)),
+        kind_(kind),
+        task_id_(task_id),
+        attempt_(attempt) {}
+
+  FaultKind kind() const noexcept { return kind_; }
+  std::uint64_t task_id() const noexcept { return task_id_; }
+  int attempt() const noexcept { return attempt_; }
+
+ private:
+  FaultKind kind_;
+  std::uint64_t task_id_;
+  int attempt_;
+};
+
+}  // namespace mdtask::fault

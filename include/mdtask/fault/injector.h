@@ -1,0 +1,46 @@
+// Deterministic fault injection.
+//
+// The injector answers one question — "does a fault fire for this task
+// attempt?" — as a pure function of (plan seed, scope, task id,
+// attempt). There is no mutable RNG stream: worker threads may evaluate
+// decisions in any order, on any schedule, and the verdicts are
+// identical, which is what makes same-seed runs reproduce the same
+// failure/recovery sequence (the determinism test pins this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mdtask/fault/fault.h"
+
+namespace mdtask::fault {
+
+/// Stateless decision point bound to one plan and one scope (the scope
+/// is the engine name, so the same plan drives different-but-each-
+/// deterministic schedules on different engines).
+class FaultInjector {
+ public:
+  /// The plan is not owned and must outlive the injector (engine configs
+  /// hold a pointer to a caller-owned plan the same way).
+  FaultInjector(const FaultPlan& plan, EngineId engine)
+      : plan_(&plan), engine_(engine) {}
+
+  /// The fault (if any) that fires for attempt `attempt` of `task_id`.
+  /// Explicit schedule entries win over probabilistic draws; the first
+  /// matching schedule entry is returned.
+  FaultSpec decide(std::uint64_t task_id, int attempt) const noexcept;
+
+  const FaultPlan& plan() const noexcept { return *plan_; }
+  EngineId engine() const noexcept { return engine_; }
+
+ private:
+  /// Uniform double in [0, 1) keyed by (seed, engine, task, attempt,
+  /// draw index) — one independent draw per fault kind.
+  double draw(std::uint64_t task_id, int attempt,
+              std::uint32_t index) const noexcept;
+
+  const FaultPlan* plan_;
+  EngineId engine_;
+};
+
+}  // namespace mdtask::fault

@@ -1,0 +1,111 @@
+// Per-engine recovery policies and the shared recovery event log.
+//
+// Each engine answers an injected fault the way its real counterpart
+// does (Sec. 3 semantics):
+//  * Spark  — lineage re-execution: the lost partition is recomputed
+//             from its (possibly cached) parents.
+//  * Dask   — the killed worker restarts and the task is rescheduled;
+//             bounded by the allowed-failures budget.
+//  * RP     — pilot-level retry with exponential backoff and bounded
+//             attempts.
+//  * MPI    — checkpoint/abort/restart: the whole job aborts and
+//             relaunches from the last checkpoint.
+//
+// Every fault and every recovery decision is recorded in a RecoveryLog
+// and (optionally) mirrored into mdtask::trace as zero-duration spans in
+// the "fault"/"recovery" categories, so Chrome traces show exactly where
+// a run bled and how it healed (docs/RESILIENCE.md).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mdtask/fault/fault.h"
+#include "mdtask/trace/tracer.h"
+
+namespace mdtask::fault {
+
+/// What a recovery policy decided to do about one fault.
+enum class RecoveryAction {
+  kReexecuteLineage,   ///< Spark: recompute the lost partition
+  kRestartWorker,      ///< Dask: restart the worker, reschedule the task
+  kRetryWithBackoff,   ///< RP: retry the unit after exponential backoff
+  kCheckpointRestart,  ///< MPI: abort the job, restart from checkpoint
+  kSpeculativeCopy,    ///< straggler mitigation: launch a backup copy
+  kGiveUp,             ///< retry budget exhausted: surface the failure
+};
+const char* to_string(RecoveryAction action) noexcept;
+
+/// The action an engine's policy takes for `kind` on retry `attempt`
+/// (0-based attempt that just failed) under `policy`. Returns kGiveUp
+/// once the budget is exhausted.
+RecoveryAction recovery_action(EngineId engine, FaultKind kind, int attempt,
+                               const RetryPolicy& policy) noexcept;
+
+/// One fault + the recovery decision it triggered.
+struct RecoveryEvent {
+  EngineId engine = EngineId::kSpark;
+  std::uint64_t task_id = 0;
+  int attempt = 0;
+  FaultKind fault = FaultKind::kNone;
+  RecoveryAction action = RecoveryAction::kGiveUp;
+  double backoff_s = 0.0;
+  /// Virtual timestamp for DES emitters, wall microseconds otherwise
+  /// (only used for trace mirroring; the canonical order ignores it).
+  double ts_us = 0.0;
+
+  /// "spark task=12 attempt=0 fault=worker-oom-kill action=..." — the
+  /// comparison key of the determinism tests.
+  std::string to_string() const;
+};
+
+/// Thread-safe ordered log of fault/recovery events. Worker threads
+/// append concurrently, so the raw order is scheduling-dependent;
+/// canonical() sorts by (task, attempt, fault, action) to give the
+/// interleaving-independent sequence that same-seed runs must reproduce
+/// exactly.
+class RecoveryLog {
+ public:
+  /// Mirrors every recorded event into `tracer` as a zero-duration span
+  /// on `track` ("fault:<kind>" / "recovery:<action>", categories
+  /// "fault"/"recovery"). Call before the run; pass nullptr to stop.
+  void attach_tracer(trace::Tracer* tracer, trace::Track track) {
+    std::lock_guard lk(mu_);
+    tracer_ = tracer;
+    track_ = track;
+  }
+
+  void record(RecoveryEvent event);
+
+  std::vector<RecoveryEvent> events() const;
+  /// Interleaving-independent rendering: one line per event, sorted.
+  std::vector<std::string> canonical() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RecoveryEvent> events_;
+  trace::Tracer* tracer_ = nullptr;
+  trace::Track track_{};
+};
+
+/// In-memory checkpoint store for the MPI checkpoint/abort/restart
+/// wrapper: survives across restart attempts of one logical job, so a
+/// relaunched body can skip work it checkpointed before the abort.
+class CheckpointStore {
+ public:
+  void put(const std::string& key, std::vector<std::uint8_t> data);
+  bool contains(const std::string& key) const;
+  std::vector<std::uint8_t> get(const std::string& key) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<std::uint8_t>> store_;
+};
+
+}  // namespace mdtask::fault

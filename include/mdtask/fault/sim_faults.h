@@ -1,0 +1,68 @@
+// Fault injection under the discrete-event simulation.
+//
+// Two entry points:
+//  * resolve_plan() — the feasibility oracle. Given a plan's scheduled
+//    faults and an engine's retry policy, decides whether the workload
+//    survives: the paper's Fig. 7 failure cells (Dask broadcast at
+//    >= 524k atoms, cdist OOM at 4M, Dask restart exhaustion) are
+//    produced by feeding physics-derived fault injections through this
+//    resolution instead of hard-coded branches.
+//  * simulate_task_wave() — the virtual-time replay. Replays a task
+//    wave on a simulated core pool with faults firing mid-flight:
+//    stragglers stretch tasks (optionally mitigated by speculative
+//    copies), OOM kills and partitions burn part of the task before a
+//    backoff + retry, node crashes additionally take cores offline for
+//    the repair window. Single-threaded virtual time: byte-identical
+//    traces per seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdtask/fault/fault.h"
+#include "mdtask/fault/recovery.h"
+#include "mdtask/sim/simulation.h"
+
+namespace mdtask::fault {
+
+/// Verdict of resolve_plan: did the engine's recovery policy out-retry
+/// the scheduled faults?
+struct PlanResolution {
+  bool survives = true;
+  FaultKind fatal_fault = FaultKind::kNone;  ///< first unrecoverable kind
+  std::uint64_t faults_injected = 0;
+  std::uint64_t retries = 0;  ///< recovery attempts that were granted
+};
+
+/// Walks the plan's scheduled faults against `engine`'s retry policy
+/// (plan.retry): each faulting task is retried per the engine's recovery
+/// action until an attempt passes cleanly or the budget is exhausted.
+/// Faults covering every attempt (FaultSpec::kEveryAttempt) are
+/// deterministic physics — no amount of lineage re-execution or worker
+/// restarting survives them. Events are recorded into `log` if given.
+PlanResolution resolve_plan(const FaultPlan& plan, EngineId engine,
+                            RecoveryLog* log = nullptr);
+
+/// Outcome of a virtual-time task-wave replay under a fault plan.
+struct SimFaultOutcome {
+  bool completed = true;
+  std::string failure;  ///< first give-up, when !completed
+  double makespan_s = 0.0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t speculative_copies = 0;
+};
+
+/// Replays `durations` on `cores` simulated cores with the plan's
+/// faults injected and `engine`'s recovery policy applied, in virtual
+/// time. `log` (optional) receives every recovery decision stamped with
+/// virtual microseconds (pure slowdowns — stragglers without
+/// speculation, FS stalls — trigger no decision and are only counted);
+/// attach a tracer to the log to mirror events into a Chrome trace.
+SimFaultOutcome simulate_task_wave(std::size_t cores,
+                                   const std::vector<double>& durations,
+                                   const FaultPlan& plan, EngineId engine,
+                                   RecoveryLog* log = nullptr);
+
+}  // namespace mdtask::fault

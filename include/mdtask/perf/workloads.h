@@ -66,10 +66,14 @@ struct LfWorkload {
   std::size_t target_tasks = 1024;
 };
 
+/// `seed` seeds the fault plans the cell's physics-derived failure
+/// conditions are resolved through (the Fig. 7 FAIL cells are scheduled
+/// faults, so every seed reproduces the same published verdicts).
 SimOutcome simulate_leaflet(const FrameworkModel& model,
                             const sim::ClusterSpec& cluster, int approach,
                             const LfWorkload& workload,
-                            const KernelCosts& costs);
+                            const KernelCosts& costs,
+                            std::uint64_t seed = 42);
 
 /// Replays one Leaflet Finder cell and returns the per-bucket core
 /// utilization over the compute phase (the straggler structure behind
@@ -80,7 +84,7 @@ std::vector<double> leaflet_utilization_timeline(
     const FrameworkModel& model, const sim::ClusterSpec& cluster,
     int approach, const LfWorkload& workload, const KernelCosts& costs,
     std::size_t buckets, trace::Tracer* tracer = nullptr,
-    std::uint32_t trace_pid = 0);
+    std::uint32_t trace_pid = 0, std::uint64_t seed = 42);
 
 // ---- Sec. 6 future-work extensions (ablation benches) ----
 
@@ -97,11 +101,14 @@ struct SpeculationPolicy {
 /// Replays `n_tasks` of nominal duration `task_s` with heavy-tailed
 /// straggler jitter (a fraction of tasks run `straggler_factor` x
 /// longer) with and without speculation support. Returns the makespan.
+/// `seed` selects the straggler set; the default reproduces the
+/// published bench stream exactly.
 double simulate_straggler_makespan(const sim::ClusterSpec& cluster,
                                    std::size_t n_tasks, double task_s,
                                    double straggler_fraction,
                                    double straggler_factor,
-                                   const SpeculationPolicy& policy);
+                                   const SpeculationPolicy& policy,
+                                   std::uint64_t seed = 42);
 
 /// Elastic-pool what-if ("dynamically scale the resource pool"): run
 /// `n_tasks` x `task_s` on `initial_cores`, adding `added_cores` at

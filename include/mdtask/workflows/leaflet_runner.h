@@ -20,6 +20,8 @@
 
 #include "mdtask/analysis/leaflet.h"
 #include "mdtask/common/error.h"
+#include "mdtask/fault/fault.h"
+#include "mdtask/fault/recovery.h"
 #include "mdtask/trace/tracer.h"
 #include "mdtask/workflows/common.h"
 
@@ -45,6 +47,13 @@ struct LfRunConfig {
   /// emits spans for stages, tasks, collectives and staging phases
   /// (export with trace::write_chrome_trace).
   trace::Tracer* tracer = nullptr;
+  /// Optional failure model (mdtask/fault). When set and non-empty, the
+  /// chosen engine injects the plan's faults into its tasks and recovers
+  /// with its native policy (Spark lineage re-execution, Dask worker
+  /// restart, RP retry+backoff, MPI checkpoint-abort-restart).
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Optional sink for every fault/recovery decision the run makes.
+  fault::RecoveryLog* recovery_log = nullptr;
 };
 
 struct LfRunResult {

@@ -12,6 +12,8 @@
 #pragma once
 
 #include "mdtask/analysis/psa.h"
+#include "mdtask/fault/fault.h"
+#include "mdtask/fault/recovery.h"
 #include "mdtask/trace/tracer.h"
 #include "mdtask/traj/trajectory.h"
 #include "mdtask/workflows/common.h"
@@ -38,6 +40,11 @@ struct PsaRunConfig {
   /// When set, the run registers engine/worker tracks on this tracer and
   /// emits spans for the engine's tasks and collectives.
   trace::Tracer* tracer = nullptr;
+  /// Optional failure model (mdtask/fault): injected into the engine's
+  /// tasks with its native recovery policy when set and non-empty.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Optional sink for every fault/recovery decision the run makes.
+  fault::RecoveryLog* recovery_log = nullptr;
 };
 
 struct PsaRunResult {

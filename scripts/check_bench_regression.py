@@ -21,8 +21,7 @@ import sys
 def load_entries(path):
     with open(path) as f:
         doc = json.load(f)
-    return {(e["kernel"], e["policy"]): e["ns_per_unit"]
-            for e in doc["entries"]}
+    return {(e["kernel"], e["policy"]): e for e in doc["entries"]}
 
 
 def main():
@@ -41,12 +40,22 @@ def main():
     current = load_entries(args.current)
 
     failures = []
-    for key, base_ns in sorted(baseline.items()):
+    for key, base_entry in sorted(baseline.items()):
         kernel, policy = key
-        cur_ns = current.get(key)
-        if cur_ns is None:
+        cur_entry = current.get(key)
+        # Fault-injection entries measure recovery behaviour, not kernel
+        # speed; their timings depend on the injected schedule and are
+        # not comparable across plans. Skip them with a note.
+        if base_entry.get("fault_injection") or (
+                cur_entry is not None and cur_entry.get("fault_injection")):
+            print(f"{kernel:<16} {policy:<12} skipped "
+                  f"(fault-injection entry; timings not comparable)")
+            continue
+        base_ns = base_entry["ns_per_unit"]
+        if cur_entry is None:
             failures.append(f"{kernel}/{policy}: missing from current run")
             continue
+        cur_ns = cur_entry["ns_per_unit"]
         ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
         status = "ok"
         if ratio > 1.0 + args.max_regression:
@@ -61,11 +70,17 @@ def main():
     for spec in args.min_speedup:
         kernel, _, factor = spec.partition("=")
         factor = float(factor)
-        scalar = current.get((kernel, "scalar"))
-        vectorized = current.get((kernel, "vectorized"))
-        if scalar is None or vectorized is None:
+        scalar_entry = current.get((kernel, "scalar"))
+        vectorized_entry = current.get((kernel, "vectorized"))
+        if scalar_entry is None or vectorized_entry is None:
             failures.append(f"{kernel}: scalar/vectorized cells missing")
             continue
+        if scalar_entry.get("fault_injection") or \
+                vectorized_entry.get("fault_injection"):
+            print(f"{kernel:<16} skipped (fault-injection entry)")
+            continue
+        scalar = scalar_entry["ns_per_unit"]
+        vectorized = vectorized_entry["ns_per_unit"]
         speedup = scalar / vectorized if vectorized > 0 else float("inf")
         ok = speedup >= factor
         print(f"{kernel:<16} vectorized speedup {speedup:5.2f}x "

@@ -16,10 +16,26 @@ const char* to_string(ErrorCode code) noexcept {
   return "kUnknown";
 }
 
+std::string TaskFailureContext::to_string() const {
+  std::string out = " [engine=";
+  out += engine;
+  out += " task=";
+  out += std::to_string(task_id);
+  out += " attempt=";
+  out += std::to_string(attempt);
+  if (!fault_kind.empty()) {
+    out += " fault=";
+    out += fault_kind;
+  }
+  out += "]";
+  return out;
+}
+
 std::string Error::to_string() const {
   std::string out = mdtask::to_string(code_);
   out += ": ";
   out += message_;
+  if (task_.has_value()) out += task_->to_string();
   return out;
 }
 

@@ -41,6 +41,9 @@ void DaskClient::wire_and_schedule(
   {
     std::lock_guard lk(mu_);
     ++outstanding_;
+    // Submission order is fixed by the (single-threaded) client's graph
+    // construction, so these ids are deterministic run to run.
+    node->id = next_task_id_++;
   }
   node->pending_deps.store(static_cast<int>(deps.size()),
                            std::memory_order_relaxed);

@@ -1,10 +1,14 @@
 #include "mdtask/engines/mpi/runtime.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
+
+#include "mdtask/fault/injector.h"
 
 namespace mdtask::mpi {
 namespace detail {
@@ -178,6 +182,84 @@ SpmdReport run_spmd(int ranks, const std::function<void(Communicator&)>& body,
     throw std::invalid_argument("run_spmd: ranks must be positive");
   }
   return SpmdRunner::run(ranks, body, bcast, tracer);
+}
+
+namespace {
+
+bool is_fail_stop(fault::FaultKind kind) noexcept {
+  return kind == fault::FaultKind::kNodeCrash ||
+         kind == fault::FaultKind::kWorkerOomKill ||
+         kind == fault::FaultKind::kNetworkPartition;
+}
+
+}  // namespace
+
+SpmdReport run_spmd_with_recovery(int ranks, const RecoverableSpmdBody& body,
+                                  const fault::FaultPlan& plan,
+                                  fault::RecoveryLog* recovery_log,
+                                  BcastAlgorithm bcast,
+                                  trace::Tracer* tracer) {
+  if (ranks <= 0) {
+    throw std::invalid_argument(
+        "run_spmd_with_recovery: ranks must be positive");
+  }
+  fault::CheckpointStore checkpoints;
+  const fault::FaultInjector injector(plan, fault::EngineId::kMpi);
+  // The lowest doomed rank of an attempt, or {-1, kNone}. Pure function
+  // of (plan, attempt): every rank computes the identical answer.
+  const auto first_fault =
+      [&](int attempt) -> std::pair<int, fault::FaultKind> {
+    for (int r = 0; r < ranks; ++r) {
+      const fault::FaultSpec spec =
+          injector.decide(static_cast<std::uint64_t>(r), attempt);
+      if (is_fail_stop(spec.kind)) return {r, spec.kind};
+    }
+    return {-1, fault::FaultKind::kNone};
+  };
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return run_spmd(
+          ranks,
+          [&, attempt](Communicator& comm) {
+            const auto [doomed, kind] = first_fault(attempt);
+            if (doomed >= 0) {
+              // MPI_Abort semantics: the faulty rank dies, everyone
+              // else bails out before the first collective.
+              if (comm.rank() == doomed) {
+                throw fault::InjectedFault(
+                    kind, static_cast<std::uint64_t>(doomed), attempt);
+              }
+              return;
+            }
+            const fault::FaultSpec spec = injector.decide(
+                static_cast<std::uint64_t>(comm.rank()), attempt);
+            if ((spec.kind == fault::FaultKind::kStraggler ||
+                 spec.kind == fault::FaultKind::kFilesystemStall) &&
+                spec.delay_s > 0.0) {
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(spec.delay_s));
+            }
+            body(comm, checkpoints);
+          },
+          bcast, tracer);
+    } catch (const fault::InjectedFault& f) {
+      const fault::RecoveryAction action = fault::recovery_action(
+          fault::EngineId::kMpi, f.kind(), attempt, plan.retry);
+      const double backoff =
+          fault::backoff_for_attempt(plan.retry, attempt + 1);
+      if (recovery_log != nullptr) {
+        recovery_log->record({fault::EngineId::kMpi, f.task_id(), attempt,
+                              f.kind(), action, backoff,
+                              tracer != nullptr ? tracer->now_us() : 0.0});
+      }
+      if (action == fault::RecoveryAction::kGiveUp) throw;
+      // Restart from the last checkpoint after the backoff; everything
+      // the aborted attempt did not put() in `checkpoints` is lost.
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+    }
+  }
 }
 
 }  // namespace mdtask::mpi

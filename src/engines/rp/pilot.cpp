@@ -60,6 +60,7 @@ std::vector<std::shared_ptr<ComputeUnit>> UnitManager::submit_units(
     metrics_.db_roundtrips += 1;
     units.push_back(
         std::shared_ptr<ComputeUnit>(new ComputeUnit(std::move(d))));
+    units.back()->task_index_ = next_unit_index_++;
   }
   for (const auto& unit : units) {
     agent_.post([this, unit] { run_unit(unit); });
@@ -145,15 +146,66 @@ void UnitManager::run_unit(const std::shared_ptr<ComputeUnit>& unit) {
     if (tracer_ != nullptr) {
       exec_span = tracer_->span(track, "executing", "task");
     }
-    try {
-      if (unit->description_.executable) {
-        unit->description_.executable(fs_);
+    const fault::FaultPlan* plan = pilot_.fault_plan;
+    const bool inject = plan != nullptr && !plan->empty();
+    for (int attempt = 0;; ++attempt) {
+      try {
+        if (inject) {
+          const fault::FaultInjector injector(*plan, fault::EngineId::kRp);
+          const fault::FaultSpec spec =
+              injector.decide(unit->task_index_, attempt);
+          if (spec.kind == fault::FaultKind::kStraggler ||
+              spec.kind == fault::FaultKind::kFilesystemStall) {
+            if (spec.delay_s > 0.0) {
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(spec.delay_s));
+            }
+          } else if (spec.kind != fault::FaultKind::kNone) {
+            throw fault::InjectedFault(spec.kind, unit->task_index_,
+                                       attempt);
+          }
+        }
+        if (unit->description_.executable) {
+          unit->description_.executable(fs_);
+        }
+        break;
+      } catch (const fault::InjectedFault& f) {
+        const fault::RecoveryAction action = fault::recovery_action(
+            fault::EngineId::kRp, f.kind(), attempt, plan->retry);
+        const double backoff =
+            fault::backoff_for_attempt(plan->retry, attempt + 1);
+        if (pilot_.recovery_log != nullptr) {
+          pilot_.recovery_log->record(
+              {fault::EngineId::kRp, unit->task_index_, attempt, f.kind(),
+               action, backoff,
+               tracer_ != nullptr ? tracer_->now_us() : 0.0});
+        }
+        if (action == fault::RecoveryAction::kGiveUp) {
+          unit->failure_ =
+              Error(ErrorCode::kUnavailable, f.what())
+                  .with_task({"rp", unit->task_index_, attempt,
+                              fault::to_string(f.kind())})
+                  .to_string();
+          unit_span.arg("error", unit->failure_);
+          transition(*unit, UnitState::kFailed);
+          return;
+        }
+        // Pilot-level retry: the unit walks back through scheduling (a
+        // DB round trip each way) and re-executes after the backoff.
+        transition(*unit, UnitState::kAgentScheduling);
+        if (backoff > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(backoff));
+        }
+        transition(*unit, UnitState::kExecuting);
+      } catch (const std::exception& e) {
+        unit->failure_ = Error(ErrorCode::kInternal, e.what())
+                             .with_task({"rp", unit->task_index_, attempt})
+                             .to_string();
+        unit_span.arg("error", unit->failure_);
+        transition(*unit, UnitState::kFailed);
+        return;
       }
-    } catch (const std::exception& e) {
-      unit->failure_ = e.what();
-      unit_span.arg("error", unit->failure_);
-      transition(*unit, UnitState::kFailed);
-      return;
     }
   }
   transition(*unit, UnitState::kStagingOutput);

@@ -1,0 +1,36 @@
+#include "mdtask/fault/fault.h"
+
+#include <algorithm>
+
+namespace mdtask::fault {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kWorkerOomKill: return "worker-oom-kill";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kNetworkPartition: return "network-partition";
+    case FaultKind::kFilesystemStall: return "filesystem-stall";
+  }
+  return "?";
+}
+
+const char* to_string(EngineId engine) noexcept {
+  switch (engine) {
+    case EngineId::kSpark: return "spark";
+    case EngineId::kDask: return "dask";
+    case EngineId::kRp: return "rp";
+    case EngineId::kMpi: return "mpi";
+  }
+  return "?";
+}
+
+double backoff_for_attempt(const RetryPolicy& policy, int attempt) noexcept {
+  if (policy.backoff_s <= 0.0 || attempt <= 0) return 0.0;
+  double delay = policy.backoff_s;
+  for (int i = 1; i < attempt; ++i) delay *= policy.backoff_multiplier;
+  return std::max(0.0, delay);
+}
+
+}  // namespace mdtask::fault

@@ -1,0 +1,54 @@
+#include "mdtask/fault/injector.h"
+
+#include "mdtask/common/rng.h"
+
+namespace mdtask::fault {
+
+double FaultInjector::draw(std::uint64_t task_id, int attempt,
+                           std::uint32_t index) const noexcept {
+  // One SplitMix64 avalanche over the decision coordinates. Stateless:
+  // the verdict depends only on the inputs, never on evaluation order.
+  std::uint64_t state = plan_->seed;
+  state ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(engine_) + 1);
+  splitmix64(state);
+  state ^= task_id + 0x632be59bd9b4e019ULL;
+  splitmix64(state);
+  state ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt))
+            << 32) |
+           index;
+  const std::uint64_t bits = splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+FaultSpec FaultInjector::decide(std::uint64_t task_id,
+                                int attempt) const noexcept {
+  for (const FaultSpec& spec : plan_->schedule) {
+    if (spec.fires_for(task_id, attempt)) return spec;
+  }
+  const FaultRates& rates = plan_->rates;
+  if (rates.empty()) return FaultSpec{};
+  // Independent draws per kind, severest first: a node crash masks a
+  // straggler draw for the same attempt.
+  if (rates.node_crash > 0.0 && draw(task_id, attempt, 0) < rates.node_crash) {
+    return FaultSpec{FaultKind::kNodeCrash, task_id, attempt, 1.0, 5.0};
+  }
+  if (rates.worker_oom > 0.0 && draw(task_id, attempt, 1) < rates.worker_oom) {
+    return FaultSpec{FaultKind::kWorkerOomKill, task_id, attempt, 1.0, 0.0};
+  }
+  if (rates.network_partition > 0.0 &&
+      draw(task_id, attempt, 2) < rates.network_partition) {
+    return FaultSpec{FaultKind::kNetworkPartition, task_id, attempt, 1.0,
+                     0.0};
+  }
+  if (rates.fs_stall > 0.0 && draw(task_id, attempt, 3) < rates.fs_stall) {
+    return FaultSpec{FaultKind::kFilesystemStall, task_id, attempt, 1.0,
+                     rates.fs_stall_s};
+  }
+  if (rates.straggler > 0.0 && draw(task_id, attempt, 4) < rates.straggler) {
+    return FaultSpec{FaultKind::kStraggler, task_id, attempt,
+                     rates.straggler_factor, 0.0};
+  }
+  return FaultSpec{};
+}
+
+}  // namespace mdtask::fault

@@ -1,0 +1,129 @@
+#include "mdtask/fault/recovery.h"
+
+#include <algorithm>
+
+namespace mdtask::fault {
+
+const char* to_string(RecoveryAction action) noexcept {
+  switch (action) {
+    case RecoveryAction::kReexecuteLineage: return "reexecute-lineage";
+    case RecoveryAction::kRestartWorker: return "restart-worker";
+    case RecoveryAction::kRetryWithBackoff: return "retry-with-backoff";
+    case RecoveryAction::kCheckpointRestart: return "checkpoint-restart";
+    case RecoveryAction::kSpeculativeCopy: return "speculative-copy";
+    case RecoveryAction::kGiveUp: return "give-up";
+  }
+  return "?";
+}
+
+RecoveryAction recovery_action(EngineId engine, FaultKind kind, int attempt,
+                               const RetryPolicy& policy) noexcept {
+  // The attempt that just failed is 0-based; the retry it would earn is
+  // attempt + 1, which must stay inside the budget.
+  if (attempt + 1 >= policy.max_attempts) return RecoveryAction::kGiveUp;
+  switch (engine) {
+    case EngineId::kSpark:
+      // Lineage makes every loss recomputable (RDDs are deterministic).
+      return RecoveryAction::kReexecuteLineage;
+    case EngineId::kDask:
+      // distributed restarts the worker for memory kills and crashes;
+      // other transients are plain reschedules of the task, which we
+      // fold into the same action for accounting.
+      return (kind == FaultKind::kWorkerOomKill ||
+              kind == FaultKind::kNodeCrash)
+                 ? RecoveryAction::kRestartWorker
+                 : RecoveryAction::kRetryWithBackoff;
+    case EngineId::kRp:
+      return RecoveryAction::kRetryWithBackoff;
+    case EngineId::kMpi:
+      return RecoveryAction::kCheckpointRestart;
+  }
+  return RecoveryAction::kGiveUp;
+}
+
+std::string RecoveryEvent::to_string() const {
+  std::string out = fault::to_string(engine);
+  out += " task=";
+  out += std::to_string(task_id);
+  out += " attempt=";
+  out += std::to_string(attempt);
+  out += " fault=";
+  out += fault::to_string(fault);
+  out += " action=";
+  out += fault::to_string(action);
+  return out;
+}
+
+void RecoveryLog::record(RecoveryEvent event) {
+  trace::Tracer* tracer = nullptr;
+  trace::Track track{};
+  {
+    std::lock_guard lk(mu_);
+    tracer = tracer_;
+    track = track_;
+    events_.push_back(event);
+  }
+  if (tracer != nullptr) {
+    trace::Args args;
+    args.emplace_back("task", std::to_string(event.task_id));
+    args.emplace_back("attempt", std::to_string(event.attempt));
+    args.emplace_back("engine", fault::to_string(event.engine));
+    tracer->complete(track,
+                     std::string("fault:") + fault::to_string(event.fault),
+                     "fault", event.ts_us, 0.0, args);
+    args.emplace_back("backoff_s", std::to_string(event.backoff_s));
+    tracer->complete(
+        track, std::string("recovery:") + fault::to_string(event.action),
+        "recovery", event.ts_us, 0.0, std::move(args));
+  }
+}
+
+std::vector<RecoveryEvent> RecoveryLog::events() const {
+  std::lock_guard lk(mu_);
+  return events_;
+}
+
+std::vector<std::string> RecoveryLog::canonical() const {
+  std::vector<std::string> lines;
+  {
+    std::lock_guard lk(mu_);
+    lines.reserve(events_.size());
+    for (const auto& e : events_) lines.push_back(e.to_string());
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+std::size_t RecoveryLog::size() const {
+  std::lock_guard lk(mu_);
+  return events_.size();
+}
+
+void RecoveryLog::clear() {
+  std::lock_guard lk(mu_);
+  events_.clear();
+}
+
+void CheckpointStore::put(const std::string& key,
+                          std::vector<std::uint8_t> data) {
+  std::lock_guard lk(mu_);
+  store_[key] = std::move(data);
+}
+
+bool CheckpointStore::contains(const std::string& key) const {
+  std::lock_guard lk(mu_);
+  return store_.contains(key);
+}
+
+std::vector<std::uint8_t> CheckpointStore::get(const std::string& key) const {
+  std::lock_guard lk(mu_);
+  auto it = store_.find(key);
+  return it == store_.end() ? std::vector<std::uint8_t>{} : it->second;
+}
+
+std::size_t CheckpointStore::size() const {
+  std::lock_guard lk(mu_);
+  return store_.size();
+}
+
+}  // namespace mdtask::fault

@@ -1,0 +1,155 @@
+#include "mdtask/fault/sim_faults.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "mdtask/fault/injector.h"
+
+namespace mdtask::fault {
+
+PlanResolution resolve_plan(const FaultPlan& plan, EngineId engine,
+                            RecoveryLog* log) {
+  PlanResolution resolution;
+  if (plan.schedule.empty()) return resolution;
+
+  // Representative task ids: every explicitly named task, plus one
+  // stand-in for wildcard entries (wildcards hit all tasks identically,
+  // so one representative resolves the verdict for the whole class).
+  std::vector<std::uint64_t> tasks;
+  bool wildcard = false;
+  for (const FaultSpec& spec : plan.schedule) {
+    if (spec.task_id == FaultSpec::kEveryTask) {
+      wildcard = true;
+    } else {
+      tasks.push_back(spec.task_id);
+    }
+  }
+  std::sort(tasks.begin(), tasks.end());
+  tasks.erase(std::unique(tasks.begin(), tasks.end()), tasks.end());
+  if (wildcard && tasks.empty()) tasks.push_back(0);
+
+  const int budget = std::max(1, plan.retry.max_attempts);
+  for (const std::uint64_t task : tasks) {
+    for (int attempt = 0; attempt < budget; ++attempt) {
+      const auto it = std::find_if(
+          plan.schedule.begin(), plan.schedule.end(),
+          [&](const FaultSpec& s) { return s.fires_for(task, attempt); });
+      if (it == plan.schedule.end()) break;  // attempt runs clean
+      ++resolution.faults_injected;
+      const RecoveryAction action =
+          recovery_action(engine, it->kind, attempt, plan.retry);
+      if (log != nullptr) {
+        log->record({engine, task, attempt, it->kind, action,
+                     backoff_for_attempt(plan.retry, attempt + 1), 0.0});
+      }
+      if (action == RecoveryAction::kGiveUp) {
+        resolution.survives = false;
+        if (resolution.fatal_fault == FaultKind::kNone) {
+          resolution.fatal_fault = it->kind;
+        }
+        break;
+      }
+      ++resolution.retries;
+    }
+  }
+  return resolution;
+}
+
+SimFaultOutcome simulate_task_wave(std::size_t cores,
+                                   const std::vector<double>& durations,
+                                   const FaultPlan& plan, EngineId engine,
+                                   RecoveryLog* log) {
+  SimFaultOutcome outcome;
+  sim::Simulation simulation;
+  sim::Resource pool(simulation, cores);
+  const FaultInjector injector(plan, engine);
+
+  std::function<void(std::uint64_t, int)> run_attempt =
+      [&](std::uint64_t task, int attempt) {
+        const double nominal = durations[task];
+        const FaultSpec spec = injector.decide(task, attempt);
+        switch (spec.kind) {
+          case FaultKind::kNone:
+            pool.acquire(nominal, [] {});
+            return;
+          case FaultKind::kStraggler: {
+            ++outcome.faults_injected;
+            const double actual = nominal * spec.factor + spec.delay_s;
+            if (!plan.speculation.enabled) {
+              pool.acquire(actual, [] {});
+              return;
+            }
+            // Same model as the seed's speculation study: the original
+            // copy holds its core until the winner finishes; the backup
+            // launches at the detection threshold and needs one nominal
+            // duration (the loser is killed at the winner's completion).
+            const double detect =
+                nominal * plan.speculation.threshold_factor;
+            const double completion = std::min(actual, detect + nominal);
+            ++outcome.speculative_copies;
+            if (log != nullptr) {
+              log->record({engine, task, attempt, FaultKind::kStraggler,
+                           RecoveryAction::kSpeculativeCopy, 0.0,
+                           simulation.now() * 1e6});
+            }
+            pool.acquire(completion, [] {});
+            simulation.after(detect, [&pool, completion, detect] {
+              pool.acquire(std::max(0.0, completion - detect), [] {});
+            });
+            return;
+          }
+          case FaultKind::kFilesystemStall:
+            // A stall slows the task, it does not fail it: no recovery
+            // decision, just added virtual time.
+            ++outcome.faults_injected;
+            pool.acquire(nominal + spec.delay_s, [] {});
+            return;
+          default:
+            break;
+        }
+        // Failing kinds. A partition fails at dispatch; crashes and OOM
+        // kills burn half the attempt before the loss is noticed.
+        ++outcome.faults_injected;
+        const FaultKind kind = spec.kind;
+        const double repair = std::max(0.0, spec.delay_s);
+        const double burned =
+            kind == FaultKind::kNetworkPartition ? 0.0 : 0.5 * nominal;
+        pool.acquire(burned, [&, task, attempt, kind, repair] {
+          const RecoveryAction action =
+              recovery_action(engine, kind, attempt, plan.retry);
+          const double backoff =
+              backoff_for_attempt(plan.retry, attempt + 1);
+          if (log != nullptr) {
+            log->record({engine, task, attempt, kind, action, backoff,
+                         simulation.now() * 1e6});
+          }
+          if (kind == FaultKind::kNodeCrash) {
+            // The node's core leaves the pool for the repair window.
+            pool.remove_servers(1);
+            simulation.after(repair, [&pool] { pool.add_servers(1); });
+          }
+          if (action == RecoveryAction::kGiveUp) {
+            outcome.completed = false;
+            if (outcome.failure.empty()) {
+              outcome.failure = "task " + std::to_string(task) +
+                                " failed after " +
+                                std::to_string(attempt + 1) + " attempts (" +
+                                fault::to_string(kind) + ")";
+            }
+            return;
+          }
+          ++outcome.retries;
+          simulation.after(backoff, [&run_attempt, task, attempt] {
+            run_attempt(task, attempt + 1);
+          });
+        });
+      };
+
+  for (std::uint64_t task = 0; task < durations.size(); ++task) {
+    run_attempt(task, 0);
+  }
+  outcome.makespan_s = simulation.run();
+  return outcome;
+}
+
+}  // namespace mdtask::fault

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 #include <vector>
 
 #include "mdtask/common/rng.h"
+#include "mdtask/fault/sim_faults.h"
 
 namespace mdtask::perf {
 namespace {
@@ -102,6 +104,45 @@ double bcast_phase_s(const FrameworkModel& model,
     }
   }
   return 0.0;
+}
+
+/// The fault-recovery scope a framework model simulates under.
+fault::EngineId engine_for(const FrameworkModel& model) {
+  const std::string_view name = model.name;
+  if (name == "Spark") return fault::EngineId::kSpark;
+  if (name == "Dask") return fault::EngineId::kDask;
+  if (name == "RADICAL-Pilot") return fault::EngineId::kRp;
+  return fault::EngineId::kMpi;
+}
+
+/// One physics-derived failure condition of a Leaflet cell: the fault it
+/// injects plus the paper-documented cause reported if no recovery
+/// policy survives it.
+struct PhysicsFault {
+  fault::FaultKind kind;
+  const char* message;
+};
+
+/// Resolves physics faults through the engine's recovery policy. These
+/// faults fire on every task and every attempt (an oversized cdist block
+/// is just as oversized after a lineage re-execution or a worker
+/// restart), so resolve_plan's verdict is what turns deterministic
+/// physics into the paper's Fig. 7 failure cells.
+bool survives_physics(const std::vector<PhysicsFault>& physics,
+                      const FrameworkModel& model, SimOutcome& outcome,
+                      std::uint64_t seed) {
+  for (const PhysicsFault& pf : physics) {
+    fault::FaultPlan plan;
+    plan.seed = seed;
+    plan.schedule.push_back({pf.kind, fault::FaultSpec::kEveryTask,
+                             fault::FaultSpec::kEveryAttempt});
+    if (!fault::resolve_plan(plan, engine_for(model)).survives) {
+      outcome.feasible = false;
+      outcome.failure = pf.message;
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -262,25 +303,26 @@ static std::vector<double> detail_leaflet_durations(
 SimOutcome simulate_leaflet(const FrameworkModel& model,
                             const sim::ClusterSpec& cluster, int approach,
                             const LfWorkload& workload,
-                            const KernelCosts& costs) {
+                            const KernelCosts& costs, std::uint64_t seed) {
   SimOutcome outcome;
   const double atoms = static_cast<double>(workload.atoms);
   const double edges = static_cast<double>(workload.edges);
   const double mem_per_core = cluster.memory_per_core_bytes();
   const auto& net = cluster.machine.network;
 
-  // ---- feasibility: the paper's memory walls ----
+  // ---- feasibility: the paper's memory walls, expressed as fault
+  // injections resolved by the engine's recovery policy ----
+  std::vector<PhysicsFault> physics;
   if (approach == 1) {
     // Each map task cdists its chunk against the whole system.
     const double chunk =
         atoms / static_cast<double>(workload.target_tasks);
     const double block_bytes = chunk * atoms * 8.0;
     if (block_bytes > mem_per_core) {
-      outcome.feasible = false;
-      outcome.failure =
-          "cdist chunk x full-system block exceeds per-core memory "
-          "(approach 1 does not scale past 524k atoms, Sec. 4.3.1)";
-      return outcome;
+      physics.push_back(
+          {fault::FaultKind::kWorkerOomKill,
+           "cdist chunk x full-system block exceeds per-core memory "
+           "(approach 1 does not scale past 524k atoms, Sec. 4.3.1)"});
     }
     if (model.bcast == BcastKind::kReplicated) {
       // Dask materializes the broadcast as a per-element Python list in
@@ -291,11 +333,10 @@ SimOutcome simulate_leaflet(const FrameworkModel& model,
       constexpr double kInFlight = 128.0;
       constexpr double kSchedulerMemory = 2.0 * (1ull << 30);
       if (atoms * kListBytesPerAtom * kInFlight > kSchedulerMemory) {
-        outcome.feasible = false;
-        outcome.failure =
-            "Dask list-based broadcast cannot ship the dataset "
-            "(Sec. 4.3.1)";
-        return outcome;
+        physics.push_back(
+            {fault::FaultKind::kNetworkPartition,
+             "Dask list-based broadcast cannot ship the dataset "
+             "(Sec. 4.3.1)"});
       }
     }
   }
@@ -311,22 +352,21 @@ SimOutcome simulate_leaflet(const FrameworkModel& model,
   if (approach == 2 || approach == 3) {
     const double block_bytes = block_side * block_side * 8.0;
     if (block_bytes > mem_per_core) {
-      outcome.feasible = false;
-      outcome.failure =
-          "cdist block exceeds per-core memory; repartition with more "
-          "tasks (the paper used 42k tasks at 4M atoms, Sec. 4.3)";
-      return outcome;
+      physics.push_back(
+          {fault::FaultKind::kWorkerOomKill,
+           "cdist block exceeds per-core memory; repartition with more "
+           "tasks (the paper used 42k tasks at 4M atoms, Sec. 4.3)"});
     }
   }
   if (approach == 3 && model.bcast == BcastKind::kReplicated &&
       workload.atoms >= 4'000'000) {
     // Paper, Sec. 4.3.3: at 4M atoms Dask workers kept hitting the 95%
     // memory watermark and restarting while accumulating partials.
-    outcome.feasible = false;
-    outcome.failure =
-        "Dask workers restart at 95% memory watermark (Sec. 4.3.3)";
-    return outcome;
+    physics.push_back(
+        {fault::FaultKind::kWorkerOomKill,
+         "Dask workers restart at 95% memory watermark (Sec. 4.3.3)"});
   }
+  if (!survives_physics(physics, model, outcome, seed)) return outcome;
 
   // ---- map-task durations (shared with the utilization profiler) ----
   const std::vector<double> durations =
@@ -385,11 +425,12 @@ SimOutcome simulate_leaflet(const FrameworkModel& model,
 std::vector<double> leaflet_utilization_timeline(
     const FrameworkModel& model, const sim::ClusterSpec& cluster,
     int approach, const LfWorkload& workload, const KernelCosts& costs,
-    std::size_t buckets, trace::Tracer* tracer, std::uint32_t trace_pid) {
+    std::size_t buckets, trace::Tracer* tracer, std::uint32_t trace_pid,
+    std::uint64_t seed) {
   // Recreate the cell's map-task durations exactly as simulate_leaflet
   // does (shared helper below keeps the two in lockstep).
   const auto check = simulate_leaflet(model, cluster, approach, workload,
-                                      costs);
+                                      costs, seed);
   if (!check.feasible) return {};
   const auto durations =
       detail_leaflet_durations(model, cluster, approach, workload, costs);
@@ -402,34 +443,34 @@ double simulate_straggler_makespan(const sim::ClusterSpec& cluster,
                                    std::size_t n_tasks, double task_s,
                                    double straggler_fraction,
                                    double straggler_factor,
-                                   const SpeculationPolicy& policy) {
-  sim::Simulation simulation;
-  sim::Resource cores(simulation, cluster.total_cores());
-  std::uint64_t rng_state = 0x2545f4914f6cdd1dULL;
+                                   const SpeculationPolicy& policy,
+                                   std::uint64_t seed) {
+  // The replay runs through mdtask::fault: each straggling task is a
+  // scheduled FaultSpec and the mitigation knob is the plan's
+  // SpeculationConfig, so this bench exercises the same machinery as
+  // the engine runtimes. The straggler-selection stream is split off
+  // the published constant by golden-gamma multiples of the seed delta:
+  // the default seed reproduces the published bench CSVs exactly.
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.speculation.enabled = policy.enabled;
+  plan.speculation.threshold_factor = policy.threshold_factor;
+  std::uint64_t rng_state =
+      0x2545f4914f6cdd1dULL +
+      (seed - fault::FaultPlan{}.seed) * 0x9e3779b97f4a7c15ULL;
   for (std::size_t t = 0; t < n_tasks; ++t) {
     const double u =
         static_cast<double>(splitmix64(rng_state) >> 11) * 0x1.0p-53;
-    const bool straggles = u < straggler_fraction;
-    const double actual = straggles ? task_s * straggler_factor : task_s;
-    if (!policy.enabled || !straggles) {
-      cores.acquire(actual, [] {});
-      continue;
+    if (u < straggler_fraction) {
+      plan.schedule.push_back({fault::FaultKind::kStraggler, t,
+                               fault::FaultSpec::kEveryAttempt,
+                               straggler_factor, 0.0});
     }
-    // Original copy occupies a core for the full straggler duration; a
-    // speculative copy launches once the threshold passes and finishes
-    // after the nominal duration. The work completes at the earlier of
-    // the two; both copies hold their cores (as in Spark, the loser is
-    // killed — modelled as release at the winner's completion).
-    const double detect = task_s * policy.threshold_factor;
-    const double speculative_done = detect + task_s;
-    const double completion = std::min(actual, speculative_done);
-    cores.acquire(completion, [] {});                 // original slot
-    simulation.after(detect, [&cores, completion, detect] {
-      // Speculative copy runs from detection to the winning completion.
-      cores.acquire(std::max(0.0, completion - detect), [] {});
-    });
   }
-  return simulation.run();
+  const std::vector<double> durations(n_tasks, task_s);
+  return fault::simulate_task_wave(cluster.total_cores(), durations, plan,
+                                   fault::EngineId::kSpark)
+      .makespan_s;
 }
 
 double simulate_elastic_makespan(std::size_t n_tasks, double task_s,

@@ -158,9 +158,30 @@ Result<LfRunResult> run_mpi(int approach, std::span<const Vec3> atoms,
           }
         }
   };
-  auto report = mpi::run_spmd(
-      static_cast<int>(std::max<std::size_t>(1, config.workers)), body,
-      mpi::BcastAlgorithm::kBinomialTree, config.tracer);
+  const int ranks = static_cast<int>(std::max<std::size_t>(1, config.workers));
+  mpi::SpmdReport report;
+  if (config.fault_plan != nullptr && !config.fault_plan->empty()) {
+    // Faulty attempts abort before the body's first collective, so the
+    // rank-0 accumulators above are only ever filled by the one attempt
+    // that runs to completion.
+    try {
+      report = mpi::run_spmd_with_recovery(
+          ranks,
+          [&](mpi::Communicator& comm, fault::CheckpointStore&) {
+            body(comm);
+          },
+          *config.fault_plan, config.recovery_log,
+          mpi::BcastAlgorithm::kBinomialTree, config.tracer);
+    } catch (const fault::InjectedFault& f) {
+      return Error(ErrorCode::kUnavailable,
+                   std::string("MPI leaflet finder: ") + f.what())
+          .with_task({"mpi", f.task_id(), f.attempt(),
+                      std::string(fault::to_string(f.kind()))});
+    }
+  } else {
+    report = mpi::run_spmd(ranks, body, mpi::BcastAlgorithm::kBinomialTree,
+                           config.tracer);
+  }
 
   if (memory_failed.load()) {
     return Error(ErrorCode::kResourceExhausted,
@@ -184,7 +205,9 @@ Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
   auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
   spark::SparkContext sc(
       spark::SparkConfig{.executor_threads = config.workers,
-                         .task_memory_limit = config.task_memory_limit});
+                         .task_memory_limit = config.task_memory_limit,
+                         .fault_plan = config.fault_plan,
+                         .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) sc.enable_tracing(*config.tracer);
 
   // Approach 1 broadcasts the full system; the others account only the
@@ -273,7 +296,9 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
   const auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
   dask::DaskClient client(
       dask::DaskConfig{.workers = config.workers,
-                       .task_memory_limit = config.task_memory_limit});
+                       .task_memory_limit = config.task_memory_limit,
+                       .fault_plan = config.fault_plan,
+                       .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) client.enable_tracing(*config.tracer);
 
   // Approach 1: scatter/replicate the positions to workers (Dask's
@@ -366,7 +391,9 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
 Result<LfRunResult> run_rp(int approach, std::span<const Vec3> atoms,
                            double cutoff, const LfRunConfig& config) {
   const auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
-  rp::UnitManager um(rp::PilotDescription{.cores = config.workers});
+  rp::UnitManager um(rp::PilotDescription{.cores = config.workers,
+                                          .fault_plan = config.fault_plan,
+                                          .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) um.enable_tracing(*config.tracer);
 
   WallTimer timer;

@@ -73,9 +73,8 @@ PsaRunResult run_psa_mpi(const traj::Ensemble& ensemble,
   PsaRunResult result;
   result.matrix = DistanceMatrix(ensemble.size());
   WallTimer timer;
-  auto report = mpi::run_spmd(
-      static_cast<int>(std::max<std::size_t>(1, config.workers)),
-      [&](mpi::Communicator& comm) {
+  const int ranks = static_cast<int>(std::max<std::size_t>(1, config.workers));
+  auto body = [&](mpi::Communicator& comm) {
         // Block-cyclic ownership; every rank reads the shared ensemble
         // (in the paper each task reads its input files from Lustre).
         std::vector<MatrixEntry> mine;
@@ -90,8 +89,20 @@ PsaRunResult run_psa_mpi(const traj::Ensemble& ensemble,
         if (comm.rank() == 0) {
           for (const auto& part : gathered) fill_matrix(result.matrix, part);
         }
-      },
-      mpi::BcastAlgorithm::kBinomialTree, config.tracer);
+  };
+  mpi::SpmdReport report;
+  if (config.fault_plan != nullptr && !config.fault_plan->empty()) {
+    // Checkpoint-abort-restart: a budget-exhausted plan propagates the
+    // InjectedFault (MPI_Abort semantics — PSA has no partial results).
+    report = mpi::run_spmd_with_recovery(
+        ranks,
+        [&](mpi::Communicator& comm, fault::CheckpointStore&) { body(comm); },
+        *config.fault_plan, config.recovery_log,
+        mpi::BcastAlgorithm::kBinomialTree, config.tracer);
+  } else {
+    report = mpi::run_spmd(ranks, body, mpi::BcastAlgorithm::kBinomialTree,
+                           config.tracer);
+  }
   result.metrics.wall_seconds = timer.seconds();
   result.metrics.tasks = blocks.size();
   result.metrics.shuffle_bytes = report.total.bytes_sent;
@@ -102,7 +113,9 @@ PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
                            const PsaRunConfig& config) {
   auto blocks = plan_blocks(ensemble, config);
   spark::SparkContext sc(
-      spark::SparkConfig{.executor_threads = config.workers});
+      spark::SparkConfig{.executor_threads = config.workers,
+                         .fault_plan = config.fault_plan,
+                         .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) sc.enable_tracing(*config.tracer);
   // The trajectory ensemble is a broadcast variable, as the paper's
   // PySpark implementation ships the file set description to executors.
@@ -140,7 +153,10 @@ PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
 PsaRunResult run_psa_dask(const traj::Ensemble& ensemble,
                           const PsaRunConfig& config) {
   const auto blocks = plan_blocks(ensemble, config);
-  dask::DaskClient client(dask::DaskConfig{.workers = config.workers});
+  dask::DaskClient client(
+      dask::DaskConfig{.workers = config.workers,
+                       .fault_plan = config.fault_plan,
+                       .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) client.enable_tracing(*config.tracer);
   WallTimer timer;
   std::vector<dask::Future<std::vector<MatrixEntry>>> futures;
@@ -163,7 +179,9 @@ PsaRunResult run_psa_dask(const traj::Ensemble& ensemble,
 PsaRunResult run_psa_rp(const traj::Ensemble& ensemble,
                         const PsaRunConfig& config) {
   const auto blocks = plan_blocks(ensemble, config);
-  rp::UnitManager um(rp::PilotDescription{.cores = config.workers});
+  rp::UnitManager um(rp::PilotDescription{.cores = config.workers,
+                                          .fault_plan = config.fault_plan,
+                                          .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) um.enable_tracing(*config.tracer);
   WallTimer timer;
   std::vector<rp::ComputeUnitDescription> descriptions;

@@ -48,5 +48,39 @@ TEST(StatusTest, ErrorStatus) {
   EXPECT_EQ(s.error().code(), ErrorCode::kUnavailable);
 }
 
+TEST(TaskFailureContextTest, RendersAllFields) {
+  const TaskFailureContext ctx{"dask", 17, 2, "worker-oom-kill"};
+  EXPECT_EQ(ctx.to_string(),
+            " [engine=dask task=17 attempt=2 fault=worker-oom-kill]");
+}
+
+TEST(TaskFailureContextTest, OmitsEmptyFaultKind) {
+  const TaskFailureContext ctx{"rp", 3, 0, ""};
+  EXPECT_EQ(ctx.to_string(), " [engine=rp task=3 attempt=0]");
+}
+
+TEST(TaskFailureContextTest, ErrorCarriesContext) {
+  const Error err = Error(ErrorCode::kUnavailable, "unit lost")
+                        .with_task({"mpi", 5, 1, "node-crash"});
+  ASSERT_TRUE(err.task().has_value());
+  EXPECT_EQ(err.task()->engine, "mpi");
+  EXPECT_EQ(err.task()->task_id, 5u);
+  EXPECT_EQ(err.task()->attempt, 1);
+  EXPECT_EQ(err.task()->fault_kind, "node-crash");
+  const std::string rendered = err.to_string();
+  EXPECT_NE(rendered.find("unit lost"), std::string::npos);
+  EXPECT_NE(rendered.find("engine=mpi task=5 attempt=1 fault=node-crash"),
+            std::string::npos);
+}
+
+TEST(TaskFailureContextTest, LvalueBuilderAndAbsentContext) {
+  Error err(ErrorCode::kInternal, "plain");
+  EXPECT_FALSE(err.task().has_value());
+  EXPECT_EQ(err.to_string().find("engine="), std::string::npos);
+  err.with_task({"spark", 1, 0, "straggler"});
+  ASSERT_TRUE(err.task().has_value());
+  EXPECT_EQ(err.task()->engine, "spark");
+}
+
 }  // namespace
 }  // namespace mdtask

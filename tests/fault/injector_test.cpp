@@ -1,0 +1,146 @@
+// The injector's determinism contract: decisions are a pure function of
+// (plan seed, engine scope, task id, attempt), schedule entries beat
+// probabilistic draws, and rates land near their nominal frequencies.
+#include <gtest/gtest.h>
+
+#include "mdtask/fault/injector.h"
+#include "mdtask/fault/recovery.h"
+
+namespace mdtask::fault {
+namespace {
+
+TEST(FaultInjectorTest, EmptyPlanNeverFires) {
+  const FaultPlan plan;
+  const FaultInjector injector(plan, EngineId::kSpark);
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    EXPECT_EQ(injector.decide(t, 0).kind, FaultKind::kNone);
+  }
+}
+
+TEST(FaultInjectorTest, ScheduleEntryWinsOverRates) {
+  FaultPlan plan;
+  plan.rates.straggler = 1.0;  // every draw would straggle...
+  plan.schedule.push_back({FaultKind::kNodeCrash, 5, 0});
+  const FaultInjector injector(plan, EngineId::kDask);
+  // ...but the explicit entry decides task 5.
+  EXPECT_EQ(injector.decide(5, 0).kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(injector.decide(6, 0).kind, FaultKind::kStraggler);
+}
+
+TEST(FaultInjectorTest, FirstMatchingScheduleEntryIsReturned) {
+  FaultPlan plan;
+  plan.schedule.push_back({FaultKind::kFilesystemStall, 1, 0, 1.0, 0.5});
+  plan.schedule.push_back({FaultKind::kNodeCrash, 1, 0});
+  const FaultInjector injector(plan, EngineId::kRp);
+  const FaultSpec spec = injector.decide(1, 0);
+  EXPECT_EQ(spec.kind, FaultKind::kFilesystemStall);
+  EXPECT_DOUBLE_EQ(spec.delay_s, 0.5);
+}
+
+TEST(FaultInjectorTest, DecisionsArePureAcrossInstancesAndCallOrder) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.rates.node_crash = 0.05;
+  plan.rates.worker_oom = 0.10;
+  plan.rates.straggler = 0.20;
+  const FaultInjector a(plan, EngineId::kSpark);
+  const FaultInjector b(plan, EngineId::kSpark);
+  // Evaluate in opposite orders: verdicts must agree pairwise (no hidden
+  // stream state — this is what makes thread interleavings irrelevant).
+  std::vector<FaultKind> forward;
+  std::vector<FaultKind> backward(1000);
+  for (std::uint64_t t = 0; t < 1000; ++t) {
+    forward.push_back(a.decide(t, 0).kind);
+  }
+  for (std::uint64_t t = 1000; t-- > 0;) {
+    backward[t] = b.decide(t, 0).kind;
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsGiveDifferentSchedules) {
+  FaultPlan p1;
+  p1.seed = 1;
+  p1.rates.worker_oom = 0.2;
+  FaultPlan p2 = p1;
+  p2.seed = 2;
+  const FaultInjector a(p1, EngineId::kDask);
+  const FaultInjector b(p2, EngineId::kDask);
+  int disagreements = 0;
+  for (std::uint64_t t = 0; t < 500; ++t) {
+    if (a.decide(t, 0).kind != b.decide(t, 0).kind) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(FaultInjectorTest, EngineScopesAreIndependentStreams) {
+  FaultPlan plan;
+  plan.rates.straggler = 0.3;
+  const FaultInjector spark(plan, EngineId::kSpark);
+  const FaultInjector mpi(plan, EngineId::kMpi);
+  int disagreements = 0;
+  for (std::uint64_t t = 0; t < 500; ++t) {
+    if (spark.decide(t, 0).kind != mpi.decide(t, 0).kind) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(FaultInjectorTest, RatesLandNearNominalFrequency) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.rates.worker_oom = 0.10;
+  const FaultInjector injector(plan, EngineId::kRp);
+  int fires = 0;
+  const int n = 10000;
+  for (int t = 0; t < n; ++t) {
+    if (injector.decide(static_cast<std::uint64_t>(t), 0).kind ==
+        FaultKind::kWorkerOomKill) {
+      ++fires;
+    }
+  }
+  // 10% +- generous tolerance for 10k draws.
+  EXPECT_GT(fires, n / 20);
+  EXPECT_LT(fires, n / 5);
+}
+
+TEST(FaultInjectorTest, StragglerDrawCarriesConfiguredFactor) {
+  FaultPlan plan;
+  plan.rates.straggler = 1.0;
+  plan.rates.straggler_factor = 6.0;
+  const FaultInjector injector(plan, EngineId::kSpark);
+  const FaultSpec spec = injector.decide(0, 0);
+  ASSERT_EQ(spec.kind, FaultKind::kStraggler);
+  EXPECT_DOUBLE_EQ(spec.factor, 6.0);
+}
+
+TEST(RecoveryActionTest, PerEnginePolicies) {
+  const RetryPolicy policy{.max_attempts = 3};
+  EXPECT_EQ(recovery_action(EngineId::kSpark, FaultKind::kNodeCrash, 0,
+                            policy),
+            RecoveryAction::kReexecuteLineage);
+  EXPECT_EQ(recovery_action(EngineId::kDask, FaultKind::kWorkerOomKill, 0,
+                            policy),
+            RecoveryAction::kRestartWorker);
+  EXPECT_EQ(recovery_action(EngineId::kDask, FaultKind::kFilesystemStall, 0,
+                            policy),
+            RecoveryAction::kRetryWithBackoff);
+  EXPECT_EQ(recovery_action(EngineId::kRp, FaultKind::kNetworkPartition, 0,
+                            policy),
+            RecoveryAction::kRetryWithBackoff);
+  EXPECT_EQ(
+      recovery_action(EngineId::kMpi, FaultKind::kNodeCrash, 0, policy),
+      RecoveryAction::kCheckpointRestart);
+}
+
+TEST(RecoveryActionTest, BudgetExhaustionGivesUpOnEveryEngine) {
+  const RetryPolicy policy{.max_attempts = 2};
+  for (auto engine : {EngineId::kSpark, EngineId::kDask, EngineId::kRp,
+                      EngineId::kMpi}) {
+    // Attempt 1 failing would need attempt 2 — outside a 2-try budget.
+    EXPECT_EQ(recovery_action(engine, FaultKind::kNodeCrash, 1, policy),
+              RecoveryAction::kGiveUp);
+  }
+}
+
+}  // namespace
+}  // namespace mdtask::fault

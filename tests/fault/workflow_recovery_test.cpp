@@ -1,0 +1,126 @@
+// Workflow-level fault recovery: a FaultPlan handed to the PSA and
+// Leaflet runners is injected into the chosen engine and recovered by
+// its native policy — with results byte-identical to a fault-free run.
+#include <gtest/gtest.h>
+
+#include "mdtask/traj/generators.h"
+#include "mdtask/workflows/leaflet_runner.h"
+#include "mdtask/workflows/psa_runner.h"
+
+namespace mdtask::workflows {
+namespace {
+
+std::string engine_id(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMpi: return "MPI";
+    case EngineKind::kSpark: return "Spark";
+    case EngineKind::kDask: return "Dask";
+    case EngineKind::kRp: return "RP";
+  }
+  return "Unknown";
+}
+
+traj::Ensemble tiny_ensemble(std::size_t count = 5) {
+  traj::ProteinTrajectoryParams p;
+  p.atoms = 8;
+  p.frames = 6;
+  return traj::make_protein_ensemble(count, p);
+}
+
+/// Two-leaflet membrane stand-in: well-separated parallel planes.
+std::vector<traj::Vec3> two_planes(std::size_t per_plane = 64) {
+  std::vector<traj::Vec3> atoms;
+  for (std::size_t i = 0; i < per_plane; ++i) {
+    const float x = static_cast<float>(i % 8);
+    const float y = static_cast<float>(i / 8);
+    atoms.push_back({x, y, 0.0f});
+    atoms.push_back({x, y, 50.0f});
+  }
+  return atoms;
+}
+
+class WorkflowFaultTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(WorkflowFaultTest, PsaMatrixIdenticalUnderInjectedFaults) {
+  const auto ensemble = tiny_ensemble();
+  PsaRunConfig clean;
+  clean.workers = 3;
+  const auto reference = run_psa(GetParam(), ensemble, clean);
+
+  for (fault::FaultKind kind :
+       {fault::FaultKind::kNodeCrash, fault::FaultKind::kWorkerOomKill,
+        fault::FaultKind::kNetworkPartition}) {
+    fault::FaultPlan plan;
+    // Every task faults once on its first attempt.  (Task ids are
+    // engine-specific — Spark numbers stages from 1, so a literal task 0
+    // would never match there.)
+    plan.schedule.push_back({kind, fault::FaultSpec::kEveryTask, 0});
+    fault::RecoveryLog log;
+    PsaRunConfig faulted = clean;
+    faulted.fault_plan = &plan;
+    faulted.recovery_log = &log;
+    const auto result = run_psa(GetParam(), ensemble, faulted);
+    EXPECT_EQ(result.matrix.max_abs_diff(reference.matrix), 0.0)
+        << engine_id(GetParam()) << " kind=" << fault::to_string(kind);
+    EXPECT_GT(log.size(), 0u);
+  }
+}
+
+TEST_P(WorkflowFaultTest, LeafletResultIdenticalUnderInjectedFaults) {
+  const auto atoms = two_planes();
+  LfRunConfig clean;
+  clean.workers = 3;
+  clean.target_tasks = 9;
+  const auto reference =
+      run_leaflet_finder(GetParam(), 3, atoms, 2.0, clean);
+  ASSERT_TRUE(reference.ok());
+
+  fault::FaultPlan plan;
+  plan.schedule.push_back(
+      {fault::FaultKind::kWorkerOomKill, fault::FaultSpec::kEveryTask, 0});
+  fault::RecoveryLog log;
+  LfRunConfig faulted = clean;
+  faulted.fault_plan = &plan;
+  faulted.recovery_log = &log;
+  const auto result = run_leaflet_finder(GetParam(), 3, atoms, 2.0, faulted);
+  ASSERT_TRUE(result.ok()) << engine_id(GetParam());
+  EXPECT_EQ(result.value().leaflets.component_count,
+            reference.value().leaflets.component_count);
+  EXPECT_EQ(result.value().leaflets.leaflet_a_size,
+            reference.value().leaflets.leaflet_a_size);
+  EXPECT_EQ(result.value().leaflets.leaflet_b_size,
+            reference.value().leaflets.leaflet_b_size);
+  EXPECT_EQ(result.value().leaflets.unassigned,
+            reference.value().leaflets.unassigned);
+  EXPECT_GT(log.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, WorkflowFaultTest,
+                         ::testing::Values(EngineKind::kMpi,
+                                           EngineKind::kSpark,
+                                           EngineKind::kDask,
+                                           EngineKind::kRp),
+                         [](const auto& param_info) {
+                           return engine_id(param_info.param);
+                         });
+
+TEST(WorkflowFaultTest, MpiGiveUpReturnsStructuredError) {
+  const auto atoms = two_planes(16);
+  fault::FaultPlan plan;
+  plan.schedule.push_back({fault::FaultKind::kNodeCrash, 0,
+                           fault::FaultSpec::kEveryAttempt});
+  plan.retry.max_attempts = 2;
+  LfRunConfig config;
+  config.workers = 2;
+  config.target_tasks = 4;
+  config.fault_plan = &plan;
+  const auto result =
+      run_leaflet_finder(EngineKind::kMpi, 3, atoms, 2.0, config);
+  ASSERT_FALSE(result.ok());
+  ASSERT_TRUE(result.error().task().has_value());
+  EXPECT_EQ(result.error().task()->engine, "mpi");
+  EXPECT_EQ(result.error().task()->fault_kind, "node-crash");
+}
+
+}  // namespace
+}  // namespace mdtask::workflows
