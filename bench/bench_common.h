@@ -38,6 +38,19 @@ inline void print_seed(std::uint64_t seed) {
   std::printf("(seed: %llu)\n", static_cast<unsigned long long>(seed));
 }
 
+/// Parses `--churn N` (default 0 = no membership events, which keeps
+/// the published CSVs byte-identical). N > 0 adds N seeded node-join
+/// and N seeded node-leave events to the elasticity tables, drawn from
+/// the same `--seed` the fault plans use.
+inline std::size_t parse_churn(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--churn") == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return 0;
+}
+
 /// Paper-style Wrangler allocation: 32 cores/node (figure labels
 /// "32/1 64/2 128/4 256/8" and "16/1 64/2 256/8" imply 32 used cores
 /// per hyper-threaded node).

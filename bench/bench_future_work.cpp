@@ -2,8 +2,18 @@
 //  (a) straggler mitigation via speculative execution — makespan with
 //      and without speculation under a heavy-tailed straggler mix;
 //  (b) dynamic resource-pool scaling — makespan as nodes are added to a
-//      running Leaflet-Finder-sized task wave at different times.
+//      running Leaflet-Finder-sized task wave at different times;
+//  (c) per-engine elasticity — one seeded join + one seeded leave
+//      replayed under each engine's departure semantics (`--churn N`
+//      appends N seeded join/leave pairs per engine);
+//  (d) checkpoint-interval sweep for the rigid MPI baseline against the
+//      Daly optimum, with write/restore costs calibrated to the
+//      shared-filesystem alpha-beta model.
+#include <algorithm>
+#include <vector>
+
 #include "bench_common.h"
+#include "mdtask/fault/sim_faults.h"
 #include "mdtask/perf/workloads.h"
 
 using namespace mdtask;
@@ -11,6 +21,7 @@ using namespace mdtask::perf;
 
 int main(int argc, char** argv) {
   const std::uint64_t seed = bench::parse_seed(argc, argv);
+  const std::size_t churn = bench::parse_churn(argc, argv);
   bench::print_seed(seed);
   {
     Table table("Future work (a): speculative execution vs stragglers "
@@ -46,6 +57,84 @@ int main(int argc, char** argv) {
                      Table::fmt(fixed / grown, 2) + "x"});
     }
     bench::emit(table, "future_elastic");
+  }
+  {
+    Table table("Future work (c): per-engine elasticity "
+                "(1024 x 1 s tasks, 32 cores; join +16 @ 8 s, "
+                "leave -8 @ 16 s)");
+    table.set_header({"engine", "policy", "makespan_s", "vs_static",
+                      "preempted", "final_pool"});
+    const std::vector<double> durations(1024, 1.0);
+    const fault::FaultPlan plan{.seed = seed};
+    const fault::EngineId engines[] = {
+        fault::EngineId::kSpark, fault::EngineId::kDask,
+        fault::EngineId::kRp, fault::EngineId::kMpi};
+    for (const fault::EngineId engine : engines) {
+      const double fixed =
+          fault::simulate_task_wave(32, durations, plan, engine).makespan_s;
+      fault::MembershipPlan membership{.seed = seed};
+      membership.schedule.push_back(
+          {fault::MembershipKind::kNodeJoin, 8.0, 16});
+      membership.schedule.push_back(
+          {fault::MembershipKind::kNodeLeave, 16.0, 8});
+      const auto outcome = fault::simulate_task_wave(
+          32, durations, plan, engine, nullptr, &membership);
+      table.add_row(
+          {fault::to_string(engine),
+           fault::to_string(fault::departure_for(
+               engine, fault::DeparturePolicy::kEngineDefault)),
+           Table::fmt(outcome.makespan_s, 2),
+           Table::fmt(fixed / outcome.makespan_s, 2) + "x",
+           std::to_string(outcome.preempted),
+           std::to_string(outcome.final_pool)});
+      if (churn > 0) {
+        const auto churned = fault::churn_plan(seed, engine, churn, churn,
+                                               /*horizon_s=*/24.0);
+        const auto stirred = fault::simulate_task_wave(
+            32, durations, plan, engine, nullptr, &churned);
+        table.add_row(
+            {std::string(fault::to_string(engine)) + " churn",
+             fault::to_string(fault::departure_for(
+                 engine, fault::DeparturePolicy::kEngineDefault)),
+             Table::fmt(stirred.makespan_s, 2),
+             Table::fmt(fixed / stirred.makespan_s, 2) + "x",
+             std::to_string(stirred.preempted),
+             std::to_string(stirred.final_pool)});
+      }
+    }
+    bench::emit(table, "future_elastic_engines");
+  }
+  {
+    // Rigid-baseline checkpointing: a 1 h SPMD job, MTBF 20 min, costs
+    // from the Wrangler shared-filesystem model for 256 MB of state.
+    const auto model = fault::checkpoint_model_for(sim::wrangler());
+    const std::uint64_t state_bytes = 256ull << 20;
+    const double checkpoint_s = model.write_s(state_bytes);
+    const double restart_s = model.restore_s(state_bytes);
+    const double work_s = 3600.0;
+    const double mtbf_s = 1200.0;
+    const double daly = fault::daly_optimum_interval(checkpoint_s, mtbf_s);
+    Table table("Future work (d): checkpoint-interval sweep "
+                "(1 h job, MTBF 20 min, 256 MB state on Wrangler; "
+                "Daly optimum " + Table::fmt(daly, 1) + " s)");
+    table.set_header({"interval_s", "total_s", "overhead", "checkpoints",
+                      "failures"});
+    std::vector<double> intervals = {30.0,  60.0,   120.0, 240.0,
+                                     480.0, 960.0, 1920.0};
+    intervals.push_back(daly);
+    std::sort(intervals.begin(), intervals.end());
+    for (const double interval : intervals) {
+      const auto point = fault::simulate_checkpointed_job(
+          work_s, interval, checkpoint_s, restart_s, mtbf_s, seed);
+      const bool optimal = interval == daly;
+      table.add_row(
+          {Table::fmt(interval, 1) + (optimal ? " (Daly)" : ""),
+           Table::fmt(point.total_s, 1),
+           Table::fmt(100.0 * (point.total_s / work_s - 1.0), 1) + "%",
+           std::to_string(point.checkpoints),
+           std::to_string(point.failures)});
+    }
+    bench::emit(table, "future_checkpoint");
   }
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
   }
   const std::uint64_t seed = bench::parse_seed(argc, argv);
+  const std::size_t churn = bench::parse_churn(argc, argv);
   bench::print_seed(seed);
   trace::Tracer& tracer = trace::Tracer::global();
   if (trace_path != nullptr) tracer.set_enabled(true);
@@ -105,6 +106,55 @@ int main(int argc, char** argv) {
            Table::fmt(outcome.makespan_s / fault_free, 2) + "x"});
     }
     bench::emit(faults, "utilization_faults");
+  }
+
+  {
+    // Pool size over time under a seeded membership schedule
+    // (`--churn N` = N joins + N leaves per engine, drawn from --seed).
+    // With churn 0 the pool is static and the table records just the
+    // baseline, keeping the published CSVs unchanged.
+    Table pool("Pool size over the task wave "
+               "(1024 x 1 s tasks, 256 cores, churn " +
+               std::to_string(churn) + ")");
+    pool.set_header({"engine", "joins", "leaves", "preempted",
+                     "pool_timeline"});
+    const std::vector<double> durations(1024, 1.0);
+    const std::uint32_t pool_pid =
+        trace_path != nullptr ? tracer.process("elastic-pool") : 0;
+    for (auto engine :
+         {fault::EngineId::kSpark, fault::EngineId::kDask,
+          fault::EngineId::kRp, fault::EngineId::kMpi}) {
+      fault::FaultPlan plan;
+      plan.seed = seed;
+      const auto membership = fault::churn_plan(
+          seed, engine, churn, churn, /*horizon_s=*/4.0);
+      // With a tracer, membership events mirror as elastic:* instants
+      // on a per-engine track (virtual time, so deterministic).
+      fault::RecoveryLog log;
+      if (trace_path != nullptr) {
+        log.attach_tracer(&tracer,
+                          tracer.thread(pool_pid, fault::to_string(engine)));
+      }
+      std::vector<fault::PoolSample> timeline;
+      const auto outcome = fault::simulate_task_wave(
+          256, durations, plan, engine, &log,
+          membership.empty() ? nullptr : &membership, &timeline);
+      std::string profile;
+      if (timeline.empty()) {
+        profile = "256 throughout";
+      } else {
+        for (const auto& sample : timeline) {
+          if (!profile.empty()) profile += " -> ";
+          profile += std::to_string(sample.servers) + "@" +
+                     Table::fmt(sample.at_s, 1) + "s";
+        }
+      }
+      pool.add_row({fault::to_string(engine),
+                    std::to_string(outcome.joins),
+                    std::to_string(outcome.leaves),
+                    std::to_string(outcome.preempted), profile});
+    }
+    bench::emit(pool, "utilization_pool");
   }
 
   if (trace_path != nullptr) {

@@ -1,6 +1,9 @@
-// A fixed-size thread pool used as the real execution backend for the
+// A resizable thread pool used as the real execution backend for the
 // task-parallel engines (Spark/Dask/RP mini-runtimes run their partitions
 // here when executing for correctness rather than in simulated time).
+// Elastic membership events grow it with add_workers and shrink it with
+// retire_workers (drain semantics: a retiring worker finishes its
+// current job, stops taking new ones, and exits).
 #pragma once
 
 #include <condition_variable>
@@ -16,7 +19,7 @@
 
 namespace mdtask {
 
-/// Fixed-size FIFO thread pool. Tasks are std::function<void()>; submit()
+/// Resizable FIFO thread pool. Tasks are std::function<void()>; submit()
 /// also offers a future-returning overload for result-bearing jobs.
 class ThreadPool {
  public:
@@ -44,7 +47,22 @@ class ThreadPool {
   /// Blocks until every queued and running job has finished.
   void wait_idle();
 
-  std::size_t size() const noexcept { return workers_.size(); }
+  /// Elastic grow: spawns `count` additional workers, which start
+  /// draining the queue immediately. If tracing is enabled they get
+  /// their own "<worker_prefix>-<i>" tracks.
+  void add_workers(std::size_t count);
+
+  /// Elastic shrink with drain semantics: flags `count` workers
+  /// (highest indices first — deterministic) to exit after their
+  /// current job; queued jobs are left for the survivors. Clamped so at
+  /// least one active worker remains. Returns the indices of the
+  /// retired workers, which engines use to find the tasks that were
+  /// in flight on departed executors.
+  std::vector<std::size_t> retire_workers(std::size_t count);
+
+  /// Active (non-retired) workers. Counts a retiring worker out as soon
+  /// as it is flagged, even if it is still finishing its last job.
+  std::size_t size() const;
 
   /// Starts emitting spans to `tracer` under process track `pid`: one
   /// thread track per worker ("<worker_prefix>-<i>"), a "queue-wait"
@@ -72,12 +90,16 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<Job> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;
+  std::size_t alive_ = 0;                 ///< workers not flagged to retire
   bool stop_ = false;
+  std::vector<std::uint8_t> retire_flags_;  ///< per worker; guarded by mu_
   trace::Tracer* tracer_ = nullptr;       ///< guarded by mu_
+  std::uint32_t trace_pid_ = 0;           ///< for tracks of late joiners
+  std::string worker_prefix_ = "worker";
   std::vector<trace::Track> tracks_;      ///< per worker; guarded by mu_
 };
 

@@ -30,6 +30,7 @@
 
 #include "mdtask/engines/core.h"
 #include "mdtask/fault/injector.h"
+#include "mdtask/fault/membership.h"
 #include "mdtask/fault/recovery.h"
 #include "mdtask/trace/tracer.h"
 
@@ -77,14 +78,19 @@ struct SharedState {
   alignas(T) unsigned char storage[sizeof(T)];
 
   T& value() { return *reinterpret_cast<T*>(storage); }
+  // First completion wins: a task rescheduled off a departed worker can
+  // race its original execution, so publication must be idempotent —
+  // duplicates compute the identical value and are dropped here.
   void set_value(T v) {
     std::lock_guard lk(mu);
+    if (ready) return;
     new (storage) T(std::move(v));
     ready = true;
     cv.notify_all();
   }
   void set_error(std::exception_ptr e) {
     std::lock_guard lk(mu);
+    if (ready) return;
     error = std::move(e);
     ready = true;
     cv.notify_all();
@@ -195,6 +201,29 @@ class DaskClient {
     return worker_restarts_.load();
   }
 
+  /// Elastic grow: spawns `count` additional workers that start pulling
+  /// from the ready queue immediately. Recorded as elastic:node-join.
+  void add_workers(std::size_t count);
+
+  /// Elastic shrink: removes `count` workers (at least one survives).
+  /// Dask's engine default is a graceful leave — departing workers
+  /// finish their in-flight task first (drain). With kKill the
+  /// in-flight tasks of the departed workers are immediately
+  /// re-enqueued for the survivors; first completion wins, so results
+  /// are byte-identical to a static-pool run. Returns the number of
+  /// workers actually removed.
+  std::size_t retire_workers(
+      std::size_t count,
+      fault::DeparturePolicy policy = fault::DeparturePolicy::kEngineDefault);
+
+  /// Active (non-retired) workers.
+  std::size_t workers() const;
+
+  /// Tasks re-enqueued because their worker departed mid-flight.
+  std::uint64_t rescheduled_tasks() const noexcept {
+    return rescheduled_.load(std::memory_order_relaxed);
+  }
+
  private:
   template <typename F>
   auto submit_after(F fn, std::vector<std::shared_ptr<detail::TaskNode>> deps)
@@ -287,19 +316,28 @@ class DaskClient {
   void enqueue_ready(std::shared_ptr<detail::TaskNode> node);
   void on_finished(const std::shared_ptr<detail::TaskNode>& node);
   void worker_loop(std::size_t index);
+  void record_membership(fault::MembershipKind kind, std::size_t count,
+                         std::size_t preempted);
 
   DaskConfig config_;
   engines::EngineMetrics metrics_;
   std::atomic<std::uint64_t> worker_restarts_{0};
+  std::atomic<std::uint64_t> rescheduled_{0};
 
   std::vector<std::thread> workers_;
   std::deque<std::shared_ptr<detail::TaskNode>> ready_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t inflight_ = 0;
   std::uint64_t outstanding_ = 0;  ///< submitted but not finished
   std::uint64_t next_task_id_ = 0;  ///< submission-order ids; guarded by mu_
+  std::size_t alive_ = 0;             ///< non-retired workers; guarded by mu_
+  std::size_t membership_seq_ = 0;    ///< guarded by mu_
+  std::vector<std::uint8_t> retire_flags_;  ///< per worker; guarded by mu_
+  /// What each worker is executing right now (null = idle); guarded by
+  /// mu_. Lets retire_workers(kKill) find the in-flight tasks to save.
+  std::vector<std::shared_ptr<detail::TaskNode>> running_;
   bool stop_ = false;
   trace::Tracer* tracer_ = nullptr;        ///< guarded by mu_
   std::uint32_t trace_pid_ = 0;

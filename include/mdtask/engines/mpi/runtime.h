@@ -303,6 +303,11 @@ class Communicator {
 struct SpmdReport {
   std::vector<CommStats> rank_stats;
   CommStats total;
+  /// Recovery accounting, filled by run_spmd_with_recovery only.
+  int attempts = 1;                   ///< launches including the last
+  std::uint64_t checkpoint_bytes = 0; ///< bytes put() into the store
+  double checkpoint_write_s = 0.0;    ///< modeled write cost (alpha-beta)
+  double checkpoint_restore_s = 0.0;  ///< modeled restore cost
 };
 
 /// Launches `ranks` threads each running `body(comm)`. Blocks until all
@@ -333,11 +338,19 @@ using RecoverableSpmdBody =
 /// Slowdown faults (stragglers, FS stalls) only delay their rank.
 ///
 /// Throws InjectedFault when the restart budget is exhausted.
+///
+/// `checkpoint_costs` (optional, not owned) applies a calibrated
+/// alpha-beta shared-filesystem model to the job's CheckpointStore;
+/// modeled write/restore seconds and stored bytes are reported in the
+/// returned SpmdReport. MPI is the rigid baseline: any pool shrink is a
+/// job abort + restart from the last checkpoint, which is exactly the
+/// path this wrapper prices.
 SpmdReport run_spmd_with_recovery(
     int ranks, const RecoverableSpmdBody& body, const fault::FaultPlan& plan,
     fault::RecoveryLog* recovery_log = nullptr,
     BcastAlgorithm bcast = BcastAlgorithm::kBinomialTree,
-    trace::Tracer* tracer = nullptr);
+    trace::Tracer* tracer = nullptr,
+    const fault::CheckpointCostModel* checkpoint_costs = nullptr);
 
 // ---- template implementation ----
 

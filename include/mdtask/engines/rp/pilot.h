@@ -31,6 +31,7 @@
 #include "mdtask/common/thread_pool.h"
 #include "mdtask/engines/core.h"
 #include "mdtask/fault/injector.h"
+#include "mdtask/fault/membership.h"
 #include "mdtask/fault/recovery.h"
 
 namespace mdtask::rp {
@@ -154,18 +155,36 @@ class UnitManager {
   SharedFilesystem& filesystem() noexcept { return fs_; }
   MongoDbStore& database() noexcept { return db_; }
   engines::EngineMetrics& metrics() noexcept { return metrics_; }
-  std::size_t cores() const noexcept { return pilot_.cores; }
+  /// Live pilot size — follows grow_pilot/shrink_pilot.
+  std::size_t cores() const { return agent_.size(); }
+
+  /// Pilot resize, grow side: the agent picks up `cores` additional
+  /// agent cores, which start draining queued units immediately.
+  /// Recorded as elastic:node-join.
+  void grow_pilot(std::size_t cores);
+
+  /// Pilot resize, shrink side. RP's pilot decommissions cores
+  /// gracefully regardless of the requested policy: a unit is atomic at
+  /// the pilot level (there is no lineage to replay and no per-unit
+  /// checkpoint), so a departing agent core always finishes its current
+  /// unit before exiting. At least one core survives; returns how many
+  /// were actually released.
+  std::size_t shrink_pilot(std::size_t cores);
 
  private:
   void run_unit(const std::shared_ptr<ComputeUnit>& unit);
   void transition(ComputeUnit& unit, UnitState next);
+  void record_membership(fault::MembershipKind kind, std::size_t count);
 
   PilotDescription pilot_;
   MongoDbStore db_;
   SharedFilesystem fs_;
   engines::EngineMetrics metrics_;
   mdtask::ThreadPool agent_;
-  std::uint64_t next_unit_index_ = 0;  ///< client-side submission counter
+  /// Client-side submission counter; atomic because concurrent
+  /// pipelines (AppManager driver threads) submit to the same pilot.
+  std::atomic<std::uint64_t> next_unit_index_{0};
+  std::atomic<std::size_t> membership_seq_{0};
   trace::Tracer* tracer_ = nullptr;
   std::uint32_t trace_pid_ = 0;
   trace::Track client_track_{};

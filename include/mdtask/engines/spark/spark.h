@@ -31,6 +31,7 @@
 #include "mdtask/common/thread_pool.h"
 #include "mdtask/engines/core.h"
 #include "mdtask/fault/injector.h"
+#include "mdtask/fault/membership.h"
 #include "mdtask/fault/recovery.h"
 
 namespace mdtask::spark {
@@ -148,18 +149,89 @@ class SparkContext {
   const SparkConfig& config() const noexcept { return config_; }
   mdtask::ThreadPool& pool() noexcept { return pool_; }
 
+  /// Dynamic executor allocation, grow side: adds `count` executor
+  /// threads. Recorded in the recovery log as an elastic:node-join.
+  void add_executors(std::size_t count) {
+    pool_.add_workers(count);
+    record_membership(fault::MembershipKind::kNodeJoin, count, 0);
+  }
+
+  /// Dynamic executor allocation, shrink side: decommissions `count`
+  /// executors (at least one survives). With kill semantics (Spark's
+  /// engine default), the partitions that were running on the departed
+  /// executors are marked lost and re-executed from lineage after the
+  /// stage barrier — their recomputed outputs are byte-identical, so
+  /// results never diverge from a static-pool run. kDrain merely stops
+  /// the executors after their current task.
+  void decommission_executors(
+      std::size_t count,
+      fault::DeparturePolicy policy = fault::DeparturePolicy::kEngineDefault) {
+    const std::vector<std::size_t> retired = pool_.retire_workers(count);
+    const bool kill =
+        fault::departure_for(fault::EngineId::kSpark, policy) ==
+        fault::DeparturePolicy::kKill;
+    std::size_t preempted = 0;
+    if (kill) {
+      std::lock_guard lk(elastic_mu_);
+      if (stage_ != nullptr) {
+        for (std::size_t p = 0; p < stage_->owner.size(); ++p) {
+          for (const std::size_t idx : retired) {
+            if (stage_->owner[p] ==
+                static_cast<std::ptrdiff_t>(idx)) {
+              stage_->lost[p] = 1;
+              ++preempted;
+            }
+          }
+        }
+      }
+    }
+    record_membership(fault::MembershipKind::kNodeLeave, retired.size(),
+                      preempted);
+  }
+
+  /// Partitions recomputed from lineage after executor decommissions.
+  std::uint64_t lineage_reexecutions() const noexcept {
+    return lineage_reexecutions_.load(std::memory_order_relaxed);
+  }
+
   /// Runs one stage: computes every partition of `node` on the pool.
   /// Returns all partition outputs. Respects caching.
   template <typename T>
   std::vector<std::vector<T>> run_stage(detail::RddNode<T>& node);
 
  private:
+  /// Live bookkeeping of the active stage, for decommission: which
+  /// worker is executing each partition right now. Guarded by
+  /// elastic_mu_; null between stages.
+  struct StageOwners {
+    std::vector<std::ptrdiff_t> owner;  ///< executing worker, -1 = none
+    std::vector<std::uint8_t> lost;     ///< owner was decommissioned
+  };
+
+  void record_membership(fault::MembershipKind kind, std::size_t count,
+                         std::size_t preempted) {
+    std::size_t seq;
+    {
+      std::lock_guard lk(elastic_mu_);
+      seq = membership_seq_++;
+    }
+    if (config_.recovery_log != nullptr) {
+      config_.recovery_log->record_membership(
+          {fault::EngineId::kSpark, kind, seq, count, pool_.size(),
+           preempted, tracer_ != nullptr ? tracer_->now_us() : 0.0});
+    }
+  }
+
   SparkConfig config_;
   mdtask::ThreadPool pool_;
   engines::EngineMetrics metrics_;
   trace::Tracer* tracer_ = nullptr;
   std::uint32_t trace_pid_ = 0;
   trace::Track driver_track_{};
+  std::mutex elastic_mu_;
+  std::size_t membership_seq_ = 0;
+  StageOwners* stage_ = nullptr;  ///< guarded by elastic_mu_
+  std::atomic<std::uint64_t> lineage_reexecutions_{0};
 };
 
 /// The Resilient Distributed Dataset handle. Cheap to copy (shared node).
@@ -345,10 +417,41 @@ std::vector<std::vector<T>> SparkContext::run_stage(
                        static_cast<double>(node.partitions));
   }
   std::vector<std::vector<T>> outputs(node.partitions);
-  std::vector<std::future<void>> futures;
-  futures.reserve(node.partitions);
-  for (std::size_t p = 0; p < node.partitions; ++p) {
-    futures.push_back(pool_.submit([this, &node, &outputs, p, stage_id] {
+  // Register the stage with the elastic layer so decommission_executors
+  // can see which worker is running which partition. RAII keeps the
+  // registration exception-safe across the barrier's rethrow.
+  StageOwners owners;
+  owners.owner.assign(node.partitions, -1);
+  owners.lost.assign(node.partitions, 0);
+  struct StageScope {
+    SparkContext* ctx;
+    ~StageScope() {
+      std::lock_guard lk(ctx->elastic_mu_);
+      ctx->stage_ = nullptr;
+    }
+  } stage_scope{this};
+  {
+    std::lock_guard lk(elastic_mu_);
+    stage_ = &owners;
+  }
+  // The whole per-partition task, reused verbatim by lineage
+  // re-execution below — a recomputed partition takes the same fault
+  // decisions and produces byte-identical output.
+  const auto run_partition = [this, &node, &outputs, &owners,
+                              stage_id](std::size_t p) {
+      struct OwnerScope {
+        SparkContext* ctx;
+        StageOwners* owners;
+        std::size_t p;
+        ~OwnerScope() {
+          std::lock_guard lk(ctx->elastic_mu_);
+          owners->owner[p] = -1;
+        }
+      } owner_scope{this, &owners, p};
+      {
+        std::lock_guard lk(elastic_mu_);
+        owners.owner[p] = ThreadPool::current_worker_index();
+      }
       metrics_.tasks_executed += 1;
       trace::Span task_span;
       if (tracer_ != nullptr) {
@@ -419,7 +522,12 @@ std::vector<std::vector<T>> SparkContext::run_stage(
         }
         metrics_.tasks_executed += 1;  // the re-execution is a new task
       }
-    }));
+  };
+  std::vector<std::future<void>> futures;
+  futures.reserve(node.partitions);
+  for (std::size_t p = 0; p < node.partitions; ++p) {
+    futures.push_back(
+        pool_.submit([&run_partition, p] { run_partition(p); }));
   }
   // Stage barrier: drain EVERY task before surfacing an error, so no
   // in-flight task can touch `outputs` after this frame unwinds.
@@ -431,7 +539,39 @@ std::vector<std::vector<T>> SparkContext::run_stage(
       if (!first_error) first_error = std::current_exception();
     }
   }
+  // Partitions whose executor was decommissioned mid-flight are lost
+  // with the executor; lineage makes them recomputable, so re-run them
+  // on the surviving pool. A partition that raced to completion anyway
+  // recomputes to the identical value — results never diverge.
+  std::vector<std::size_t> lost;
+  {
+    std::lock_guard lk(elastic_mu_);
+    for (std::size_t p = 0; p < owners.lost.size(); ++p) {
+      if (owners.lost[p]) {
+        owners.lost[p] = 0;
+        lost.push_back(p);
+      }
+    }
+  }
   if (first_error) std::rethrow_exception(first_error);
+  if (!lost.empty()) {
+    lineage_reexecutions_.fetch_add(lost.size(),
+                                    std::memory_order_relaxed);
+    std::vector<std::future<void>> redo;
+    redo.reserve(lost.size());
+    for (const std::size_t p : lost) {
+      redo.push_back(
+          pool_.submit([&run_partition, p] { run_partition(p); }));
+    }
+    for (auto& f : redo) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
   if (tracer_ != nullptr) {
     const double now = tracer_->now_us();
     tracer_->counter(driver_track_, "shuffle_bytes", now,

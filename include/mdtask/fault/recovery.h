@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "mdtask/fault/fault.h"
+#include "mdtask/fault/membership.h"
 #include "mdtask/trace/tracer.h"
 
 namespace mdtask::fault {
@@ -62,16 +63,38 @@ struct RecoveryEvent {
   std::string to_string() const;
 };
 
+/// One applied membership (elasticity) event: a node join or leave as
+/// the pool actually absorbed it. `seq` is the schedule index, which
+/// makes the canonical rendering a total order even when several events
+/// share a kind and count.
+struct MembershipRecord {
+  EngineId engine = EngineId::kSpark;
+  MembershipKind kind = MembershipKind::kNodeJoin;
+  std::size_t seq = 0;        ///< index in the MembershipPlan schedule
+  std::size_t count = 1;      ///< servers joining/leaving
+  std::size_t pool_size = 0;  ///< pool size after the event applied
+  std::size_t preempted = 0;  ///< in-flight tasks a kill-leave displaced
+  /// Virtual timestamp for DES emitters, wall microseconds otherwise
+  /// (trace mirroring only; the canonical order ignores it).
+  double ts_us = 0.0;
+
+  /// "dask elastic#1 node-leave count=2 pool=4 preempted=1" — the
+  /// comparison key of the membership determinism tests.
+  std::string to_string() const;
+};
+
 /// Thread-safe ordered log of fault/recovery events. Worker threads
 /// append concurrently, so the raw order is scheduling-dependent;
 /// canonical() sorts by (task, attempt, fault, action) to give the
 /// interleaving-independent sequence that same-seed runs must reproduce
-/// exactly.
+/// exactly. Membership (elasticity) events are logged alongside and
+/// merged into the same canonical sequence.
 class RecoveryLog {
  public:
   /// Mirrors every recorded event into `tracer` as a zero-duration span
-  /// on `track` ("fault:<kind>" / "recovery:<action>", categories
-  /// "fault"/"recovery"). Call before the run; pass nullptr to stop.
+  /// on `track` ("fault:<kind>" / "recovery:<action>" / "elastic:<kind>",
+  /// categories "fault"/"recovery"/"elastic"). Call before the run; pass
+  /// nullptr to stop.
   void attach_tracer(trace::Tracer* tracer, trace::Track track) {
     std::lock_guard lk(mu_);
     tracer_ = tracer;
@@ -79,33 +102,72 @@ class RecoveryLog {
   }
 
   void record(RecoveryEvent event);
+  void record_membership(MembershipRecord event);
 
   std::vector<RecoveryEvent> events() const;
-  /// Interleaving-independent rendering: one line per event, sorted.
+  std::vector<MembershipRecord> membership_events() const;
+  /// Interleaving-independent rendering: one line per event (fault and
+  /// membership alike), sorted.
   std::vector<std::string> canonical() const;
-  std::size_t size() const;
+  std::size_t size() const;  ///< fault/recovery events only
+  std::size_t membership_size() const;
   void clear();
 
  private:
   mutable std::mutex mu_;
   std::vector<RecoveryEvent> events_;
+  std::vector<MembershipRecord> membership_;
   trace::Tracer* tracer_ = nullptr;
   trace::Track track_{};
+};
+
+/// Size-dependent alpha-beta cost model for checkpoint traffic against
+/// the shared parallel filesystem: writing (restoring) `bytes` costs
+/// latency + bytes / bandwidth modelled seconds. Bandwidth 0 keeps the
+/// legacy zero-cost behaviour.
+struct CheckpointCostModel {
+  double write_latency_s = 0.0;
+  double write_Bps = 0.0;
+  double restore_latency_s = 0.0;
+  double restore_Bps = 0.0;
+
+  double write_s(std::uint64_t bytes) const noexcept {
+    if (write_Bps <= 0.0) return 0.0;
+    return write_latency_s + static_cast<double>(bytes) / write_Bps;
+  }
+  double restore_s(std::uint64_t bytes) const noexcept {
+    if (restore_Bps <= 0.0) return 0.0;
+    return restore_latency_s + static_cast<double>(bytes) / restore_Bps;
+  }
 };
 
 /// In-memory checkpoint store for the MPI checkpoint/abort/restart
 /// wrapper: survives across restart attempts of one logical job, so a
 /// relaunched body can skip work it checkpointed before the abort.
+/// With a cost model attached, every put/get accrues the modelled
+/// shared-filesystem seconds it would have cost (accounted, not slept).
 class CheckpointStore {
  public:
+  void set_cost_model(CheckpointCostModel model);
+
   void put(const std::string& key, std::vector<std::uint8_t> data);
   bool contains(const std::string& key) const;
   std::vector<std::uint8_t> get(const std::string& key) const;
   std::size_t size() const;
 
+  /// Total payload bytes currently stored.
+  std::uint64_t bytes_stored() const;
+  /// Modelled seconds spent writing checkpoints so far.
+  double modeled_write_s() const;
+  /// Modelled seconds spent restoring checkpoints so far.
+  double modeled_restore_s() const;
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<std::uint8_t>> store_;
+  CheckpointCostModel cost_model_;
+  double write_s_ = 0.0;
+  mutable double restore_s_ = 0.0;
 };
 
 }  // namespace mdtask::fault

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mdtask/fault/fault.h"
+#include "mdtask/fault/membership.h"
 #include "mdtask/fault/recovery.h"
 #include "mdtask/sim/simulation.h"
 
@@ -52,6 +53,16 @@ struct SimFaultOutcome {
   std::uint64_t faults_injected = 0;
   std::uint64_t retries = 0;
   std::uint64_t speculative_copies = 0;
+  std::uint64_t joins = 0;      ///< membership join events applied
+  std::uint64_t leaves = 0;     ///< membership leave events applied
+  std::uint64_t preempted = 0;  ///< in-flight tasks displaced by kill-leaves
+  std::size_t final_pool = 0;   ///< pool size when the replay drained
+};
+
+/// One pool-size observation for the pool-size-over-time bench table.
+struct PoolSample {
+  double at_s = 0.0;
+  std::size_t servers = 0;
 };
 
 /// Replays `durations` on `cores` simulated cores with the plan's
@@ -60,9 +71,55 @@ struct SimFaultOutcome {
 /// virtual microseconds (pure slowdowns — stragglers without
 /// speculation, FS stalls — trigger no decision and are only counted);
 /// attach a tracer to the log to mirror events into a Chrome trace.
-SimFaultOutcome simulate_task_wave(std::size_t cores,
-                                   const std::vector<double>& durations,
-                                   const FaultPlan& plan, EngineId engine,
-                                   RecoveryLog* log = nullptr);
+///
+/// `membership` (optional) drives elastic pool scaling: joins add
+/// servers after the plan's warm-up (MPI is rigid and logs joins
+/// without growing); leaves apply the engine's departure semantics via
+/// departure_for() — drain (Dask, RP) finishes in-flight holds, kill
+/// (Spark lineage loss, MPI checkpoint-restart) preempts the youngest
+/// holds, whose tasks restart from scratch. Every applied event is
+/// recorded into `log` as a MembershipRecord (mirrored as an
+/// `elastic:*` trace instant) and, when `pool_timeline` is given,
+/// sampled as (virtual time, pool size). With membership events the
+/// makespan is the last task completion, so a post-drain schedule
+/// entry cannot inflate it. Single-threaded virtual time: same seed,
+/// byte-identical logs and traces.
+SimFaultOutcome simulate_task_wave(
+    std::size_t cores, const std::vector<double>& durations,
+    const FaultPlan& plan, EngineId engine, RecoveryLog* log = nullptr,
+    const MembershipPlan* membership = nullptr,
+    std::vector<PoolSample>* pool_timeline = nullptr);
+
+/// Outcome of a rigid checkpointed-job replay (simulate_checkpointed_job).
+struct CheckpointSweepPoint {
+  double interval_s = 0.0;
+  double total_s = 0.0;  ///< completion time including all overheads
+  std::uint64_t checkpoints = 0;
+  std::uint64_t failures = 0;
+};
+
+/// Walks a rigid SPMD job of `work_s` seconds through failures with
+/// mean-time-between-failures `mtbf_s` (exponential arrivals drawn by
+/// the same pure hash as the injector, keyed on (seed, failure index)):
+/// the job checkpoints every `interval_s` at `checkpoint_s` cost, and a
+/// failure rolls back to the last checkpoint after `restart_s`. The
+/// Daly/Young trade-off swept by bench_future_work: short intervals pay
+/// checkpoint overhead, long ones re-execute more lost work.
+CheckpointSweepPoint simulate_checkpointed_job(double work_s,
+                                               double interval_s,
+                                               double checkpoint_s,
+                                               double restart_s,
+                                               double mtbf_s,
+                                               std::uint64_t seed);
+
+/// Daly's first-order optimum checkpoint interval sqrt(2 * delta * M)
+/// - delta for checkpoint cost delta and MTBF M (clamped positive).
+double daly_optimum_interval(double checkpoint_s, double mtbf_s) noexcept;
+
+/// Checkpoint cost model calibrated against a machine's shared parallel
+/// filesystem (size-dependent alpha-beta: ~1 ms metadata latency plus
+/// bytes / machine.filesystem_Bps each way).
+CheckpointCostModel checkpoint_model_for(
+    const sim::MachineProfile& machine) noexcept;
 
 }  // namespace mdtask::fault

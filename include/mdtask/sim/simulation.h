@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <queue>
 #include <set>
 #include <string>
@@ -92,22 +93,52 @@ class Resource {
 
   /// Elastic scaling (the paper's Sec.-6 future-work item: dynamically
   /// grow/shrink the resource pool). Added servers immediately start
-  /// draining the queue; removals take effect lazily as busy servers
-  /// finish their current hold.
+  /// draining the queue; removals take effect lazily (drain semantics)
+  /// as busy servers finish their current hold — a finishing server
+  /// tagged for removal retires even when the queue is non-empty.
+  /// Removal requests beyond the current pool size are dropped: the
+  /// pool never owes phantom departures, so a later add_servers() call
+  /// always grows it for real.
   void add_servers(std::size_t count);
   void remove_servers(std::size_t count);
 
+  /// Kill-style removal: idle servers leave immediately; beyond that,
+  /// the most recently started holds are preempted — their task
+  /// restarts from scratch at the back of the queue (the partial
+  /// service is lost) and the server leaves now. Returns the number of
+  /// holds preempted. A preempted hold's recorded ServiceInterval is
+  /// truncated at the kill time; its tracer span (already emitted at
+  /// start) keeps the planned duration.
+  std::size_t kill_servers(std::size_t count);
+
   std::size_t free_servers() const noexcept { return free_; }
   std::size_t queued() const noexcept { return pending_.size(); }
+  /// Current pool size: idle plus busy servers, minus those already
+  /// tagged to leave when their hold finishes.
+  std::size_t servers() const noexcept {
+    return free_ + inflight_.size() + completing_ - to_remove_;
+  }
   /// Total busy time accumulated across servers (for utilization).
   double busy_time() const noexcept { return busy_time_; }
 
  private:
+  static constexpr std::size_t kNpos = ~std::size_t{0};
   struct Pending {
     double duration;
     Simulation::Callback on_complete;
   };
+  /// One server's current hold, kept addressable so kill_servers can
+  /// preempt it before its completion event fires.
+  struct Hold {
+    double start_s = 0.0;
+    double duration = 0.0;
+    Simulation::Callback on_complete;
+    std::size_t slot = 0;
+    bool traced = false;
+    std::size_t trace_index = kNpos;
+  };
   void start(double duration, Simulation::Callback on_complete);
+  void finish(std::uint64_t id);
   /// Claims the lowest free tracer slot, registering a fresh track when
   /// every known slot is busy (lazy growth for add_servers).
   std::size_t take_slot();
@@ -117,6 +148,11 @@ class Resource {
   std::size_t free_;
   std::size_t to_remove_ = 0;  ///< lazy removals pending
   std::deque<Pending> pending_;
+  std::uint64_t next_hold_ = 0;
+  std::map<std::uint64_t, Hold> inflight_;  ///< key order = start order
+  /// 1 while a finishing server runs its completion callback: it is
+  /// momentarily outside inflight_ but must still count as removable.
+  std::size_t completing_ = 0;
   double busy_time_ = 0.0;
   std::vector<ServiceInterval>* trace_ = nullptr;
   trace::Tracer* tracer_ = nullptr;

@@ -1,8 +1,14 @@
 // Shared vocabulary for the engine-parallel application drivers.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
+
+#include "mdtask/fault/membership.h"
 
 namespace mdtask::workflows {
 
@@ -21,6 +27,30 @@ struct RunMetrics {
   std::uint64_t staged_bytes = 0;
   std::uint64_t db_roundtrips = 0;
   double wall_seconds = 0.0;
+};
+
+/// Applies a seeded MembershipPlan to a live engine while a workflow
+/// runs: a background thread sleeps to each event's at_s (wall seconds
+/// from construction) and invokes `apply` with it. Scoped — the
+/// destructor cancels unfired events and joins, so drivers keep one on
+/// the stack for exactly the duration of the engine run (declare it
+/// after the engine object so it is destroyed first).
+class ElasticDriver {
+ public:
+  using Apply = std::function<void(const fault::MembershipEvent&)>;
+
+  /// Starts the schedule. A null/empty plan or null callback is inert.
+  ElasticDriver(const fault::MembershipPlan* plan, Apply apply);
+  ~ElasticDriver();
+
+  ElasticDriver(const ElasticDriver&) = delete;
+  ElasticDriver& operator=(const ElasticDriver&) = delete;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
 };
 
 }  // namespace mdtask::workflows

@@ -54,6 +54,10 @@ struct LfRunConfig {
   const fault::FaultPlan* fault_plan = nullptr;
   /// Optional sink for every fault/recovery decision the run makes.
   fault::RecoveryLog* recovery_log = nullptr;
+  /// Optional membership schedule (mdtask/fault/membership.h): applied
+  /// to the live engine by an ElasticDriver while the run executes.
+  /// MPI ignores it — the rigid baseline cannot resize.
+  const fault::MembershipPlan* membership_plan = nullptr;
 };
 
 struct LfRunResult {

@@ -45,6 +45,12 @@ struct PsaRunConfig {
   const fault::FaultPlan* fault_plan = nullptr;
   /// Optional sink for every fault/recovery decision the run makes.
   fault::RecoveryLog* recovery_log = nullptr;
+  /// Optional membership schedule (mdtask/fault/membership.h): an
+  /// ElasticDriver applies join/leave events to the live engine while
+  /// the run executes. MPI ignores it — the rigid baseline cannot
+  /// resize; use the DES layer (simulate_task_wave) to model its
+  /// shrink-restart cost.
+  const fault::MembershipPlan* membership_plan = nullptr;
 };
 
 struct PsaRunResult {

@@ -24,6 +24,23 @@ def load_entries(path):
     return {(e["kernel"], e["policy"]): e for e in doc["entries"]}
 
 
+def behavioural(entry):
+    """Entries that record behaviour rather than kernel speed.
+
+    Fault-injection entries depend on the injected schedule; elasticity
+    entries (seeded membership churn: node joins/leaves mid-run) depend
+    on the membership plan. Neither timing is comparable across plans,
+    so both are excluded from the regression gate.
+    """
+    if entry is None:
+        return None
+    if entry.get("fault_injection"):
+        return "fault-injection entry; timings not comparable"
+    if entry.get("elastic"):
+        return "elasticity entry; timings depend on the membership plan"
+    return None
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
@@ -43,13 +60,12 @@ def main():
     for key, base_entry in sorted(baseline.items()):
         kernel, policy = key
         cur_entry = current.get(key)
-        # Fault-injection entries measure recovery behaviour, not kernel
-        # speed; their timings depend on the injected schedule and are
-        # not comparable across plans. Skip them with a note.
-        if base_entry.get("fault_injection") or (
-                cur_entry is not None and cur_entry.get("fault_injection")):
-            print(f"{kernel:<16} {policy:<12} skipped "
-                  f"(fault-injection entry; timings not comparable)")
+        # Behavioural entries (fault injection, elasticity) measure
+        # recovery/membership behaviour, not kernel speed. Skip them
+        # with a note.
+        reason = behavioural(base_entry) or behavioural(cur_entry)
+        if reason:
+            print(f"{kernel:<16} {policy:<12} skipped ({reason})")
             continue
         base_ns = base_entry["ns_per_unit"]
         if cur_entry is None:
@@ -75,9 +91,9 @@ def main():
         if scalar_entry is None or vectorized_entry is None:
             failures.append(f"{kernel}: scalar/vectorized cells missing")
             continue
-        if scalar_entry.get("fault_injection") or \
-                vectorized_entry.get("fault_injection"):
-            print(f"{kernel:<16} skipped (fault-injection entry)")
+        reason = behavioural(scalar_entry) or behavioural(vectorized_entry)
+        if reason:
+            print(f"{kernel:<16} skipped ({reason})")
             continue
         scalar = scalar_entry["ns_per_unit"]
         vectorized = vectorized_entry["ns_per_unit"]

@@ -19,6 +19,8 @@ thread_local std::ptrdiff_t tls_worker_index = -1;
 ThreadPool::ThreadPool(std::size_t threads) {
   threads = std::max<std::size_t>(1, threads);
   workers_.reserve(threads);
+  retire_flags_.assign(threads, 0);
+  alive_ = threads;
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
@@ -61,7 +63,49 @@ void ThreadPool::enable_tracing(trace::Tracer& tracer, std::uint32_t pid,
   }
   std::lock_guard lk(mu_);
   tracer_ = &tracer;
+  trace_pid_ = pid;
+  worker_prefix_ = worker_prefix;
   tracks_ = std::move(tracks);
+}
+
+std::size_t ThreadPool::size() const {
+  std::lock_guard lk(mu_);
+  return alive_;
+}
+
+void ThreadPool::add_workers(std::size_t count) {
+  std::lock_guard lk(mu_);
+  for (std::size_t n = 0; n < count; ++n) {
+    const std::size_t index = workers_.size();
+    retire_flags_.push_back(0);
+    if (tracer_ != nullptr) {
+      tracks_.push_back(tracer_->thread(
+          trace_pid_, worker_prefix_ + "-" + std::to_string(index)));
+    }
+    // The new thread blocks on mu_ at the top of worker_loop until this
+    // call releases it, so spawning under the lock is safe.
+    workers_.emplace_back([this, index] { worker_loop(index); });
+    ++alive_;
+  }
+}
+
+std::vector<std::size_t> ThreadPool::retire_workers(std::size_t count) {
+  std::vector<std::size_t> retired;
+  {
+    std::lock_guard lk(mu_);
+    // A pool that retired every worker could never drain its queue.
+    const std::size_t ceiling = alive_ > 1 ? alive_ - 1 : 0;
+    count = std::min(count, ceiling);
+    for (std::size_t i = workers_.size(); i-- > 0 && retired.size() < count;) {
+      if (!retire_flags_[i]) {
+        retire_flags_[i] = 1;
+        retired.push_back(i);
+      }
+    }
+    alive_ -= retired.size();
+  }
+  cv_.notify_all();
+  return retired;
 }
 
 const trace::Track* ThreadPool::current_worker_track() noexcept {
@@ -79,8 +123,16 @@ void ThreadPool::worker_loop(std::size_t index) {
     trace::Tracer* tracer = nullptr;
     {
       std::unique_lock lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      cv_.wait(lk, [this, index] {
+        return stop_ || retire_flags_[index] || !queue_.empty();
+      });
       if (stop_ && queue_.empty()) return;
+      if (retire_flags_[index]) {
+        // Retired: exit without taking new work. Hand any wakeup we may
+        // have consumed on to a surviving worker.
+        if (!queue_.empty()) cv_.notify_one();
+        return;
+      }
       job = std::move(queue_.front());
       queue_.pop_front();
       ++active_;

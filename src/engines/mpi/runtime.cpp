@@ -198,12 +198,16 @@ SpmdReport run_spmd_with_recovery(int ranks, const RecoverableSpmdBody& body,
                                   const fault::FaultPlan& plan,
                                   fault::RecoveryLog* recovery_log,
                                   BcastAlgorithm bcast,
-                                  trace::Tracer* tracer) {
+                                  trace::Tracer* tracer,
+                                  const fault::CheckpointCostModel* checkpoint_costs) {
   if (ranks <= 0) {
     throw std::invalid_argument(
         "run_spmd_with_recovery: ranks must be positive");
   }
   fault::CheckpointStore checkpoints;
+  if (checkpoint_costs != nullptr) {
+    checkpoints.set_cost_model(*checkpoint_costs);
+  }
   const fault::FaultInjector injector(plan, fault::EngineId::kMpi);
   // The lowest doomed rank of an attempt, or {-1, kNone}. Pure function
   // of (plan, attempt): every rank computes the identical answer.
@@ -218,7 +222,7 @@ SpmdReport run_spmd_with_recovery(int ranks, const RecoverableSpmdBody& body,
   };
   for (int attempt = 0;; ++attempt) {
     try {
-      return run_spmd(
+      SpmdReport report = run_spmd(
           ranks,
           [&, attempt](Communicator& comm) {
             const auto [doomed, kind] = first_fault(attempt);
@@ -242,6 +246,11 @@ SpmdReport run_spmd_with_recovery(int ranks, const RecoverableSpmdBody& body,
             body(comm, checkpoints);
           },
           bcast, tracer);
+      report.attempts = attempt + 1;
+      report.checkpoint_bytes = checkpoints.bytes_stored();
+      report.checkpoint_write_s = checkpoints.modeled_write_s();
+      report.checkpoint_restore_s = checkpoints.modeled_restore_s();
+      return report;
     } catch (const fault::InjectedFault& f) {
       const fault::RecoveryAction action = fault::recovery_action(
           fault::EngineId::kMpi, f.kind(), attempt, plan.retry);

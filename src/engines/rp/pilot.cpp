@@ -60,7 +60,8 @@ std::vector<std::shared_ptr<ComputeUnit>> UnitManager::submit_units(
     metrics_.db_roundtrips += 1;
     units.push_back(
         std::shared_ptr<ComputeUnit>(new ComputeUnit(std::move(d))));
-    units.back()->task_index_ = next_unit_index_++;
+    units.back()->task_index_ =
+        next_unit_index_.fetch_add(1, std::memory_order_relaxed);
   }
   for (const auto& unit : units) {
     agent_.post([this, unit] { run_unit(unit); });
@@ -84,6 +85,34 @@ void UnitManager::enable_tracing(trace::Tracer& tracer) {
   client_track_ = tracer.thread(trace_pid_, "client");
   agent_.enable_tracing(tracer, trace_pid_, "agent-core");
   tracer_ = &tracer;
+}
+
+void UnitManager::grow_pilot(std::size_t cores) {
+  agent_.add_workers(cores);
+  // Growing the allocation is itself a client<->DB negotiation in RP.
+  db_.roundtrip();
+  metrics_.db_roundtrips += 1;
+  record_membership(fault::MembershipKind::kNodeJoin, cores);
+}
+
+std::size_t UnitManager::shrink_pilot(std::size_t cores) {
+  const std::size_t released = agent_.retire_workers(cores).size();
+  db_.roundtrip();
+  metrics_.db_roundtrips += 1;
+  if (released > 0) {
+    record_membership(fault::MembershipKind::kNodeLeave, released);
+  }
+  return released;
+}
+
+void UnitManager::record_membership(fault::MembershipKind kind,
+                                    std::size_t count) {
+  if (pilot_.recovery_log == nullptr) return;
+  pilot_.recovery_log->record_membership(
+      {fault::EngineId::kRp, kind,
+       membership_seq_.fetch_add(1, std::memory_order_relaxed), count,
+       agent_.size(), 0,
+       tracer_ != nullptr ? tracer_->now_us() : 0.0});
 }
 
 void UnitManager::transition(ComputeUnit& unit, UnitState next) {

@@ -54,6 +54,21 @@ std::string RecoveryEvent::to_string() const {
   return out;
 }
 
+std::string MembershipRecord::to_string() const {
+  std::string out = fault::to_string(engine);
+  out += " elastic#";
+  out += std::to_string(seq);
+  out += ' ';
+  out += fault::to_string(kind);
+  out += " count=";
+  out += std::to_string(count);
+  out += " pool=";
+  out += std::to_string(pool_size);
+  out += " preempted=";
+  out += std::to_string(preempted);
+  return out;
+}
+
 void RecoveryLog::record(RecoveryEvent event) {
   trace::Tracer* tracer = nullptr;
   trace::Track track{};
@@ -78,17 +93,45 @@ void RecoveryLog::record(RecoveryEvent event) {
   }
 }
 
+void RecoveryLog::record_membership(MembershipRecord event) {
+  trace::Tracer* tracer = nullptr;
+  trace::Track track{};
+  {
+    std::lock_guard lk(mu_);
+    tracer = tracer_;
+    track = track_;
+    membership_.push_back(event);
+  }
+  if (tracer != nullptr) {
+    trace::Args args;
+    args.emplace_back("seq", std::to_string(event.seq));
+    args.emplace_back("count", std::to_string(event.count));
+    args.emplace_back("pool", std::to_string(event.pool_size));
+    args.emplace_back("preempted", std::to_string(event.preempted));
+    args.emplace_back("engine", fault::to_string(event.engine));
+    tracer->complete(track,
+                     std::string("elastic:") + fault::to_string(event.kind),
+                     "elastic", event.ts_us, 0.0, std::move(args));
+  }
+}
+
 std::vector<RecoveryEvent> RecoveryLog::events() const {
   std::lock_guard lk(mu_);
   return events_;
+}
+
+std::vector<MembershipRecord> RecoveryLog::membership_events() const {
+  std::lock_guard lk(mu_);
+  return membership_;
 }
 
 std::vector<std::string> RecoveryLog::canonical() const {
   std::vector<std::string> lines;
   {
     std::lock_guard lk(mu_);
-    lines.reserve(events_.size());
+    lines.reserve(events_.size() + membership_.size());
     for (const auto& e : events_) lines.push_back(e.to_string());
+    for (const auto& m : membership_) lines.push_back(m.to_string());
   }
   std::sort(lines.begin(), lines.end());
   return lines;
@@ -99,14 +142,26 @@ std::size_t RecoveryLog::size() const {
   return events_.size();
 }
 
+std::size_t RecoveryLog::membership_size() const {
+  std::lock_guard lk(mu_);
+  return membership_.size();
+}
+
 void RecoveryLog::clear() {
   std::lock_guard lk(mu_);
   events_.clear();
+  membership_.clear();
+}
+
+void CheckpointStore::set_cost_model(CheckpointCostModel model) {
+  std::lock_guard lk(mu_);
+  cost_model_ = model;
 }
 
 void CheckpointStore::put(const std::string& key,
                           std::vector<std::uint8_t> data) {
   std::lock_guard lk(mu_);
+  write_s_ += cost_model_.write_s(data.size());
   store_[key] = std::move(data);
 }
 
@@ -118,12 +173,31 @@ bool CheckpointStore::contains(const std::string& key) const {
 std::vector<std::uint8_t> CheckpointStore::get(const std::string& key) const {
   std::lock_guard lk(mu_);
   auto it = store_.find(key);
-  return it == store_.end() ? std::vector<std::uint8_t>{} : it->second;
+  if (it == store_.end()) return {};
+  restore_s_ += cost_model_.restore_s(it->second.size());
+  return it->second;
 }
 
 std::size_t CheckpointStore::size() const {
   std::lock_guard lk(mu_);
   return store_.size();
+}
+
+std::uint64_t CheckpointStore::bytes_stored() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t bytes = 0;
+  for (const auto& [key, data] : store_) bytes += data.size();
+  return bytes;
+}
+
+double CheckpointStore::modeled_write_s() const {
+  std::lock_guard lk(mu_);
+  return write_s_;
+}
+
+double CheckpointStore::modeled_restore_s() const {
+  std::lock_guard lk(mu_);
+  return restore_s_;
 }
 
 }  // namespace mdtask::fault

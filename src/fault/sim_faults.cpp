@@ -1,8 +1,11 @@
 #include "mdtask/fault/sim_faults.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <limits>
 
+#include "mdtask/common/rng.h"
 #include "mdtask/fault/injector.h"
 
 namespace mdtask::fault {
@@ -58,11 +61,17 @@ PlanResolution resolve_plan(const FaultPlan& plan, EngineId engine,
 SimFaultOutcome simulate_task_wave(std::size_t cores,
                                    const std::vector<double>& durations,
                                    const FaultPlan& plan, EngineId engine,
-                                   RecoveryLog* log) {
+                                   RecoveryLog* log,
+                                   const MembershipPlan* membership,
+                                   std::vector<PoolSample>* pool_timeline) {
   SimFaultOutcome outcome;
   sim::Simulation simulation;
   sim::Resource pool(simulation, cores);
   const FaultInjector injector(plan, engine);
+  // Last task-completion time: with membership events the makespan must
+  // not be inflated by a schedule entry firing after the work drained.
+  double last_done = 0.0;
+  const auto done = [&] { last_done = simulation.now(); };
 
   std::function<void(std::uint64_t, int)> run_attempt =
       [&](std::uint64_t task, int attempt) {
@@ -70,13 +79,13 @@ SimFaultOutcome simulate_task_wave(std::size_t cores,
         const FaultSpec spec = injector.decide(task, attempt);
         switch (spec.kind) {
           case FaultKind::kNone:
-            pool.acquire(nominal, [] {});
+            pool.acquire(nominal, done);
             return;
           case FaultKind::kStraggler: {
             ++outcome.faults_injected;
             const double actual = nominal * spec.factor + spec.delay_s;
             if (!plan.speculation.enabled) {
-              pool.acquire(actual, [] {});
+              pool.acquire(actual, done);
               return;
             }
             // Same model as the seed's speculation study: the original
@@ -92,9 +101,9 @@ SimFaultOutcome simulate_task_wave(std::size_t cores,
                            RecoveryAction::kSpeculativeCopy, 0.0,
                            simulation.now() * 1e6});
             }
-            pool.acquire(completion, [] {});
-            simulation.after(detect, [&pool, completion, detect] {
-              pool.acquire(std::max(0.0, completion - detect), [] {});
+            pool.acquire(completion, done);
+            simulation.after(detect, [&pool, &done, completion, detect] {
+              pool.acquire(std::max(0.0, completion - detect), done);
             });
             return;
           }
@@ -102,7 +111,7 @@ SimFaultOutcome simulate_task_wave(std::size_t cores,
             // A stall slows the task, it does not fail it: no recovery
             // decision, just added virtual time.
             ++outcome.faults_injected;
-            pool.acquire(nominal + spec.delay_s, [] {});
+            pool.acquire(nominal + spec.delay_s, done);
             return;
           default:
             break;
@@ -148,8 +157,149 @@ SimFaultOutcome simulate_task_wave(std::size_t cores,
   for (std::uint64_t task = 0; task < durations.size(); ++task) {
     run_attempt(task, 0);
   }
-  outcome.makespan_s = simulation.run();
+
+  // Elastic membership: one simulation event per schedule entry,
+  // applied with the engine's departure semantics. Scheduled after the
+  // task wave so that at equal timestamps a membership event fires
+  // before same-time task completions scheduled later — matching the
+  // event order of the replaced simulate_elastic_makespan stub.
+  const auto sample_pool = [&] {
+    if (pool_timeline != nullptr) {
+      pool_timeline->push_back({simulation.now(), pool.servers()});
+    }
+  };
+  const auto record_membership = [&](MembershipKind kind, std::size_t seq,
+                                     std::size_t count,
+                                     std::size_t preempted) {
+    if (log != nullptr) {
+      log->record_membership({engine, kind, seq, count, pool.servers(),
+                              preempted, simulation.now() * 1e6});
+    }
+    sample_pool();
+  };
+  if (membership != nullptr && !membership->empty()) {
+    if (pool_timeline != nullptr) pool_timeline->push_back({0.0, cores});
+    const DeparturePolicy departure =
+        departure_for(engine, membership->departure);
+    for (std::size_t i = 0; i < membership->schedule.size(); ++i) {
+      const MembershipEvent ev = membership->schedule[i];
+      simulation.after(ev.at_s, [&, ev, i, departure] {
+        if (ev.kind == MembershipKind::kNodeJoin) {
+          ++outcome.joins;
+          if (engine == EngineId::kMpi) {
+            // Rigid baseline: a static world cannot absorb new ranks
+            // mid-run. The event is logged with the pool unchanged.
+            record_membership(ev.kind, i, ev.count, 0);
+            return;
+          }
+          if (membership->join_warmup_s > 0.0) {
+            simulation.after(membership->join_warmup_s, [&, ev, i] {
+              pool.add_servers(ev.count);
+              record_membership(ev.kind, i, ev.count, 0);
+            });
+          } else {
+            pool.add_servers(ev.count);
+            record_membership(ev.kind, i, ev.count, 0);
+          }
+          return;
+        }
+        ++outcome.leaves;
+        std::size_t preempted = 0;
+        if (departure == DeparturePolicy::kKill) {
+          // Spark loses the running tasks of a decommissioned executor
+          // (lineage recomputes them); rigid MPI loses them to a
+          // checkpoint-restart. Either way the preempted attempts
+          // restart from scratch.
+          preempted = pool.kill_servers(ev.count);
+          outcome.preempted += preempted;
+        } else {
+          pool.remove_servers(ev.count);
+        }
+        record_membership(ev.kind, i, ev.count, preempted);
+      });
+    }
+  }
+
+  const double drained_at = simulation.run();
+  // Without membership events the makespan is the drain time (the
+  // seed's published numbers); with them, the last task completion.
+  outcome.makespan_s = (membership != nullptr && !membership->empty())
+                           ? last_done
+                           : drained_at;
+  outcome.final_pool = pool.servers();
   return outcome;
+}
+
+CheckpointSweepPoint simulate_checkpointed_job(double work_s,
+                                               double interval_s,
+                                               double checkpoint_s,
+                                               double restart_s,
+                                               double mtbf_s,
+                                               std::uint64_t seed) {
+  CheckpointSweepPoint point;
+  point.interval_s = interval_s;
+  if (work_s <= 0.0) return point;
+  interval_s = std::max(interval_s, 1e-9);
+
+  // Failure arrivals: a renewal process with exponential inter-arrival
+  // times drawn by the injector's pure hash over (seed, failure index)
+  // — deterministic per seed. Checkpoint writes and restarts are
+  // modelled failure-immune: a failure that would land inside one fires
+  // right after it (losing no work, still paying the restart).
+  std::uint64_t draws = 0;
+  const auto next_gap = [&]() -> double {
+    if (mtbf_s <= 0.0) return std::numeric_limits<double>::infinity();
+    std::uint64_t state = seed;
+    splitmix64(state);
+    state ^= draws + 0x9e3779b97f4a7c15ULL;
+    ++draws;
+    const std::uint64_t bits = splitmix64(state);
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    return -mtbf_s * std::log1p(-u);
+  };
+
+  double t = 0.0;     // wall clock
+  double done = 0.0;  // checkpointed progress
+  double next_fail = next_gap();
+  while (done < work_s) {
+    // Work until the next checkpoint boundary or job completion.
+    const double segment = std::min(interval_s, work_s - done);
+    const double boundary = t + segment;
+    if (next_fail < boundary) {
+      // The uncheckpointed part of this segment is lost.
+      ++point.failures;
+      t = std::max(t, next_fail) + restart_s;
+      next_fail += next_gap();
+      continue;
+    }
+    t = boundary;
+    done += segment;
+    if (done < work_s) {
+      t += checkpoint_s;
+      ++point.checkpoints;
+    }
+  }
+  point.total_s = t;
+  return point;
+}
+
+double daly_optimum_interval(double checkpoint_s, double mtbf_s) noexcept {
+  if (checkpoint_s <= 0.0 || mtbf_s <= 0.0) return 0.0;
+  return std::max(0.0,
+                  std::sqrt(2.0 * checkpoint_s * mtbf_s) - checkpoint_s);
+}
+
+CheckpointCostModel checkpoint_model_for(
+    const sim::MachineProfile& machine) noexcept {
+  // ~1 ms metadata/open latency per direction plus the payload over the
+  // shared filesystem's aggregate bandwidth (Lustre on Comet, flash on
+  // Wrangler).
+  CheckpointCostModel model;
+  model.write_latency_s = 1e-3;
+  model.write_Bps = machine.filesystem_Bps;
+  model.restore_latency_s = 1e-3;
+  model.restore_Bps = machine.filesystem_Bps;
+  return model;
 }
 
 }  // namespace mdtask::fault

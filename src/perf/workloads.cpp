@@ -476,17 +476,21 @@ double simulate_straggler_makespan(const sim::ClusterSpec& cluster,
 double simulate_elastic_makespan(std::size_t n_tasks, double task_s,
                                  std::size_t initial_cores,
                                  std::size_t added_cores, double grow_at_s) {
-  sim::Simulation simulation;
-  sim::Resource cores(simulation, initial_cores);
-  for (std::size_t t = 0; t < n_tasks; ++t) {
-    cores.acquire(task_s, [] {});
-  }
+  // The single-grow-event scenario expressed as a MembershipPlan and
+  // replayed through the fault layer's membership machinery; event
+  // ordering matches the original inline simulation, so the published
+  // future_elastic numbers are unchanged.
+  fault::MembershipPlan membership;
   if (added_cores > 0) {
-    simulation.after(grow_at_s, [&cores, added_cores] {
-      cores.add_servers(added_cores);
-    });
+    membership.schedule.push_back(
+        {fault::MembershipKind::kNodeJoin, grow_at_s, added_cores});
   }
-  return simulation.run();
+  const std::vector<double> durations(n_tasks, task_s);
+  return fault::simulate_task_wave(initial_cores, durations,
+                                   fault::FaultPlan{},
+                                   fault::EngineId::kSpark, nullptr,
+                                   membership.empty() ? nullptr : &membership)
+      .makespan_s;
 }
 
 }  // namespace mdtask::perf

@@ -67,36 +67,51 @@ void Resource::acquire(double duration, Simulation::Callback on_complete) {
 
 void Resource::start(double duration, Simulation::Callback on_complete) {
   busy_time_ += duration;
+  Hold hold;
+  hold.start_s = simulation_->now();
+  hold.duration = duration;
+  hold.on_complete = std::move(on_complete);
   if (trace_) {
-    trace_->push_back({simulation_->now(), simulation_->now() + duration});
+    hold.trace_index = trace_->size();
+    trace_->push_back({hold.start_s, hold.start_s + duration});
   }
   // The DES knows the full interval at start time, so the span is
   // recorded immediately with virtual timestamps — this is what makes
   // simulated traces deterministic (no wall clock involved).
-  std::size_t slot = 0;
-  bool traced = false;
   if (tracer_ != nullptr) {
-    slot = take_slot();
-    traced = true;
-    tracer_->complete(slot_tracks_[slot], span_name_, "task",
-                      simulation_->now() * 1e6, duration * 1e6);
+    hold.slot = take_slot();
+    hold.traced = true;
+    tracer_->complete(slot_tracks_[hold.slot], span_name_, "task",
+                      hold.start_s * 1e6, duration * 1e6);
   }
-  simulation_->after(duration,
-                     [this, slot, traced, cb = std::move(on_complete)] {
-    cb();
-    if (to_remove_ > 0) {
-      --to_remove_;  // this server leaves the pool instead of recycling
-      return;        // its trace slot retires with it
-    }
-    if (traced && tracer_ != nullptr) release_slot(slot);
-    if (!pending_.empty()) {
-      Pending next = std::move(pending_.front());
-      pending_.pop_front();
-      start(next.duration, std::move(next.on_complete));
-    } else {
-      ++free_;
-    }
-  });
+  const std::uint64_t id = next_hold_++;
+  inflight_.emplace(id, std::move(hold));
+  simulation_->after(duration, [this, id] { finish(id); });
+}
+
+void Resource::finish(std::uint64_t id) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;  // preempted: the server already left
+  Hold hold = std::move(it->second);
+  inflight_.erase(it);
+  // The server still exists while its completion callback runs — a
+  // remove_servers() issued from inside the callback (the DES
+  // node-crash path) must be able to claim it.
+  ++completing_;
+  hold.on_complete();
+  --completing_;
+  if (to_remove_ > 0) {
+    --to_remove_;  // this server leaves the pool instead of recycling
+    return;        // its trace slot retires with it
+  }
+  if (hold.traced && tracer_ != nullptr) release_slot(hold.slot);
+  if (!pending_.empty()) {
+    Pending next = std::move(pending_.front());
+    pending_.pop_front();
+    start(next.duration, std::move(next.on_complete));
+  } else {
+    ++free_;
+  }
 }
 
 void Resource::add_servers(std::size_t count) {
@@ -120,7 +135,44 @@ void Resource::remove_servers(std::size_t count) {
   // Idle servers leave immediately; busy ones leave when they finish.
   const std::size_t idle = std::min(count, free_);
   free_ -= idle;
-  to_remove_ += count - idle;
+  // Clamp the lazy removals to servers that actually exist: busy holds
+  // not already tagged, plus one momentarily running its completion
+  // callback. Excess requests are dropped — the pool cannot go below
+  // empty — so a later add_servers() grows the pool for real instead of
+  // cancelling phantom departures.
+  const std::size_t busy = inflight_.size() + completing_;
+  const std::size_t removable = busy > to_remove_ ? busy - to_remove_ : 0;
+  to_remove_ += std::min(count - idle, removable);
+}
+
+std::size_t Resource::kill_servers(std::size_t count) {
+  // Idle servers leave immediately, exactly like remove_servers.
+  const std::size_t idle = std::min(count, free_);
+  free_ -= idle;
+  count -= idle;
+  std::size_t preempted = 0;
+  // Beyond that, the youngest holds are preempted (a deterministic
+  // choice): the unserved remainder of each hold is refunded from
+  // busy_time_, the task's attempt restarts from scratch at the back of
+  // the queue, and the server leaves now. The hold's scheduled
+  // completion event finds it gone and does nothing.
+  while (count > 0 && !inflight_.empty()) {
+    auto it = std::prev(inflight_.end());
+    Hold hold = std::move(it->second);
+    inflight_.erase(it);
+    const double now = simulation_->now();
+    busy_time_ -= std::max(0.0, hold.start_s + hold.duration - now);
+    if (hold.trace_index != kNpos && trace_ != nullptr &&
+        hold.trace_index < trace_->size()) {
+      (*trace_)[hold.trace_index].end = now;
+    }
+    pending_.push_back({hold.duration, std::move(hold.on_complete)});
+    ++preempted;
+    --count;
+  }
+  // Pending lazy removals cannot outnumber the remaining busy servers.
+  to_remove_ = std::min(to_remove_, inflight_.size() + completing_);
+  return preempted;
 }
 
 double NetworkModel::bcast_tree_s(std::uint64_t bytes,

@@ -1,6 +1,46 @@
 #include "mdtask/workflows/common.h"
 
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
 namespace mdtask::workflows {
+
+ElasticDriver::ElasticDriver(const fault::MembershipPlan* plan,
+                             Apply apply) {
+  if (plan == nullptr || plan->empty() || !apply) return;
+  std::vector<fault::MembershipEvent> schedule = plan->schedule;
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const fault::MembershipEvent& a,
+                      const fault::MembershipEvent& b) {
+                     return a.at_s < b.at_s;
+                   });
+  thread_ = std::thread([this, schedule = std::move(schedule),
+                         apply = std::move(apply)] {
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& ev : schedule) {
+      {
+        std::unique_lock lk(mu_);
+        const auto due =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(ev.at_s));
+        if (cv_.wait_until(lk, due, [this] { return stop_; })) return;
+      }
+      apply(ev);
+    }
+  });
+}
+
+ElasticDriver::~ElasticDriver() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
 
 const char* to_string(EngineKind kind) noexcept {
   switch (kind) {

@@ -209,6 +209,15 @@ Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
                          .fault_plan = config.fault_plan,
                          .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) sc.enable_tracing(*config.tracer);
+  ElasticDriver elastic(
+      config.membership_plan,
+      [&sc, plan = config.membership_plan](const fault::MembershipEvent& ev) {
+        if (ev.kind == fault::MembershipKind::kNodeJoin) {
+          sc.add_executors(ev.count);
+        } else {
+          sc.decommission_executors(ev.count, plan->departure);
+        }
+      });
 
   // Approach 1 broadcasts the full system; the others account only the
   // per-task block inputs (task-API style).
@@ -300,6 +309,16 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
                        .fault_plan = config.fault_plan,
                        .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) client.enable_tracing(*config.tracer);
+  ElasticDriver elastic(
+      config.membership_plan,
+      [&client,
+       plan = config.membership_plan](const fault::MembershipEvent& ev) {
+        if (ev.kind == fault::MembershipKind::kNodeJoin) {
+          client.add_workers(ev.count);
+        } else {
+          client.retire_workers(ev.count, plan->departure);
+        }
+      });
 
   // Approach 1: scatter/replicate the positions to workers (Dask's
   // broadcast is weaker than Spark's — modelled in the perf layer; here
@@ -395,6 +414,15 @@ Result<LfRunResult> run_rp(int approach, std::span<const Vec3> atoms,
                                           .fault_plan = config.fault_plan,
                                           .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) um.enable_tracing(*config.tracer);
+  ElasticDriver elastic(
+      config.membership_plan,
+      [&um](const fault::MembershipEvent& ev) {
+        if (ev.kind == fault::MembershipKind::kNodeJoin) {
+          um.grow_pilot(ev.count);
+        } else {
+          um.shrink_pilot(ev.count);
+        }
+      });
 
   WallTimer timer;
   std::vector<rp::ComputeUnitDescription> descriptions;

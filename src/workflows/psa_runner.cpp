@@ -117,6 +117,15 @@ PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
                          .fault_plan = config.fault_plan,
                          .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) sc.enable_tracing(*config.tracer);
+  ElasticDriver elastic(
+      config.membership_plan,
+      [&sc, plan = config.membership_plan](const fault::MembershipEvent& ev) {
+        if (ev.kind == fault::MembershipKind::kNodeJoin) {
+          sc.add_executors(ev.count);
+        } else {
+          sc.decommission_executors(ev.count, plan->departure);
+        }
+      });
   // The trajectory ensemble is a broadcast variable, as the paper's
   // PySpark implementation ships the file set description to executors.
   std::uint64_t ensemble_bytes = 0;
@@ -158,6 +167,16 @@ PsaRunResult run_psa_dask(const traj::Ensemble& ensemble,
                        .fault_plan = config.fault_plan,
                        .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) client.enable_tracing(*config.tracer);
+  ElasticDriver elastic(
+      config.membership_plan,
+      [&client,
+       plan = config.membership_plan](const fault::MembershipEvent& ev) {
+        if (ev.kind == fault::MembershipKind::kNodeJoin) {
+          client.add_workers(ev.count);
+        } else {
+          client.retire_workers(ev.count, plan->departure);
+        }
+      });
   WallTimer timer;
   std::vector<dask::Future<std::vector<MatrixEntry>>> futures;
   futures.reserve(blocks.size());
@@ -183,6 +202,15 @@ PsaRunResult run_psa_rp(const traj::Ensemble& ensemble,
                                           .fault_plan = config.fault_plan,
                                           .recovery_log = config.recovery_log});
   if (config.tracer != nullptr) um.enable_tracing(*config.tracer);
+  ElasticDriver elastic(
+      config.membership_plan,
+      [&um](const fault::MembershipEvent& ev) {
+        if (ev.kind == fault::MembershipKind::kNodeJoin) {
+          um.grow_pilot(ev.count);
+        } else {
+          um.shrink_pilot(ev.count);
+        }
+      });
   WallTimer timer;
   std::vector<rp::ComputeUnitDescription> descriptions;
   descriptions.reserve(blocks.size());

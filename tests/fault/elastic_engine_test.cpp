@@ -1,0 +1,394 @@
+// Live-engine elasticity: join/leave the real engine pools mid-run and
+// assert the per-engine rebalancing semantics — Spark lineage
+// re-execution after a kill-decommission, Dask in-flight reschedule off
+// a departed worker, RP pilot resize with unit atomicity, MPI's rigid
+// checkpoint-cost accounting — always with results byte-identical to a
+// static-pool run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "mdtask/engines/dask/dask.h"
+#include "mdtask/engines/mpi/runtime.h"
+#include "mdtask/engines/rp/pilot.h"
+#include "mdtask/engines/spark/spark.h"
+#include "mdtask/fault/membership.h"
+#include "mdtask/fault/recovery.h"
+#include "mdtask/traj/generators.h"
+#include "mdtask/workflows/psa_runner.h"
+
+namespace mdtask {
+namespace {
+
+using fault::DeparturePolicy;
+using fault::MembershipKind;
+using fault::RecoveryLog;
+
+/// Spins until `running` reaches `target` (the in-flight tasks have all
+/// parked on the release gate), so membership events land mid-task.
+void await_running(const std::atomic<int>& running, int target) {
+  while (running.load(std::memory_order_acquire) < target) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+/// Parks the calling task until the test opens the gate.
+void park(std::atomic<int>& running, const std::atomic<bool>& release) {
+  running.fetch_add(1, std::memory_order_acq_rel);
+  while (!release.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// ------------------------------------------------------------- Spark --
+
+TEST(SparkElasticTest, AddExecutorsAbsorbsAWiderStageMidRun) {
+  RecoveryLog log;
+  spark::SparkContext sc(
+      spark::SparkConfig{.executor_threads = 2, .recovery_log = &log});
+  std::atomic<int> running{0};
+  std::atomic<bool> release{false};
+
+  // Four 1-element partitions on two executors: the first two park, the
+  // join lands, and the two new executors drain the rest of the stage.
+  auto squares = sc.parallelize(std::vector<int>{0, 1, 2, 3}, 4)
+                     .map([&](const int& x) {
+                       park(running, release);
+                       return x * x;
+                     });
+  std::thread resizer([&] {
+    await_running(running, 2);
+    sc.add_executors(2);
+    // The joined executors pick up the remaining partitions and park
+    // too; only then open the gate.
+    await_running(running, 4);
+    release.store(true, std::memory_order_release);
+  });
+  const std::vector<int> out = squares.collect();
+  resizer.join();
+
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 4, 9}));
+  EXPECT_EQ(sc.pool().size(), 4u);
+  ASSERT_EQ(log.membership_size(), 1u);
+  const auto events = log.membership_events();
+  EXPECT_EQ(events[0].kind, MembershipKind::kNodeJoin);
+  EXPECT_EQ(events[0].count, 2u);
+  EXPECT_EQ(events[0].pool_size, 4u);
+  EXPECT_EQ(sc.lineage_reexecutions(), 0u);
+}
+
+TEST(SparkElasticTest, KillDecommissionReexecutesLostPartitionsIdentically) {
+  const std::vector<int> expected = [] {
+    spark::SparkContext sc(spark::SparkConfig{.executor_threads = 4});
+    std::vector<int> input(8);
+    std::iota(input.begin(), input.end(), 0);
+    return sc.parallelize(std::move(input), 4)
+        .map([](const int& x) { return x * x; })
+        .collect();
+  }();
+
+  RecoveryLog log;
+  spark::SparkContext sc(
+      spark::SparkConfig{.executor_threads = 4, .recovery_log = &log});
+  std::atomic<int> running{0};
+  std::atomic<bool> release{false};
+  std::vector<int> input(8);
+  std::iota(input.begin(), input.end(), 0);
+  auto squares =
+      sc.parallelize(std::move(input), 4).map([&](const int& x) {
+        // Re-executed partitions run this same closure after the gate
+        // has opened, so they pass straight through — and recompute the
+        // byte-identical value.
+        park(running, release);
+        return x * x;
+      });
+  std::thread resizer([&] {
+    await_running(running, 4);
+    sc.decommission_executors(2, DeparturePolicy::kKill);
+    release.store(true, std::memory_order_release);
+  });
+  const std::vector<int> out = squares.collect();
+  resizer.join();
+
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(sc.pool().size(), 2u);
+  // Both partitions in flight on the two retired executors were marked
+  // lost and recomputed from lineage after the stage barrier.
+  EXPECT_EQ(sc.lineage_reexecutions(), 2u);
+  ASSERT_EQ(log.membership_size(), 1u);
+  const auto events = log.membership_events();
+  EXPECT_EQ(events[0].kind, MembershipKind::kNodeLeave);
+  EXPECT_EQ(events[0].count, 2u);
+  EXPECT_EQ(events[0].preempted, 2u);
+}
+
+TEST(SparkElasticTest, DrainDecommissionLosesNoWork) {
+  RecoveryLog log;
+  spark::SparkContext sc(
+      spark::SparkConfig{.executor_threads = 4, .recovery_log = &log});
+  std::atomic<int> running{0};
+  std::atomic<bool> release{false};
+  auto doubled = sc.parallelize(std::vector<int>{1, 2, 3, 4}, 4)
+                     .map([&](const int& x) {
+                       park(running, release);
+                       return 2 * x;
+                     });
+  std::thread resizer([&] {
+    await_running(running, 4);
+    sc.decommission_executors(2, DeparturePolicy::kDrain);
+    release.store(true, std::memory_order_release);
+  });
+  EXPECT_EQ(doubled.collect(), (std::vector<int>{2, 4, 6, 8}));
+  resizer.join();
+  EXPECT_EQ(sc.lineage_reexecutions(), 0u);
+  ASSERT_EQ(log.membership_size(), 1u);
+  EXPECT_EQ(log.membership_events()[0].preempted, 0u);
+}
+
+// -------------------------------------------------------------- Dask --
+
+TEST(DaskElasticTest, KillRetireReschedulesInFlightTasksIdentically) {
+  RecoveryLog log;
+  dask::DaskClient client(
+      dask::DaskConfig{.workers = 4, .recovery_log = &log});
+  std::atomic<int> running{0};
+  std::atomic<bool> release{false};
+  std::vector<dask::Future<int>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(client.submit([&running, &release, i] {
+      park(running, release);
+      return i * i;
+    }));
+  }
+  await_running(running, 4);
+  const std::size_t retired =
+      client.retire_workers(2, DeparturePolicy::kKill);
+  release.store(true, std::memory_order_release);
+
+  // First completion wins: the originals (still parked on the retired
+  // workers) and the rescheduled duplicates publish the identical
+  // value, so results never diverge.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(futures[i].get(), i * i);
+  client.wait_all();
+
+  EXPECT_EQ(retired, 2u);
+  EXPECT_EQ(client.workers(), 2u);
+  EXPECT_EQ(client.rescheduled_tasks(), 2u);
+  ASSERT_EQ(log.membership_size(), 1u);
+  const auto events = log.membership_events();
+  EXPECT_EQ(events[0].kind, MembershipKind::kNodeLeave);
+  EXPECT_EQ(events[0].preempted, 2u);
+}
+
+TEST(DaskElasticTest, GracefulRetireDrainsWithoutRescheduling) {
+  RecoveryLog log;
+  dask::DaskClient client(
+      dask::DaskConfig{.workers = 4, .recovery_log = &log});
+  std::atomic<int> running{0};
+  std::atomic<bool> release{false};
+  std::vector<dask::Future<int>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(client.submit([&running, &release, i] {
+      park(running, release);
+      return i + 100;
+    }));
+  }
+  await_running(running, 4);
+  // Engine default for Dask is drain: the departing workers finish
+  // their current task, nothing is preempted or re-run.
+  const std::size_t retired = client.retire_workers(2);
+  release.store(true, std::memory_order_release);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(futures[i].get(), i + 100);
+  client.wait_all();
+
+  EXPECT_EQ(retired, 2u);
+  EXPECT_EQ(client.workers(), 2u);
+  EXPECT_EQ(client.rescheduled_tasks(), 0u);
+  ASSERT_EQ(log.membership_size(), 1u);
+  EXPECT_EQ(log.membership_events()[0].preempted, 0u);
+}
+
+TEST(DaskElasticTest, JoinedWorkersDrainTheBacklog) {
+  RecoveryLog log;
+  dask::DaskClient client(
+      dask::DaskConfig{.workers = 1, .recovery_log = &log});
+  std::atomic<int> running{0};
+  std::atomic<bool> release{false};
+  std::vector<dask::Future<int>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(client.submit([&running, &release, i] {
+      park(running, release);
+      return 3 * i;
+    }));
+  }
+  await_running(running, 1);  // the single worker is parked; 2 queued
+  client.add_workers(2);
+  await_running(running, 3);  // the joiners picked up the backlog
+  release.store(true, std::memory_order_release);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(futures[i].get(), 3 * i);
+  client.wait_all();
+
+  EXPECT_EQ(client.workers(), 3u);
+  ASSERT_EQ(log.membership_size(), 1u);
+  EXPECT_EQ(log.membership_events()[0].kind, MembershipKind::kNodeJoin);
+  EXPECT_EQ(log.membership_events()[0].pool_size, 3u);
+}
+
+// ---------------------------------------------------------------- RP --
+
+TEST(RpElasticTest, PilotResizeKeepsUnitsAtomicAndLogsMembership) {
+  RecoveryLog log;
+  rp::PilotDescription pilot;
+  pilot.cores = 2;
+  pilot.recovery_log = &log;
+  rp::UnitManager um(pilot);
+
+  std::atomic<int> completed{0};
+  std::vector<rp::ComputeUnitDescription> descriptions;
+  for (int i = 0; i < 6; ++i) {
+    rp::ComputeUnitDescription d;
+    d.name = "unit-" + std::to_string(i);
+    d.executable = [&completed](rp::SharedFilesystem&) {
+      completed.fetch_add(1, std::memory_order_relaxed);
+    };
+    descriptions.push_back(std::move(d));
+  }
+  auto units = um.submit_units(std::move(descriptions));
+  um.grow_pilot(2);
+  EXPECT_EQ(um.cores(), 4u);
+  um.wait_units();
+  for (const auto& unit : units) {
+    EXPECT_EQ(unit->state(), rp::UnitState::kDone) << unit->name();
+  }
+  EXPECT_EQ(completed.load(), 6);
+
+  // RP shrinks gracefully regardless of the requested count, and the
+  // pilot never gives up its last core.
+  const std::size_t released = um.shrink_pilot(8);
+  EXPECT_EQ(released, 3u);
+  EXPECT_EQ(um.cores(), 1u);
+
+  ASSERT_EQ(log.membership_size(), 2u);
+  const auto events = log.membership_events();
+  EXPECT_EQ(events[0].kind, MembershipKind::kNodeJoin);
+  EXPECT_EQ(events[0].count, 2u);
+  EXPECT_EQ(events[0].pool_size, 4u);
+  EXPECT_EQ(events[1].kind, MembershipKind::kNodeLeave);
+  EXPECT_EQ(events[1].count, 3u);
+  EXPECT_EQ(events[1].pool_size, 1u);
+  EXPECT_EQ(events[1].preempted, 0u);  // units are atomic at the pilot
+}
+
+// --------------------------------------------------------------- MPI --
+
+TEST(MpiElasticTest, CheckpointCostsFlowIntoTheSpmdReport) {
+  const fault::CheckpointCostModel model{
+      .write_latency_s = 1e-3,
+      .write_Bps = 1e9,
+      .restore_latency_s = 1e-3,
+      .restore_Bps = 2e9,
+  };
+  const std::uint64_t state_bytes = 1ull << 20;
+  const auto report = mpi::run_spmd_with_recovery(
+      2,
+      [&](mpi::Communicator& comm, fault::CheckpointStore& store) {
+        if (comm.rank() == 0) {
+          store.put("state",
+                    std::vector<std::uint8_t>(state_bytes, 0xAB));
+          (void)store.get("state");
+        }
+        std::vector<int> token{comm.rank()};
+        comm.bcast(token, 0);
+      },
+      fault::FaultPlan{}, nullptr, mpi::BcastAlgorithm::kBinomialTree,
+      nullptr, &model);
+
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(report.checkpoint_bytes, state_bytes);
+  EXPECT_DOUBLE_EQ(report.checkpoint_write_s, model.write_s(state_bytes));
+  EXPECT_DOUBLE_EQ(report.checkpoint_restore_s,
+                   model.restore_s(state_bytes));
+}
+
+TEST(MpiElasticTest, RigidRestartStillPaysTheModeledWriteCost) {
+  // A fail-stop on attempt 0 aborts the whole job (MPI has no per-task
+  // recovery); the relaunch succeeds and checkpoints its state with the
+  // calibrated model applied.
+  fault::FaultPlan plan;
+  plan.schedule.push_back(
+      {fault::FaultKind::kNodeCrash, fault::FaultSpec::kEveryTask, 0});
+  const fault::CheckpointCostModel model{.write_latency_s = 1e-3,
+                                         .write_Bps = 1e9};
+  RecoveryLog log;
+  const auto report = mpi::run_spmd_with_recovery(
+      2,
+      [](mpi::Communicator& comm, fault::CheckpointStore& store) {
+        if (comm.rank() == 0 && !store.contains("state")) {
+          store.put("state", std::vector<std::uint8_t>(4096, 1));
+        }
+      },
+      plan, &log, mpi::BcastAlgorithm::kBinomialTree, nullptr, &model);
+
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.checkpoint_bytes, 4096u);
+  EXPECT_DOUBLE_EQ(report.checkpoint_write_s, model.write_s(4096));
+  EXPECT_GT(log.size(), 0u);
+}
+
+// ---------------------------------------------- workflow end-to-end --
+
+class PsaElasticTest : public ::testing::TestWithParam<workflows::EngineKind> {
+};
+
+TEST_P(PsaElasticTest, MembershipPlanLeavesTheMatrixByteIdentical) {
+  // Heavy enough that the run spans many milliseconds — the at_s = 0
+  // membership events land long before the last task retires.
+  traj::ProteinTrajectoryParams params;
+  params.atoms = 32;
+  params.frames = 128;
+  const auto ensemble = traj::make_protein_ensemble(16, params);
+
+  workflows::PsaRunConfig config;
+  config.workers = 3;
+  const auto reference = run_psa(GetParam(), ensemble, config);
+
+  fault::MembershipPlan membership;
+  membership.schedule.push_back({MembershipKind::kNodeJoin, 0.0, 2});
+  membership.schedule.push_back({MembershipKind::kNodeLeave, 0.0, 1});
+  fault::RecoveryLog log;
+  workflows::PsaRunConfig elastic = config;
+  elastic.membership_plan = &membership;
+  elastic.recovery_log = &log;
+  const auto result = run_psa(GetParam(), ensemble, elastic);
+
+  ASSERT_EQ(result.matrix.size(), reference.matrix.size());
+  EXPECT_EQ(result.matrix.data(), reference.matrix.data());
+  EXPECT_EQ(log.membership_size(), 2u);
+  const auto events = log.membership_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, MembershipKind::kNodeJoin);
+  EXPECT_EQ(events[1].kind, MembershipKind::kNodeLeave);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, PsaElasticTest,
+                         ::testing::Values(workflows::EngineKind::kSpark,
+                                           workflows::EngineKind::kDask,
+                                           workflows::EngineKind::kRp),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case workflows::EngineKind::kSpark:
+                               return "Spark";
+                             case workflows::EngineKind::kDask:
+                               return "Dask";
+                             default:
+                               return "Rp";
+                           }
+                         });
+
+}  // namespace
+}  // namespace mdtask
