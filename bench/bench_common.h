@@ -51,6 +51,17 @@ inline std::size_t parse_churn(int argc, char** argv) {
   return 0;
 }
 
+/// Parses `--adaptive` (default off, which keeps the published CSVs
+/// byte-identical). When set, the elasticity benches add closed-loop
+/// tables driven by the mdtask::autoscale policies: adaptive-vs-static
+/// DES replays and live-engine speculation latency studies.
+inline bool parse_adaptive(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--adaptive") == 0) return true;
+  }
+  return false;
+}
+
 /// Paper-style Wrangler allocation: 32 cores/node (figure labels
 /// "32/1 64/2 128/4 256/8" and "16/1 64/2 256/8" imply 32 used cores
 /// per hyper-threaded node).

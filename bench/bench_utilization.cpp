@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "bench_common.h"
+#include "mdtask/autoscale/sim_adaptive.h"
 #include "mdtask/fault/sim_faults.h"
 #include "mdtask/perf/workloads.h"
 #include "mdtask/trace/chrome_export.h"
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t seed = bench::parse_seed(argc, argv);
   const std::size_t churn = bench::parse_churn(argc, argv);
+  const bool adaptive = bench::parse_adaptive(argc, argv);
   bench::print_seed(seed);
   trace::Tracer& tracer = trace::Tracer::global();
   if (trace_path != nullptr) tracer.set_enabled(true);
@@ -155,6 +157,44 @@ int main(int argc, char** argv) {
                     std::to_string(outcome.preempted), profile});
     }
     bench::emit(pool, "utilization_pool");
+  }
+
+  if (adaptive) {
+    // Policy-driven counterpart of the pool-size table: the same wave on
+    // a quarter-size pool with the AutoscaleController deciding when to
+    // grow back toward 256 (MPI records rigid vetoes and stays put).
+    // Same virtual-time determinism as the scheduled-churn table.
+    Table pool("Adaptive pool size over the task wave "
+               "(1024 x 1 s tasks, 64 -> <=256 cores, policy-driven)");
+    pool.set_header({"engine", "scale_ups", "scale_downs", "vetoes",
+                     "makespan_s", "pool_timeline"});
+    const std::vector<double> durations(1024, 1.0);
+    autoscale::AdaptiveSimConfig control;
+    control.utilization.low_watermark = 0.20;
+    control.utilization.cooldown_s = 1.0;
+    control.utilization.max_pool = 256;
+    control.utilization.max_step = 64;
+    for (auto engine :
+         {fault::EngineId::kSpark, fault::EngineId::kDask,
+          fault::EngineId::kRp, fault::EngineId::kMpi}) {
+      fault::FaultPlan plan;
+      plan.seed = seed;
+      std::vector<fault::PoolSample> timeline;
+      const auto outcome = autoscale::simulate_adaptive_wave(
+          64, durations, plan, engine, control, nullptr, &timeline);
+      std::string profile;
+      for (const auto& sample : timeline) {
+        if (!profile.empty()) profile += " -> ";
+        profile += std::to_string(sample.servers) + "@" +
+                   Table::fmt(sample.at_s, 1) + "s";
+      }
+      pool.add_row({fault::to_string(engine),
+                    std::to_string(outcome.scale_ups),
+                    std::to_string(outcome.scale_downs),
+                    std::to_string(outcome.rigid_vetoes),
+                    Table::fmt(outcome.makespan_s, 2), profile});
+    }
+    bench::emit(pool, "utilization_pool_adaptive");
   }
 
   if (trace_path != nullptr) {

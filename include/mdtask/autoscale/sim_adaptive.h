@@ -1,0 +1,84 @@
+// Policy-driven task-wave replay: the adaptive counterpart of
+// fault::simulate_task_wave's fixed MembershipPlan schedules.
+//
+// The replay runs a task wave on a simulated server pool in virtual
+// time, with an AutoscaleController ticking on a fixed virtual-time
+// cadence. Each tick observes the pool (size, busy, queue depth) and
+// the completed-task duration window, then acts through the same
+// decision path live engines use: TargetUtilizationPolicy resizes the
+// pool (engine-default departure semantics on the shrink side — Spark
+// kills and restarts preempted work, Dask/RP drain, MPI is rigid and
+// only logs vetoes) and StragglerSpeculationPolicy backup-submits
+// in-flight tasks older than k x p95 (first-completion-wins; the loser
+// copy is killed at the winner's completion, releasing its server —
+// the same model as the static speculation study).
+//
+// Stragglers and filesystem stalls come from the FaultPlan through the
+// pure-hash FaultInjector: a straggler's nominal duration stretches by
+// the drawn factor, its backup copy runs at nominal speed. Failing
+// fault kinds are out of scope here (simulate_task_wave is the
+// recovery study); they execute clean.
+//
+// Everything is a deterministic function of (plan seed, durations,
+// config): single-threaded virtual time, pure-hash draws, nearest-rank
+// percentiles. Same seed, byte-identical RecoveryLog canonical
+// sequences and traces on all four engines — the adaptive determinism
+// tests pin this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mdtask/autoscale/policy.h"
+#include "mdtask/fault/fault.h"
+#include "mdtask/fault/recovery.h"
+#include "mdtask/fault/sim_faults.h"
+
+namespace mdtask::autoscale {
+
+/// Knobs of the adaptive replay. Scaling and speculation can be gated
+/// independently so benches can attribute wins to one mechanism.
+struct AdaptiveSimConfig {
+  TargetUtilizationPolicy::Config utilization;
+  StragglerSpeculationPolicy::Config speculation;
+  bool scaling_enabled = true;
+  bool speculation_enabled = true;
+  /// Virtual seconds between control ticks.
+  double tick_interval_s = 0.5;
+  /// Completed-task duration window fed to the policies.
+  std::size_t metrics_capacity = 1024;
+};
+
+/// Outcome of one adaptive replay.
+struct AdaptiveOutcome {
+  double makespan_s = 0.0;  ///< last task completion (virtual time)
+  std::uint64_t ticks = 0;  ///< control ticks evaluated
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  std::uint64_t rigid_vetoes = 0;      ///< decisions MPI could not act on
+  std::uint64_t speculative_copies = 0;
+  std::uint64_t stragglers = 0;        ///< straggler faults injected
+  std::uint64_t preempted = 0;         ///< holds displaced by kill-shrinks
+  std::size_t peak_pool = 0;
+  std::size_t final_pool = 0;
+  /// Effective task latency (first dispatch to first completion,
+  /// nearest-rank over all tasks): the tail speculation is meant to cut.
+  double p50_task_s = 0.0;
+  double p95_task_s = 0.0;
+  double p99_task_s = 0.0;
+};
+
+/// Replays `durations` on an initially `cores`-wide pool with the
+/// controller in the loop. `log` (optional) receives every actionable
+/// decision as an AutoscaleRecord and every backup submission as a
+/// speculative-copy RecoveryEvent, all stamped with virtual
+/// microseconds; attach a tracer to mirror them as `autoscale:*` /
+/// `recovery:*` instants. `pool_timeline` (optional) samples (virtual
+/// time, pool size) at start and whenever a tick changed the pool.
+AdaptiveOutcome simulate_adaptive_wave(
+    std::size_t cores, const std::vector<double>& durations,
+    const fault::FaultPlan& plan, fault::EngineId engine,
+    const AdaptiveSimConfig& config, fault::RecoveryLog* log = nullptr,
+    std::vector<fault::PoolSample>* pool_timeline = nullptr);
+
+}  // namespace mdtask::autoscale

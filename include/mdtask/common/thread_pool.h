@@ -64,6 +64,14 @@ class ThreadPool {
   /// as it is flagged, even if it is still finishing its last job.
   std::size_t size() const;
 
+  /// Jobs enqueued but not yet picked up by a worker. Together with
+  /// busy() this is the observation an autoscale MetricsWindow samples.
+  std::size_t queued() const;
+
+  /// Workers currently executing a job (including retiring workers
+  /// still finishing their last one).
+  std::size_t busy() const;
+
   /// Starts emitting spans to `tracer` under process track `pid`: one
   /// thread track per worker ("<worker_prefix>-<i>"), a "queue-wait"
   /// span from enqueue to pickup and a "job" span around each run.

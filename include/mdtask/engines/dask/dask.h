@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mdtask/autoscale/metrics.h"
 #include "mdtask/engines/core.h"
 #include "mdtask/fault/injector.h"
 #include "mdtask/fault/membership.h"
@@ -49,11 +50,24 @@ struct DaskConfig {
   const fault::FaultPlan* fault_plan = nullptr;
   /// Optional sink for fault/recovery events (not owned).
   fault::RecoveryLog* recovery_log = nullptr;
+  /// Optional autoscale observation sink (not owned). When set, every
+  /// first completion of a task records its wall-clock duration (first
+  /// dispatch to first completion), feeding the straggler-speculation
+  /// policy's percentile window.
+  autoscale::MetricsWindow* metrics_window = nullptr;
 };
 
 class DaskClient;
 
 namespace detail {
+
+/// Monotonic wall-clock in seconds, for straggler detection (elapsed
+/// comparisons only; never serialized into results or logs).
+inline double steady_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 struct TaskNode {
   std::function<void()> run;             ///< set at submit time
@@ -65,6 +79,11 @@ struct TaskNode {
   std::mutex mu;                         ///< guards dependents/submitted
   bool finished = false;
   bool scheduled = false;
+  /// A speculative backup copy has been enqueued for this task. A copy
+  /// that starts with this flag already set knows it IS the backup (it
+  /// skips injected slowdowns — the relaunch lands on a healthy worker).
+  bool speculated = false;
+  double start_s = -1.0;  ///< first dispatch, steady clock; guarded by mu
   double enqueue_us = -1.0;  ///< tracer stamp at ready time; -1 = untraced
 };
 
@@ -78,15 +97,18 @@ struct SharedState {
   alignas(T) unsigned char storage[sizeof(T)];
 
   T& value() { return *reinterpret_cast<T*>(storage); }
-  // First completion wins: a task rescheduled off a departed worker can
-  // race its original execution, so publication must be idempotent —
-  // duplicates compute the identical value and are dropped here.
-  void set_value(T v) {
+  // First completion wins: a task rescheduled off a departed worker, or
+  // a speculative backup copy, can race its original execution, so
+  // publication must be idempotent — duplicates compute the identical
+  // value and are dropped here. Returns true iff this call published
+  // (i.e. this execution won the race).
+  bool set_value(T v) {
     std::lock_guard lk(mu);
-    if (ready) return;
+    if (ready) return false;
     new (storage) T(std::move(v));
     ready = true;
     cv.notify_all();
+    return true;
   }
   void set_error(std::exception_ptr e) {
     std::lock_guard lk(mu);
@@ -157,7 +179,7 @@ class DaskClient {
     // assigned by wire_and_schedule before the task can run.
     node->run = [this, fn = std::move(fn), state, raw = node.get(),
                  dep_states = std::make_tuple(deps.state_...)]() mutable {
-      run_guarded<R>(raw->id, *state, [&] {
+      run_guarded<R>(*raw, *state, [&] {
         // Propagate the first dependency error instead of reading a
         // value that was never produced.
         std::apply(
@@ -219,9 +241,32 @@ class DaskClient {
   /// Active (non-retired) workers.
   std::size_t workers() const;
 
+  /// Ready tasks waiting for a worker. With busy() and workers() this
+  /// is the observation an autoscale MetricsWindow samples.
+  std::size_t queued() const;
+
+  /// Tasks executing right now.
+  std::size_t busy() const;
+
   /// Tasks re-enqueued because their worker departed mid-flight.
   std::uint64_t rescheduled_tasks() const noexcept {
     return rescheduled_.load(std::memory_order_relaxed);
+  }
+
+  /// Straggler mitigation: re-enqueues every in-flight task that has
+  /// been executing longer than `threshold_s` and has not been
+  /// speculated yet, as a backup copy racing the original through the
+  /// same re-enqueue machinery worker departures use. Publication is
+  /// idempotent (first completion wins), so results are byte-identical
+  /// to an unspeculated run. Each copy is recorded as a
+  /// speculative-copy recovery event. Returns the number of backups
+  /// submitted.
+  std::size_t speculate_inflight(double threshold_s);
+
+  /// Backup copies submitted by speculate_inflight over the client's
+  /// lifetime.
+  std::uint64_t speculative_copies() const noexcept {
+    return speculative_copies_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -234,17 +279,28 @@ class DaskClient {
     fut.node_ = node;
     auto state = fut.state_;
     node->run = [this, fn = std::move(fn), state, raw = node.get()]() mutable {
-      run_guarded<R>(raw->id, *state, fn);
+      run_guarded<R>(*raw, *state, fn);
     };
     wire_and_schedule(node, deps);
     return fut;
   }
 
   /// Runs `make` with the memory-restart / fault-recovery retry loop and
-  /// publishes the result into `state`.
+  /// publishes the result into `state`. The winning execution (first
+  /// publication) records its duration into the autoscale window.
   template <typename R, typename Make>
-  void run_guarded(std::uint64_t task_id, detail::SharedState<R>& state,
+  void run_guarded(detail::TaskNode& node, detail::SharedState<R>& state,
                    Make&& make) {
+    const std::uint64_t task_id = node.id;
+    bool backup = false;
+    double start_s = -1.0;
+    {
+      // A copy that starts after the speculation flag was raised is the
+      // backup (the original copy read the flag as false at its start).
+      std::lock_guard lk(node.mu);
+      backup = node.speculated;
+      start_s = node.start_s;
+    }
     metrics_.tasks_executed += 1;
     int attempts_left = config_.allowed_failures;
     const fault::FaultPlan* plan = config_.fault_plan;
@@ -257,7 +313,10 @@ class DaskClient {
           const fault::FaultSpec spec = injector.decide(task_id, attempt);
           if (spec.kind == fault::FaultKind::kStraggler ||
               spec.kind == fault::FaultKind::kFilesystemStall) {
-            if (spec.delay_s > 0.0) {
+            // A speculative backup skips the injected delay: the
+            // slowdown belonged to the original's worker, and the
+            // backup relaunches on a healthy one.
+            if (!backup && spec.delay_s > 0.0) {
               std::this_thread::sleep_for(
                   std::chrono::duration<double>(spec.delay_s));
             }
@@ -265,7 +324,11 @@ class DaskClient {
             throw fault::InjectedFault(spec.kind, task_id, attempt);
           }
         }
-        state.set_value(make());
+        if (state.set_value(make()) && config_.metrics_window != nullptr &&
+            start_s >= 0.0) {
+          config_.metrics_window->record_task_duration(
+              detail::steady_seconds() - start_s);
+        }
         return;
       } catch (const engines::TaskMemoryExceeded&) {
         worker_restarts_ += 1;
@@ -323,6 +386,7 @@ class DaskClient {
   engines::EngineMetrics metrics_;
   std::atomic<std::uint64_t> worker_restarts_{0};
   std::atomic<std::uint64_t> rescheduled_{0};
+  std::atomic<std::uint64_t> speculative_copies_{0};
 
   std::vector<std::thread> workers_;
   std::deque<std::shared_ptr<detail::TaskNode>> ready_;

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mdtask/autoscale/metrics.h"
 #include "mdtask/common/error.h"
 #include "mdtask/common/thread_pool.h"
 #include "mdtask/engines/core.h"
@@ -131,6 +132,11 @@ struct PilotDescription {
   const fault::FaultPlan* fault_plan = nullptr;
   /// Optional sink for fault/recovery events (not owned).
   fault::RecoveryLog* recovery_log = nullptr;
+  /// Optional autoscale observation sink (not owned). When set, every
+  /// unit that reaches DONE records its EXECUTING-phase wall-clock
+  /// duration. RP has no unit-level speculation (a CU is atomic at the
+  /// pilot level), so the window only drives pilot resizing.
+  autoscale::MetricsWindow* metrics_window = nullptr;
 };
 
 /// Client-side manager: owns the pilot's agent (a thread pool), the DB
@@ -157,6 +163,11 @@ class UnitManager {
   engines::EngineMetrics& metrics() noexcept { return metrics_; }
   /// Live pilot size — follows grow_pilot/shrink_pilot.
   std::size_t cores() const { return agent_.size(); }
+
+  /// Units waiting for an agent core, and cores executing one — the
+  /// observation an autoscale MetricsWindow samples.
+  std::size_t queued_units() const { return agent_.queued(); }
+  std::size_t busy_cores() const { return agent_.busy(); }
 
   /// Pilot resize, grow side: the agent picks up `cores` additional
   /// agent cores, which start draining queued units immediately.

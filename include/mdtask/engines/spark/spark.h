@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mdtask/autoscale/metrics.h"
 #include "mdtask/common/thread_pool.h"
 #include "mdtask/engines/core.h"
 #include "mdtask/fault/injector.h"
@@ -47,6 +48,10 @@ struct SparkConfig {
   const fault::FaultPlan* fault_plan = nullptr;
   /// Optional sink for fault/recovery events (not owned).
   fault::RecoveryLog* recovery_log = nullptr;
+  /// Optional autoscale observation sink (not owned). When set, every
+  /// first completion of a partition records its wall-clock duration,
+  /// feeding the straggler-speculation policy's percentile window.
+  autoscale::MetricsWindow* metrics_window = nullptr;
 };
 
 class SparkContext;
@@ -67,6 +72,14 @@ class TaskContext {
 };
 
 namespace detail {
+
+/// Monotonic wall-clock in seconds, for straggler detection (elapsed
+/// comparisons only; never serialized into results or logs).
+inline double steady_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Type-erased base so SparkContext can hold heterogeneous cached RDDs.
 struct RddBase {
@@ -194,6 +207,50 @@ class SparkContext {
     return lineage_reexecutions_.load(std::memory_order_relaxed);
   }
 
+  /// Straggler mitigation (Spark's `spark.speculation`): backup-submits
+  /// every partition of the active stage that has been executing longer
+  /// than `threshold_s` and has neither published nor been speculated
+  /// yet. The backup races the original through the same lineage
+  /// closure; publication into the stage output is idempotent (first
+  /// completion wins, the loser's result is discarded), so outputs are
+  /// byte-identical to an unspeculated run. Each copy is recorded as a
+  /// speculative-copy recovery event. Returns the number of backups
+  /// submitted; 0 between stages.
+  std::size_t speculate_inflight(double threshold_s) {
+    const double now_s = detail::steady_seconds();
+    std::lock_guard lk(elastic_mu_);
+    if (stage_ == nullptr || stage_->speculation_closed) return 0;
+    StageOwners& stage = *stage_;
+    std::size_t copies = 0;
+    for (std::size_t p = 0; p < stage.owner.size(); ++p) {
+      if (stage.owner[p] < 0) continue;  // not executing right now
+      if (stage.published[p] || stage.speculated[p]) continue;
+      if (stage.start_s[p] < 0.0 ||
+          now_s - stage.start_s[p] <= threshold_s) {
+        continue;
+      }
+      stage.speculated[p] = 1;
+      ++copies;
+      speculative_copies_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.recovery_log != nullptr) {
+        config_.recovery_log->record(
+            {fault::EngineId::kSpark, (stage.stage_id << 20) | p, 0,
+             fault::FaultKind::kStraggler,
+             fault::RecoveryAction::kSpeculativeCopy, 0.0,
+             tracer_ != nullptr ? tracer_->now_us() : 0.0});
+      }
+      stage.backups.push_back(
+          pool_.submit([run = stage.run_partition, p] { run(p, true); }));
+    }
+    return copies;
+  }
+
+  /// Backup copies submitted by speculate_inflight over the context's
+  /// lifetime.
+  std::uint64_t speculative_copies() const noexcept {
+    return speculative_copies_.load(std::memory_order_relaxed);
+  }
+
   /// Runs one stage: computes every partition of `node` on the pool.
   /// Returns all partition outputs. Respects caching.
   template <typename T>
@@ -206,6 +263,20 @@ class SparkContext {
   struct StageOwners {
     std::vector<std::ptrdiff_t> owner;  ///< executing worker, -1 = none
     std::vector<std::uint8_t> lost;     ///< owner was decommissioned
+    std::vector<std::uint8_t> published;   ///< output landed (first wins)
+    std::vector<std::uint8_t> speculated;  ///< backup copy submitted
+    std::vector<double> start_s;        ///< first dispatch, steady clock
+    std::uint64_t stage_id = 0;
+    /// True once the stage barrier started draining backups: no further
+    /// speculation may target this stage.
+    bool speculation_closed = false;
+    /// The stage's task closure, so speculate_inflight can submit
+    /// backup copies of it (second arg: backup copy — skips injected
+    /// slowdowns, modeling a relaunch on a healthy executor). Captures
+    /// run_stage locals by reference; backups are drained before that
+    /// frame returns.
+    std::function<void(std::size_t, bool)> run_partition;
+    std::vector<std::future<void>> backups;
   };
 
   void record_membership(fault::MembershipKind kind, std::size_t count,
@@ -232,6 +303,7 @@ class SparkContext {
   std::size_t membership_seq_ = 0;
   StageOwners* stage_ = nullptr;  ///< guarded by elastic_mu_
   std::atomic<std::uint64_t> lineage_reexecutions_{0};
+  std::atomic<std::uint64_t> speculative_copies_{0};
 };
 
 /// The Resilient Distributed Dataset handle. Cheap to copy (shared node).
@@ -423,6 +495,10 @@ std::vector<std::vector<T>> SparkContext::run_stage(
   StageOwners owners;
   owners.owner.assign(node.partitions, -1);
   owners.lost.assign(node.partitions, 0);
+  owners.published.assign(node.partitions, 0);
+  owners.speculated.assign(node.partitions, 0);
+  owners.start_s.assign(node.partitions, -1.0);
+  owners.stage_id = stage_id;
   struct StageScope {
     SparkContext* ctx;
     ~StageScope() {
@@ -435,10 +511,11 @@ std::vector<std::vector<T>> SparkContext::run_stage(
     stage_ = &owners;
   }
   // The whole per-partition task, reused verbatim by lineage
-  // re-execution below — a recomputed partition takes the same fault
-  // decisions and produces byte-identical output.
+  // re-execution below and by speculate_inflight's backup copies — a
+  // recomputed partition takes the same fault decisions and produces
+  // byte-identical output.
   const auto run_partition = [this, &node, &outputs, &owners,
-                              stage_id](std::size_t p) {
+                              stage_id](std::size_t p, bool backup) {
       struct OwnerScope {
         SparkContext* ctx;
         StageOwners* owners;
@@ -451,6 +528,9 @@ std::vector<std::vector<T>> SparkContext::run_stage(
       {
         std::lock_guard lk(elastic_mu_);
         owners.owner[p] = ThreadPool::current_worker_index();
+        if (owners.start_s[p] < 0.0) {
+          owners.start_s[p] = detail::steady_seconds();
+        }
       }
       metrics_.tasks_executed += 1;
       trace::Span task_span;
@@ -460,25 +540,43 @@ std::vector<std::vector<T>> SparkContext::run_stage(
                                   "task", "task");
         task_span.arg_num("partition", static_cast<double>(p));
       }
-      const auto execute = [this, &node, &outputs, p] {
+      const auto execute = [this, &node, &outputs, &owners, p] {
         TaskContext tc(*this, p);
-        if (!node.cached) {
-          outputs[p] = node.compute(tc);
-          return;
-        }
-        {
+        std::vector<T> data;
+        bool have = false;
+        if (node.cached) {
           std::lock_guard lk(node.cache_mu);
           if (node.cache_slots[p]) {
-            outputs[p] = *node.cache_slots[p];
-            return;
+            data = *node.cache_slots[p];
+            have = true;
           }
         }
-        auto data = node.compute(tc);
-        {
-          std::lock_guard lk(node.cache_mu);
-          node.cache_slots[p] = data;
+        if (!have) {
+          data = node.compute(tc);
+          if (node.cached) {
+            std::lock_guard lk(node.cache_mu);
+            if (!node.cache_slots[p]) node.cache_slots[p] = data;
+          }
         }
-        outputs[p] = std::move(data);
+        // Publication is idempotent: a speculative backup (or a lineage
+        // redo racing a decommissioned executor's completing thread)
+        // may compute the same partition twice; the first completion
+        // wins and the duplicate is discarded, so outputs never tear.
+        bool won = false;
+        double started_s = -1.0;
+        {
+          std::lock_guard lk(elastic_mu_);
+          if (!owners.published[p]) {
+            owners.published[p] = 1;
+            outputs[p] = std::move(data);
+            won = true;
+            started_s = owners.start_s[p];
+          }
+        }
+        if (won && config_.metrics_window != nullptr && started_s >= 0.0) {
+          config_.metrics_window->record_task_duration(
+              detail::steady_seconds() - started_s);
+        }
       };
       if (config_.fault_plan == nullptr || config_.fault_plan->empty()) {
         execute();
@@ -497,8 +595,11 @@ std::vector<std::vector<T>> SparkContext::run_stage(
         }
         if (spec.kind == fault::FaultKind::kStraggler ||
             spec.kind == fault::FaultKind::kFilesystemStall) {
-          // Slowdowns complete; they just take longer.
-          if (spec.delay_s > 0.0) {
+          // Slowdowns complete; they just take longer. A speculative
+          // backup skips the injected delay: the slowdown belonged to
+          // the original's executor, and the backup relaunches on a
+          // healthy one — which is exactly why speculation cuts p99.
+          if (!backup && spec.delay_s > 0.0) {
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(spec.delay_s));
           }
@@ -523,16 +624,39 @@ std::vector<std::vector<T>> SparkContext::run_stage(
         metrics_.tasks_executed += 1;  // the re-execution is a new task
       }
   };
+  {
+    // Hand the closure to the elastic layer so speculate_inflight can
+    // submit backup copies while the stage is live.
+    std::lock_guard lk(elastic_mu_);
+    owners.run_partition = run_partition;
+  }
   std::vector<std::future<void>> futures;
   futures.reserve(node.partitions);
   for (std::size_t p = 0; p < node.partitions; ++p) {
     futures.push_back(
-        pool_.submit([&run_partition, p] { run_partition(p); }));
+        pool_.submit([&run_partition, p] { run_partition(p, false); }));
   }
   // Stage barrier: drain EVERY task before surfacing an error, so no
   // in-flight task can touch `outputs` after this frame unwinds.
   std::exception_ptr first_error;
   for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  // Close the speculation window and drain backup copies before any
+  // rethrow or return: a backup still in flight writes into this
+  // frame's outputs. Losers publish-and-discard, so draining them is
+  // purely a lifetime matter.
+  std::vector<std::future<void>> backups;
+  {
+    std::lock_guard lk(elastic_mu_);
+    owners.speculation_closed = true;
+    backups = std::move(owners.backups);
+  }
+  for (auto& f : backups) {
     try {
       f.get();
     } catch (...) {
@@ -561,7 +685,7 @@ std::vector<std::vector<T>> SparkContext::run_stage(
     redo.reserve(lost.size());
     for (const std::size_t p : lost) {
       redo.push_back(
-          pool_.submit([&run_partition, p] { run_partition(p); }));
+          pool_.submit([&run_partition, p] { run_partition(p, false); }));
     }
     for (auto& f : redo) {
       try {

@@ -83,18 +83,50 @@ struct MembershipRecord {
   std::string to_string() const;
 };
 
+/// What a closed-loop autoscale controller decided at one control tick
+/// (mdtask::autoscale). Only actionable decisions are recorded — holds
+/// (no-ops) stay out of the log so canonical sequences do not depend on
+/// the tick cadence.
+enum class AutoscaleAction {
+  kScaleUp,    ///< grow the pool (Spark/Dask/RP resize APIs)
+  kScaleDown,  ///< shrink the pool (per-engine departure policy)
+  kSpeculate,  ///< backup-submit an in-flight straggler
+  kRigidVeto,  ///< decision the engine cannot act on (MPI rigid pool)
+};
+const char* to_string(AutoscaleAction action) noexcept;
+
+/// One applied (or vetoed) autoscale decision. `seq` is the decision
+/// index assigned by the controller, which totally orders the canonical
+/// rendering even when decisions repeat.
+struct AutoscaleRecord {
+  EngineId engine = EngineId::kSpark;
+  AutoscaleAction action = AutoscaleAction::kScaleUp;
+  std::size_t seq = 0;        ///< controller decision index
+  std::size_t count = 0;      ///< servers requested (scale) / copies (spec)
+  std::size_t pool_size = 0;  ///< pool size after the decision applied
+  std::size_t queue_depth = 0;  ///< queue depth observed at decision time
+  std::uint64_t task_id = 0;  ///< straggler task for kSpeculate, else 0
+  /// Virtual timestamp for DES emitters, wall microseconds otherwise
+  /// (trace mirroring only; the canonical order ignores it).
+  double ts_us = 0.0;
+
+  /// "dask autoscale#2 scale-up count=4 pool=12 queue=37 task=0" — the
+  /// comparison key of the adaptive determinism tests.
+  std::string to_string() const;
+};
+
 /// Thread-safe ordered log of fault/recovery events. Worker threads
 /// append concurrently, so the raw order is scheduling-dependent;
 /// canonical() sorts by (task, attempt, fault, action) to give the
 /// interleaving-independent sequence that same-seed runs must reproduce
-/// exactly. Membership (elasticity) events are logged alongside and
-/// merged into the same canonical sequence.
+/// exactly. Membership (elasticity) and autoscale decisions are logged
+/// alongside and merged into the same canonical sequence.
 class RecoveryLog {
  public:
   /// Mirrors every recorded event into `tracer` as a zero-duration span
-  /// on `track` ("fault:<kind>" / "recovery:<action>" / "elastic:<kind>",
-  /// categories "fault"/"recovery"/"elastic"). Call before the run; pass
-  /// nullptr to stop.
+  /// on `track` ("fault:<kind>" / "recovery:<action>" / "elastic:<kind>"
+  /// / "autoscale:<action>", categories "fault"/"recovery"/"elastic"/
+  /// "autoscale"). Call before the run; pass nullptr to stop.
   void attach_tracer(trace::Tracer* tracer, trace::Track track) {
     std::lock_guard lk(mu_);
     tracer_ = tracer;
@@ -103,20 +135,24 @@ class RecoveryLog {
 
   void record(RecoveryEvent event);
   void record_membership(MembershipRecord event);
+  void record_autoscale(AutoscaleRecord event);
 
   std::vector<RecoveryEvent> events() const;
   std::vector<MembershipRecord> membership_events() const;
-  /// Interleaving-independent rendering: one line per event (fault and
-  /// membership alike), sorted.
+  std::vector<AutoscaleRecord> autoscale_events() const;
+  /// Interleaving-independent rendering: one line per event (fault,
+  /// membership and autoscale alike), sorted.
   std::vector<std::string> canonical() const;
   std::size_t size() const;  ///< fault/recovery events only
   std::size_t membership_size() const;
+  std::size_t autoscale_size() const;
   void clear();
 
  private:
   mutable std::mutex mu_;
   std::vector<RecoveryEvent> events_;
   std::vector<MembershipRecord> membership_;
+  std::vector<AutoscaleRecord> autoscale_;
   trace::Tracer* tracer_ = nullptr;
   trace::Track track_{};
 };

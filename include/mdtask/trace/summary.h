@@ -21,6 +21,7 @@ struct SpanStats {
   double total_us = 0.0;
   double p50_us = 0.0;  ///< nearest-rank percentile of span durations
   double p95_us = 0.0;
+  double p99_us = 0.0;
   double max_us = 0.0;
 };
 
@@ -41,21 +42,23 @@ struct TraceSummary {
 TraceSummary summarize(const Tracer& tracer);
 
 /// Renders the summary: one row per span group (count, wall totals,
-/// p50/p95/max) and one per counter.
+/// p50/p95/p99/max) and one per counter.
 inline Table to_table(const TraceSummary& summary, std::string title) {
   Table table(std::move(title));
   table.set_header({"category", "span", "count", "total_ms", "p50_ms",
-                    "p95_ms", "max_ms"});
+                    "p95_ms", "p99_ms", "max_ms"});
   for (const auto& s : summary.spans) {
     table.add_row({s.category, s.name, std::to_string(s.count),
                    Table::fmt(s.total_us / 1000.0, 3),
                    Table::fmt(s.p50_us / 1000.0, 3),
                    Table::fmt(s.p95_us / 1000.0, 3),
+                   Table::fmt(s.p99_us / 1000.0, 3),
                    Table::fmt(s.max_us / 1000.0, 3)});
   }
   for (const auto& c : summary.counters) {
     table.add_row({"(counter)", c.name, std::to_string(c.samples),
-                   Table::fmt(c.last, 0), "-", "-", Table::fmt(c.max, 0)});
+                   Table::fmt(c.last, 0), "-", "-", "-",
+                   Table::fmt(c.max, 0)});
   }
   return table;
 }

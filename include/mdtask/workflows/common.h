@@ -1,13 +1,17 @@
 // Shared vocabulary for the engine-parallel application drivers.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "mdtask/autoscale/adapters.h"
+#include "mdtask/autoscale/controller.h"
 #include "mdtask/fault/membership.h"
 
 namespace mdtask::workflows {
@@ -47,6 +51,59 @@ class ElasticDriver {
   ElasticDriver& operator=(const ElasticDriver&) = delete;
 
  private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Knobs for closed-loop elasticity on a live engine run — the
+/// policy-driven alternative to a fixed MembershipPlan schedule.
+struct AdaptiveConfig {
+  bool enabled = false;
+  autoscale::TargetUtilizationPolicy::Config utilization;
+  autoscale::StragglerSpeculationPolicy::Config speculation;
+  bool scaling_enabled = true;
+  bool speculation_enabled = true;
+  /// Wall seconds between control ticks.
+  double tick_interval_s = 0.05;
+  /// Completed-task duration window fed to the policies.
+  std::size_t metrics_capacity = 1024;
+};
+
+/// Runs an AutoscaleController against a live engine while a workflow
+/// runs: a background thread ticks every `tick_interval_s`, observing
+/// the engine through the adapter and acting through its callbacks.
+/// Scoped like ElasticDriver — the destructor stops the ticker and
+/// joins, so drivers keep one on the stack for exactly the duration of
+/// the engine run (declare it after the engine object so it is
+/// destroyed first). A disabled config is inert.
+class AdaptiveDriver {
+ public:
+  /// `window` is the same MetricsWindow handed to the engine's config
+  /// (completed-task durations) and must outlive the driver; `log`
+  /// (optional) receives AutoscaleRecords.
+  AdaptiveDriver(const AdaptiveConfig& config,
+                 autoscale::EngineAdapter adapter,
+                 autoscale::MetricsWindow* window,
+                 fault::RecoveryLog* log = nullptr);
+  ~AdaptiveDriver();
+
+  AdaptiveDriver(const AdaptiveDriver&) = delete;
+  AdaptiveDriver& operator=(const AdaptiveDriver&) = delete;
+
+  /// Control ticks evaluated so far.
+  std::uint64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  autoscale::TargetUtilizationPolicy utilization_policy_;
+  autoscale::StragglerSpeculationPolicy speculation_policy_;
+  std::function<void(autoscale::MetricsWindow&)> observe_;
+  autoscale::MetricsWindow* window_ = nullptr;
+  std::unique_ptr<autoscale::AutoscaleController> controller_;
+  std::atomic<std::uint64_t> ticks_{0};
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

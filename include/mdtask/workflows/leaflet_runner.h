@@ -58,6 +58,11 @@ struct LfRunConfig {
   /// to the live engine by an ElasticDriver while the run executes.
   /// MPI ignores it — the rigid baseline cannot resize.
   const fault::MembershipPlan* membership_plan = nullptr;
+  /// Closed-loop elasticity (mdtask/autoscale): when enabled, an
+  /// AdaptiveDriver observes the live engine and resizes / speculates
+  /// by policy instead of a fixed schedule. Composes with
+  /// membership_plan. On MPI the controller only records rigid vetoes.
+  AdaptiveConfig adaptive;
 };
 
 struct LfRunResult {

@@ -51,6 +51,12 @@ struct PsaRunConfig {
   /// resize; use the DES layer (simulate_task_wave) to model its
   /// shrink-restart cost.
   const fault::MembershipPlan* membership_plan = nullptr;
+  /// Closed-loop elasticity (mdtask/autoscale): when enabled, an
+  /// AdaptiveDriver observes the live engine and resizes / speculates
+  /// by policy instead of a fixed schedule. Composes with
+  /// membership_plan (the plan plays churn, the controller reacts).
+  /// On MPI the controller only records rigid vetoes.
+  AdaptiveConfig adaptive;
 };
 
 struct PsaRunResult {

@@ -24,20 +24,29 @@ def load_entries(path):
     return {(e["kernel"], e["policy"]): e for e in doc["entries"]}
 
 
-def behavioural(entry):
-    """Entries that record behaviour rather than kernel speed.
+# Behavioural entry families, excluded from the regression gate: they
+# record recovery/membership/control-loop behaviour, not kernel speed,
+# so their timings are not comparable across plans. An entry belongs to
+# a family when it carries the family key as a truthy flag, or when its
+# kernel name is the key or starts with "<key>_". Extend by appending a
+# (key, reason) pair — no code changes needed.
+BEHAVIOURAL_FAMILIES = (
+    ("fault_injection", "fault-injection entry; timings not comparable"),
+    ("elastic", "elasticity entry; timings depend on the membership plan"),
+    ("autoscale", "autoscale entry; timings depend on the control loop"),
+)
 
-    Fault-injection entries depend on the injected schedule; elasticity
-    entries (seeded membership churn: node joins/leaves mid-run) depend
-    on the membership plan. Neither timing is comparable across plans,
-    so both are excluded from the regression gate.
-    """
+
+def behavioural(entry):
+    """Skip reason for behavioural entries, None for kernel-speed ones."""
     if entry is None:
         return None
-    if entry.get("fault_injection"):
-        return "fault-injection entry; timings not comparable"
-    if entry.get("elastic"):
-        return "elasticity entry; timings depend on the membership plan"
+    kernel = entry.get("kernel", "")
+    for key, reason in BEHAVIOURAL_FAMILIES:
+        if entry.get(key):
+            return reason
+        if kernel == key or kernel.startswith(key + "_"):
+            return reason
     return None
 
 

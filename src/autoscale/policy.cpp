@@ -1,0 +1,55 @@
+#include "mdtask/autoscale/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mdtask::autoscale {
+namespace {
+
+std::string fmt2(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", x);
+  return buf;
+}
+
+}  // namespace
+
+Decision TargetUtilizationPolicy::decide(const MetricsSnapshot& m) {
+  if (m.pool_size == 0) return {};
+  if (m.now_s - last_action_s_ < config_.cooldown_s) return {};
+
+  const std::size_t demand = m.busy + m.queue_depth;
+  const double target = std::clamp(config_.target, 1e-6, 1.0);
+  auto desired = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(demand) / target));
+  desired = std::clamp(desired, config_.min_pool, config_.max_pool);
+
+  Decision d;
+  if (m.utilization >= config_.high_watermark && m.queue_depth > 0 &&
+      desired > m.pool_size) {
+    d.kind = Decision::Kind::kScaleUp;
+    d.count = std::min(desired - m.pool_size, config_.max_step);
+  } else if (m.utilization <= config_.low_watermark && m.queue_depth == 0 &&
+             desired < m.pool_size) {
+    d.kind = Decision::Kind::kScaleDown;
+    d.count = std::min(m.pool_size - desired, config_.max_step);
+  } else {
+    return {};
+  }
+  last_action_s_ = m.now_s;
+  d.reason = std::string("util ") + fmt2(m.utilization) + " demand " +
+             std::to_string(demand) + " pool " +
+             std::to_string(m.pool_size) + " -> " + std::to_string(desired);
+  return d;
+}
+
+double StragglerSpeculationPolicy::speculation_threshold_s(
+    const MetricsSnapshot& m) const {
+  if (m.completed < config_.min_completed) return 0.0;
+  if (m.p95_s <= 0.0) return 0.0;
+  return std::max(config_.min_threshold_s,
+                  config_.threshold_factor * m.p95_s);
+}
+
+}  // namespace mdtask::autoscale

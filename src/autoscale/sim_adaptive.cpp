@@ -1,0 +1,253 @@
+#include "mdtask/autoscale/sim_adaptive.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "mdtask/autoscale/controller.h"
+#include "mdtask/fault/injector.h"
+#include "mdtask/fault/membership.h"
+#include "mdtask/sim/simulation.h"
+
+namespace mdtask::autoscale {
+namespace {
+
+/// One logical task of the wave. `active` holds the instance ids of its
+/// copies currently on a server (at most two: original + backup).
+struct TaskState {
+  double nominal = 0.0;
+  double actual = 0.0;        ///< nominal stretched by straggler/stall draws
+  bool completed = false;
+  bool speculated = false;    ///< a backup copy has been submitted
+  double first_start = -1.0;  ///< first dispatch (latency epoch)
+  std::vector<std::uint64_t> active;
+};
+
+/// One copy of a task occupying a server. Instance ids increase in
+/// dispatch order, so the map's last entry is the youngest hold — the
+/// kill-shrink victim order, matching sim::Resource::kill_servers.
+struct RunningCopy {
+  std::uint64_t task = 0;
+  bool backup = false;
+  double start_s = 0.0;
+};
+
+}  // namespace
+
+AdaptiveOutcome simulate_adaptive_wave(
+    std::size_t cores, const std::vector<double>& durations,
+    const fault::FaultPlan& plan, fault::EngineId engine,
+    const AdaptiveSimConfig& config, fault::RecoveryLog* log,
+    std::vector<fault::PoolSample>* pool_timeline) {
+  AdaptiveOutcome outcome;
+  cores = std::max<std::size_t>(1, cores);
+  const std::size_t n_tasks = durations.size();
+  sim::Simulation simulation;
+  const fault::FaultInjector injector(plan, engine);
+
+  // Resolve each task's effective duration up front: pure-hash draws,
+  // so this is independent of scheduling order.
+  std::vector<TaskState> tasks(n_tasks);
+  for (std::uint64_t i = 0; i < n_tasks; ++i) {
+    TaskState& t = tasks[i];
+    t.nominal = durations[i];
+    t.actual = t.nominal;
+    const fault::FaultSpec spec = injector.decide(i, 0);
+    if (spec.kind == fault::FaultKind::kStraggler) {
+      t.actual = t.nominal * spec.factor + spec.delay_s;
+      ++outcome.stragglers;
+    } else if (spec.kind == fault::FaultKind::kFilesystemStall) {
+      t.actual = t.nominal + spec.delay_s;
+    }
+  }
+
+  struct QueueEntry {
+    std::uint64_t task;
+    bool backup;
+  };
+  std::deque<QueueEntry> queue;
+  std::map<std::uint64_t, RunningCopy> running;
+  std::size_t free = cores;
+  std::size_t to_drain = 0;  ///< busy servers retiring at hold end
+  std::uint64_t next_instance = 0;
+  std::uint64_t completed_count = 0;
+  double last_done = 0.0;
+  std::vector<double> latencies(n_tasks, 0.0);
+
+  MetricsWindow window(config.metrics_capacity);
+  const auto pool_size = [&] { return free + running.size() - to_drain; };
+  const auto release_server = [&] {
+    if (to_drain > 0) {
+      --to_drain;
+      return;
+    }
+    ++free;
+  };
+
+  std::function<void(std::uint64_t)> complete;
+  const auto pump = [&] {
+    while (free > 0 && !queue.empty()) {
+      const QueueEntry entry = queue.front();
+      queue.pop_front();
+      TaskState& t = tasks[entry.task];
+      if (t.completed) continue;  // stale backup/requeue of a done task
+      --free;
+      const std::uint64_t id = next_instance++;
+      running[id] = {entry.task, entry.backup, simulation.now()};
+      t.active.push_back(id);
+      if (t.first_start < 0.0) t.first_start = simulation.now();
+      const double duration = entry.backup ? t.nominal : t.actual;
+      simulation.after(duration, [&complete, id] { complete(id); });
+    }
+  };
+
+  complete = [&](std::uint64_t id) {
+    const auto it = running.find(id);
+    if (it == running.end()) return;  // preempted, or killed as a loser
+    const RunningCopy run = it->second;
+    running.erase(it);
+    TaskState& t = tasks[run.task];
+    std::erase(t.active, id);
+    release_server();
+    if (!t.completed) {
+      t.completed = true;
+      ++completed_count;
+      last_done = simulation.now();
+      const double latency = simulation.now() - t.first_start;
+      latencies[run.task] = latency;
+      window.record_task_duration(latency);
+      // First completion wins: the loser copy is killed now, its
+      // server released (same model as the static speculation study).
+      for (const std::uint64_t loser : t.active) {
+        running.erase(loser);
+        release_server();
+      }
+      t.active.clear();
+    }
+    pump();
+  };
+
+  const fault::DeparturePolicy departure =
+      fault::departure_for(engine, fault::DeparturePolicy::kEngineDefault);
+
+  EngineActions actions;
+  actions.engine = engine;
+  actions.rigid = engine == fault::EngineId::kMpi;
+  actions.pool_size = [&] { return pool_size(); };
+  actions.grow = [&](std::size_t count) {
+    // Pending drains are reclaimed first: the pool target grew, so a
+    // server tagged to retire simply stays.
+    const std::size_t reclaimed = std::min(count, to_drain);
+    to_drain -= reclaimed;
+    free += count - reclaimed;
+    pump();
+    outcome.peak_pool = std::max(outcome.peak_pool, pool_size());
+    return count;
+  };
+  actions.shrink = [&](std::size_t count) {
+    const std::size_t pool = pool_size();
+    count = std::min(count, pool > 1 ? pool - 1 : 0);  // never empty
+    // Idle servers leave immediately under either departure policy.
+    const std::size_t idle = std::min(count, free);
+    free -= idle;
+    std::size_t applied = idle;
+    std::size_t rest = count - idle;
+    if (departure == fault::DeparturePolicy::kKill) {
+      while (rest > 0 && !running.empty()) {
+        const auto victim = std::prev(running.end());
+        const std::uint64_t id = victim->first;
+        const RunningCopy run = victim->second;
+        running.erase(victim);
+        TaskState& t = tasks[run.task];
+        std::erase(t.active, id);
+        ++outcome.preempted;
+        if (!t.completed && t.active.empty()) {
+          // Partial service is lost; the task restarts from scratch at
+          // the back of the queue and may be speculated again.
+          queue.push_back({run.task, false});
+          t.speculated = false;
+        }
+        --rest;
+        ++applied;
+      }
+    } else {
+      const std::size_t drainable =
+          std::min(rest, running.size() - to_drain);
+      to_drain += drainable;
+      applied += drainable;
+    }
+    return applied;
+  };
+  actions.speculate = [&](double threshold_s) {
+    std::size_t copies = 0;
+    const double now = simulation.now();
+    for (const auto& [id, run] : running) {
+      if (run.backup) continue;
+      TaskState& t = tasks[run.task];
+      if (t.completed || t.speculated) continue;
+      if (now - run.start_s <= threshold_s) continue;
+      t.speculated = true;
+      queue.push_back({run.task, true});
+      ++copies;
+      ++outcome.speculative_copies;
+      if (log != nullptr) {
+        log->record({engine, run.task, 0, fault::FaultKind::kStraggler,
+                     fault::RecoveryAction::kSpeculativeCopy, 0.0,
+                     now * 1e6});
+      }
+    }
+    pump();
+    return copies;
+  };
+
+  TargetUtilizationPolicy utilization(config.utilization);
+  StragglerSpeculationPolicy speculation(config.speculation);
+  std::vector<Policy*> policies;
+  if (config.scaling_enabled) policies.push_back(&utilization);
+  if (config.speculation_enabled) policies.push_back(&speculation);
+  AutoscaleController controller(std::move(actions), std::move(policies),
+                                 &window, log);
+
+  if (pool_timeline != nullptr) pool_timeline->push_back({0.0, cores});
+  std::size_t last_sampled = cores;
+  outcome.peak_pool = cores;
+
+  const double tick_s = std::max(config.tick_interval_s, 1e-6);
+  std::function<void()> tick = [&] {
+    if (completed_count >= n_tasks) return;  // wave drained: stop
+    ++outcome.ticks;
+    window.observe_pool(pool_size(), running.size(), queue.size());
+    const TickResult result = controller.tick(simulation.now());
+    if (result.vetoed) {
+      ++outcome.rigid_vetoes;
+    } else if (result.applied > 0) {
+      if (result.decision.kind == Decision::Kind::kScaleUp) {
+        ++outcome.scale_ups;
+      } else if (result.decision.kind == Decision::Kind::kScaleDown) {
+        ++outcome.scale_downs;
+      }
+    }
+    if (pool_timeline != nullptr && pool_size() != last_sampled) {
+      last_sampled = pool_size();
+      pool_timeline->push_back({simulation.now(), last_sampled});
+    }
+    simulation.after(tick_s, tick);
+  };
+
+  for (std::uint64_t task = 0; task < n_tasks; ++task) {
+    queue.push_back({task, false});
+  }
+  pump();
+  simulation.after(tick_s, tick);
+  simulation.run();
+
+  outcome.makespan_s = last_done;
+  outcome.final_pool = pool_size();
+  outcome.p50_task_s = duration_percentile(latencies, 50.0);
+  outcome.p95_task_s = duration_percentile(latencies, 95.0);
+  outcome.p99_task_s = duration_percentile(latencies, 99.0);
+  return outcome;
+}
+
+}  // namespace mdtask::autoscale

@@ -73,6 +73,16 @@ std::size_t ThreadPool::size() const {
   return alive_;
 }
 
+std::size_t ThreadPool::queued() const {
+  std::lock_guard lk(mu_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::busy() const {
+  std::lock_guard lk(mu_);
+  return active_;
+}
+
 void ThreadPool::add_workers(std::size_t count) {
   std::lock_guard lk(mu_);
   for (std::size_t n = 0; n < count; ++n) {

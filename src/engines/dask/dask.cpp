@@ -152,6 +152,13 @@ void DaskClient::worker_loop(std::size_t index) {
         track = tracks_[index];
       }
     }
+    {
+      // First-dispatch stamp (kept across kill-requeues and backup
+      // copies): the latency epoch for straggler detection and for the
+      // duration the winning execution records.
+      std::lock_guard lk(node->mu);
+      if (node->start_s < 0.0) node->start_s = detail::steady_seconds();
+    }
     if (tracer != nullptr && tracer->enabled()) {
       if (node->enqueue_us >= 0.0) {
         const double picked_us = tracer->now_us();
@@ -235,6 +242,53 @@ std::size_t DaskClient::retire_workers(std::size_t count,
 std::size_t DaskClient::workers() const {
   std::lock_guard lk(mu_);
   return alive_;
+}
+
+std::size_t DaskClient::queued() const {
+  std::lock_guard lk(mu_);
+  return ready_.size();
+}
+
+std::size_t DaskClient::busy() const {
+  std::lock_guard lk(mu_);
+  return inflight_;
+}
+
+std::size_t DaskClient::speculate_inflight(double threshold_s) {
+  const double now_s = detail::steady_seconds();
+  // Phase 1 (under mu_): snapshot the in-flight tasks. Phase 2 (locks
+  // dropped): flag and re-enqueue stragglers — enqueue takes node->mu
+  // then mu_, the opposite order, so it must not run while mu_ is held.
+  std::vector<std::shared_ptr<detail::TaskNode>> inflight;
+  double at_us = 0.0;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& node : running_) {
+      if (node != nullptr) inflight.push_back(node);
+    }
+    if (tracer_ != nullptr && tracer_->enabled()) at_us = tracer_->now_us();
+  }
+  std::size_t copies = 0;
+  for (const auto& node : inflight) {
+    {
+      std::lock_guard lk(node->mu);
+      if (node->finished || node->speculated) continue;
+      if (node->start_s < 0.0 || now_s - node->start_s <= threshold_s) {
+        continue;
+      }
+      node->speculated = true;
+      node->scheduled = false;  // allow the backup enqueue
+    }
+    if (config_.recovery_log != nullptr) {
+      config_.recovery_log->record(
+          {fault::EngineId::kDask, node->id, 0, fault::FaultKind::kStraggler,
+           fault::RecoveryAction::kSpeculativeCopy, 0.0, at_us});
+    }
+    enqueue_ready(node);
+    ++copies;
+  }
+  speculative_copies_.fetch_add(copies, std::memory_order_relaxed);
+  return copies;
 }
 
 void DaskClient::record_membership(fault::MembershipKind kind,

@@ -170,6 +170,7 @@ void UnitManager::run_unit(const std::shared_ptr<ComputeUnit>& unit) {
   }
   transition(*unit, UnitState::kAgentScheduling);
   transition(*unit, UnitState::kExecuting);
+  const auto exec_begin = std::chrono::steady_clock::now();
   {
     trace::Span exec_span;
     if (tracer_ != nullptr) {
@@ -236,6 +237,12 @@ void UnitManager::run_unit(const std::shared_ptr<ComputeUnit>& unit) {
         return;
       }
     }
+  }
+  if (pilot_.metrics_window != nullptr) {
+    pilot_.metrics_window->record_task_duration(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      exec_begin)
+            .count());
   }
   transition(*unit, UnitState::kStagingOutput);
   {

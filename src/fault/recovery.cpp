@@ -54,6 +54,33 @@ std::string RecoveryEvent::to_string() const {
   return out;
 }
 
+const char* to_string(AutoscaleAction action) noexcept {
+  switch (action) {
+    case AutoscaleAction::kScaleUp: return "scale-up";
+    case AutoscaleAction::kScaleDown: return "scale-down";
+    case AutoscaleAction::kSpeculate: return "speculate";
+    case AutoscaleAction::kRigidVeto: return "rigid-veto";
+  }
+  return "?";
+}
+
+std::string AutoscaleRecord::to_string() const {
+  std::string out = fault::to_string(engine);
+  out += " autoscale#";
+  out += std::to_string(seq);
+  out += ' ';
+  out += fault::to_string(action);
+  out += " count=";
+  out += std::to_string(count);
+  out += " pool=";
+  out += std::to_string(pool_size);
+  out += " queue=";
+  out += std::to_string(queue_depth);
+  out += " task=";
+  out += std::to_string(task_id);
+  return out;
+}
+
 std::string MembershipRecord::to_string() const {
   std::string out = fault::to_string(engine);
   out += " elastic#";
@@ -115,6 +142,29 @@ void RecoveryLog::record_membership(MembershipRecord event) {
   }
 }
 
+void RecoveryLog::record_autoscale(AutoscaleRecord event) {
+  trace::Tracer* tracer = nullptr;
+  trace::Track track{};
+  {
+    std::lock_guard lk(mu_);
+    tracer = tracer_;
+    track = track_;
+    autoscale_.push_back(event);
+  }
+  if (tracer != nullptr) {
+    trace::Args args;
+    args.emplace_back("seq", std::to_string(event.seq));
+    args.emplace_back("count", std::to_string(event.count));
+    args.emplace_back("pool", std::to_string(event.pool_size));
+    args.emplace_back("queue", std::to_string(event.queue_depth));
+    args.emplace_back("task", std::to_string(event.task_id));
+    args.emplace_back("engine", fault::to_string(event.engine));
+    tracer->complete(
+        track, std::string("autoscale:") + fault::to_string(event.action),
+        "autoscale", event.ts_us, 0.0, std::move(args));
+  }
+}
+
 std::vector<RecoveryEvent> RecoveryLog::events() const {
   std::lock_guard lk(mu_);
   return events_;
@@ -125,13 +175,19 @@ std::vector<MembershipRecord> RecoveryLog::membership_events() const {
   return membership_;
 }
 
+std::vector<AutoscaleRecord> RecoveryLog::autoscale_events() const {
+  std::lock_guard lk(mu_);
+  return autoscale_;
+}
+
 std::vector<std::string> RecoveryLog::canonical() const {
   std::vector<std::string> lines;
   {
     std::lock_guard lk(mu_);
-    lines.reserve(events_.size() + membership_.size());
+    lines.reserve(events_.size() + membership_.size() + autoscale_.size());
     for (const auto& e : events_) lines.push_back(e.to_string());
     for (const auto& m : membership_) lines.push_back(m.to_string());
+    for (const auto& a : autoscale_) lines.push_back(a.to_string());
   }
   std::sort(lines.begin(), lines.end());
   return lines;
@@ -147,10 +203,16 @@ std::size_t RecoveryLog::membership_size() const {
   return membership_.size();
 }
 
+std::size_t RecoveryLog::autoscale_size() const {
+  std::lock_guard lk(mu_);
+  return autoscale_.size();
+}
+
 void RecoveryLog::clear() {
   std::lock_guard lk(mu_);
   events_.clear();
   membership_.clear();
+  autoscale_.clear();
 }
 
 void CheckpointStore::set_cost_model(CheckpointCostModel model) {

@@ -94,6 +94,12 @@ SimFaultOutcome simulate_task_wave(std::size_t cores,
             // duration (the loser is killed at the winner's completion).
             const double detect =
                 nominal * plan.speculation.threshold_factor;
+            if (detect >= actual) {
+              // The straggler finishes before it would be detected: a
+              // backup copy could never win, so none is launched.
+              pool.acquire(actual, done);
+              return;
+            }
             const double completion = std::min(actual, detect + nominal);
             ++outcome.speculative_copies;
             if (log != nullptr) {

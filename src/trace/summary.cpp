@@ -34,6 +34,7 @@ TraceSummary summarize(const Tracer& tracer) {
     for (const double d : durations) stats.total_us += d;
     stats.p50_us = percentile(durations, 0.50);
     stats.p95_us = percentile(durations, 0.95);
+    stats.p99_us = percentile(durations, 0.99);
     stats.max_us = durations.back();
     summary.spans.push_back(std::move(stats));
   }

@@ -159,6 +159,13 @@ Result<LfRunResult> run_mpi(int approach, std::span<const Vec3> atoms,
         }
   };
   const int ranks = static_cast<int>(std::max<std::size_t>(1, config.workers));
+  // Rigid world: the controller can only record vetoed resize
+  // decisions, reproducing the paper's inelastic-MPI baseline.
+  autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
+  AdaptiveDriver adaptive(config.adaptive,
+                          autoscale::mpi_adapter(
+                              static_cast<std::size_t>(ranks)),
+                          &window, config.recovery_log);
   mpi::SpmdReport report;
   if (config.fault_plan != nullptr && !config.fault_plan->empty()) {
     // Faulty attempts abort before the body's first collective, so the
@@ -203,11 +210,13 @@ Result<LfRunResult> run_mpi(int approach, std::span<const Vec3> atoms,
 Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
                               double cutoff, const LfRunConfig& config) {
   auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
-  spark::SparkContext sc(
-      spark::SparkConfig{.executor_threads = config.workers,
-                         .task_memory_limit = config.task_memory_limit,
-                         .fault_plan = config.fault_plan,
-                         .recovery_log = config.recovery_log});
+  autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
+  spark::SparkContext sc(spark::SparkConfig{
+      .executor_threads = config.workers,
+      .task_memory_limit = config.task_memory_limit,
+      .fault_plan = config.fault_plan,
+      .recovery_log = config.recovery_log,
+      .metrics_window = config.adaptive.enabled ? &window : nullptr});
   if (config.tracer != nullptr) sc.enable_tracing(*config.tracer);
   ElasticDriver elastic(
       config.membership_plan,
@@ -218,6 +227,8 @@ Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
           sc.decommission_executors(ev.count, plan->departure);
         }
       });
+  AdaptiveDriver adaptive(config.adaptive, autoscale::spark_adapter(sc),
+                          &window, config.recovery_log);
 
   // Approach 1 broadcasts the full system; the others account only the
   // per-task block inputs (task-API style).
@@ -303,11 +314,13 @@ Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
 Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
                              double cutoff, const LfRunConfig& config) {
   const auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
-  dask::DaskClient client(
-      dask::DaskConfig{.workers = config.workers,
-                       .task_memory_limit = config.task_memory_limit,
-                       .fault_plan = config.fault_plan,
-                       .recovery_log = config.recovery_log});
+  autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
+  dask::DaskClient client(dask::DaskConfig{
+      .workers = config.workers,
+      .task_memory_limit = config.task_memory_limit,
+      .fault_plan = config.fault_plan,
+      .recovery_log = config.recovery_log,
+      .metrics_window = config.adaptive.enabled ? &window : nullptr});
   if (config.tracer != nullptr) client.enable_tracing(*config.tracer);
   ElasticDriver elastic(
       config.membership_plan,
@@ -319,6 +332,8 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
           client.retire_workers(ev.count, plan->departure);
         }
       });
+  AdaptiveDriver adaptive(config.adaptive, autoscale::dask_adapter(client),
+                          &window, config.recovery_log);
 
   // Approach 1: scatter/replicate the positions to workers (Dask's
   // broadcast is weaker than Spark's — modelled in the perf layer; here
@@ -410,9 +425,12 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
 Result<LfRunResult> run_rp(int approach, std::span<const Vec3> atoms,
                            double cutoff, const LfRunConfig& config) {
   const auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
-  rp::UnitManager um(rp::PilotDescription{.cores = config.workers,
-                                          .fault_plan = config.fault_plan,
-                                          .recovery_log = config.recovery_log});
+  autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
+  rp::UnitManager um(rp::PilotDescription{
+      .cores = config.workers,
+      .fault_plan = config.fault_plan,
+      .recovery_log = config.recovery_log,
+      .metrics_window = config.adaptive.enabled ? &window : nullptr});
   if (config.tracer != nullptr) um.enable_tracing(*config.tracer);
   ElasticDriver elastic(
       config.membership_plan,
@@ -423,6 +441,8 @@ Result<LfRunResult> run_rp(int approach, std::span<const Vec3> atoms,
           um.shrink_pilot(ev.count);
         }
       });
+  AdaptiveDriver adaptive(config.adaptive, autoscale::rp_adapter(um),
+                          &window, config.recovery_log);
 
   WallTimer timer;
   std::vector<rp::ComputeUnitDescription> descriptions;

@@ -90,6 +90,13 @@ PsaRunResult run_psa_mpi(const traj::Ensemble& ensemble,
           for (const auto& part : gathered) fill_matrix(result.matrix, part);
         }
   };
+  // Rigid world: the controller can only record vetoed resize
+  // decisions, reproducing the paper's inelastic-MPI baseline.
+  autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
+  AdaptiveDriver adaptive(config.adaptive,
+                          autoscale::mpi_adapter(
+                              static_cast<std::size_t>(ranks)),
+                          &window, config.recovery_log);
   mpi::SpmdReport report;
   if (config.fault_plan != nullptr && !config.fault_plan->empty()) {
     // Checkpoint-abort-restart: a budget-exhausted plan propagates the
@@ -112,10 +119,12 @@ PsaRunResult run_psa_mpi(const traj::Ensemble& ensemble,
 PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
                            const PsaRunConfig& config) {
   auto blocks = plan_blocks(ensemble, config);
-  spark::SparkContext sc(
-      spark::SparkConfig{.executor_threads = config.workers,
-                         .fault_plan = config.fault_plan,
-                         .recovery_log = config.recovery_log});
+  autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
+  spark::SparkContext sc(spark::SparkConfig{
+      .executor_threads = config.workers,
+      .fault_plan = config.fault_plan,
+      .recovery_log = config.recovery_log,
+      .metrics_window = config.adaptive.enabled ? &window : nullptr});
   if (config.tracer != nullptr) sc.enable_tracing(*config.tracer);
   ElasticDriver elastic(
       config.membership_plan,
@@ -126,6 +135,8 @@ PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
           sc.decommission_executors(ev.count, plan->departure);
         }
       });
+  AdaptiveDriver adaptive(config.adaptive, autoscale::spark_adapter(sc),
+                          &window, config.recovery_log);
   // The trajectory ensemble is a broadcast variable, as the paper's
   // PySpark implementation ships the file set description to executors.
   std::uint64_t ensemble_bytes = 0;
@@ -162,10 +173,12 @@ PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
 PsaRunResult run_psa_dask(const traj::Ensemble& ensemble,
                           const PsaRunConfig& config) {
   const auto blocks = plan_blocks(ensemble, config);
-  dask::DaskClient client(
-      dask::DaskConfig{.workers = config.workers,
-                       .fault_plan = config.fault_plan,
-                       .recovery_log = config.recovery_log});
+  autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
+  dask::DaskClient client(dask::DaskConfig{
+      .workers = config.workers,
+      .fault_plan = config.fault_plan,
+      .recovery_log = config.recovery_log,
+      .metrics_window = config.adaptive.enabled ? &window : nullptr});
   if (config.tracer != nullptr) client.enable_tracing(*config.tracer);
   ElasticDriver elastic(
       config.membership_plan,
@@ -177,6 +190,8 @@ PsaRunResult run_psa_dask(const traj::Ensemble& ensemble,
           client.retire_workers(ev.count, plan->departure);
         }
       });
+  AdaptiveDriver adaptive(config.adaptive, autoscale::dask_adapter(client),
+                          &window, config.recovery_log);
   WallTimer timer;
   std::vector<dask::Future<std::vector<MatrixEntry>>> futures;
   futures.reserve(blocks.size());
@@ -198,9 +213,12 @@ PsaRunResult run_psa_dask(const traj::Ensemble& ensemble,
 PsaRunResult run_psa_rp(const traj::Ensemble& ensemble,
                         const PsaRunConfig& config) {
   const auto blocks = plan_blocks(ensemble, config);
-  rp::UnitManager um(rp::PilotDescription{.cores = config.workers,
-                                          .fault_plan = config.fault_plan,
-                                          .recovery_log = config.recovery_log});
+  autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
+  rp::UnitManager um(rp::PilotDescription{
+      .cores = config.workers,
+      .fault_plan = config.fault_plan,
+      .recovery_log = config.recovery_log,
+      .metrics_window = config.adaptive.enabled ? &window : nullptr});
   if (config.tracer != nullptr) um.enable_tracing(*config.tracer);
   ElasticDriver elastic(
       config.membership_plan,
@@ -211,6 +229,8 @@ PsaRunResult run_psa_rp(const traj::Ensemble& ensemble,
           um.shrink_pilot(ev.count);
         }
       });
+  AdaptiveDriver adaptive(config.adaptive, autoscale::rp_adapter(um),
+                          &window, config.recovery_log);
   WallTimer timer;
   std::vector<rp::ComputeUnitDescription> descriptions;
   descriptions.reserve(blocks.size());

@@ -1,0 +1,233 @@
+// AutoscaleController: one tick = observe -> decide -> act -> record.
+// Fake EngineActions capture what the controller asked of the engine;
+// a hand-fed MetricsWindow supplies the observations.
+#include "mdtask/autoscale/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mdtask::autoscale {
+namespace {
+
+using fault::AutoscaleAction;
+
+struct FakeEngine {
+  std::size_t pool = 8;
+  std::vector<std::size_t> grow_calls;
+  std::vector<std::size_t> shrink_calls;
+  std::vector<double> speculate_thresholds;
+  std::size_t copies_per_call = 0;
+
+  EngineActions actions(fault::EngineId engine = fault::EngineId::kDask,
+                        bool rigid = false) {
+    EngineActions a;
+    a.engine = engine;
+    a.rigid = rigid;
+    a.grow = [this](std::size_t count) {
+      grow_calls.push_back(count);
+      pool += count;
+      return count;
+    };
+    a.shrink = [this](std::size_t count) {
+      shrink_calls.push_back(count);
+      pool -= std::min(pool, count);
+      return count;
+    };
+    a.speculate = [this](double threshold_s) {
+      speculate_thresholds.push_back(threshold_s);
+      return copies_per_call;
+    };
+    a.pool_size = [this] { return pool; };
+    return a;
+  }
+};
+
+TEST(AutoscaleControllerTest, ScaleUpFlowsThroughGrowAndIsRecorded) {
+  FakeEngine engine;
+  TargetUtilizationPolicy policy;
+  MetricsWindow window;
+  fault::RecoveryLog log;
+  AutoscaleController controller(engine.actions(), {&policy}, &window, &log);
+
+  window.observe_pool(8, 8, 12);
+  const TickResult result = controller.tick(1.0);
+
+  EXPECT_EQ(result.decision.kind, Decision::Kind::kScaleUp);
+  EXPECT_EQ(result.applied, 16u);
+  ASSERT_EQ(engine.grow_calls.size(), 1u);
+  EXPECT_EQ(engine.grow_calls[0], 16u);
+  EXPECT_EQ(engine.pool, 24u);
+
+  const auto records = log.autoscale_events();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, AutoscaleAction::kScaleUp);
+  EXPECT_EQ(records[0].engine, fault::EngineId::kDask);
+  EXPECT_EQ(records[0].seq, 0u);
+  EXPECT_EQ(records[0].count, 16u);
+  EXPECT_EQ(records[0].pool_size, 24u);  // post-action pool
+  EXPECT_EQ(records[0].queue_depth, 12u);
+  EXPECT_EQ(controller.decisions(), 1u);
+}
+
+TEST(AutoscaleControllerTest, ScaleDownFlowsThroughShrink) {
+  FakeEngine engine;
+  engine.pool = 16;
+  TargetUtilizationPolicy policy;
+  MetricsWindow window;
+  fault::RecoveryLog log;
+  AutoscaleController controller(engine.actions(), {&policy}, &window, &log);
+
+  window.observe_pool(16, 2, 0);
+  const TickResult result = controller.tick(1.0);
+
+  EXPECT_EQ(result.decision.kind, Decision::Kind::kScaleDown);
+  ASSERT_EQ(engine.shrink_calls.size(), 1u);
+  EXPECT_EQ(engine.shrink_calls[0], 13u);
+  const auto records = log.autoscale_events();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, AutoscaleAction::kScaleDown);
+  EXPECT_EQ(records[0].pool_size, 3u);
+}
+
+TEST(AutoscaleControllerTest, HoldTickRecordsNothing) {
+  FakeEngine engine;
+  TargetUtilizationPolicy policy;
+  MetricsWindow window;
+  fault::RecoveryLog log;
+  AutoscaleController controller(engine.actions(), {&policy}, &window, &log);
+
+  window.observe_pool(8, 6, 2);  // inside the hysteresis band
+  const TickResult result = controller.tick(1.0);
+
+  EXPECT_EQ(result.decision.kind, Decision::Kind::kHold);
+  EXPECT_TRUE(engine.grow_calls.empty());
+  EXPECT_TRUE(engine.shrink_calls.empty());
+  EXPECT_EQ(log.autoscale_size(), 0u);
+  EXPECT_EQ(controller.decisions(), 0u);
+}
+
+TEST(AutoscaleControllerTest, RigidEngineRecordsVetoInsteadOfActing) {
+  FakeEngine engine;
+  TargetUtilizationPolicy policy;
+  MetricsWindow window;
+  fault::RecoveryLog log;
+  AutoscaleController controller(
+      engine.actions(fault::EngineId::kMpi, /*rigid=*/true), {&policy},
+      &window, &log);
+
+  window.observe_pool(8, 8, 12);
+  const TickResult result = controller.tick(1.0);
+
+  EXPECT_TRUE(result.vetoed);
+  EXPECT_EQ(result.applied, 0u);
+  EXPECT_TRUE(engine.grow_calls.empty());  // never touched
+  const auto records = log.autoscale_events();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, AutoscaleAction::kRigidVeto);
+  EXPECT_EQ(records[0].engine, fault::EngineId::kMpi);
+  EXPECT_EQ(records[0].pool_size, 8u);  // pool unchanged
+}
+
+TEST(AutoscaleControllerTest, RigidEngineNeverSpeculates) {
+  FakeEngine engine;
+  StragglerSpeculationPolicy policy;
+  MetricsWindow window;
+  AutoscaleController controller(
+      engine.actions(fault::EngineId::kMpi, /*rigid=*/true), {&policy},
+      &window);
+
+  for (int i = 0; i < 20; ++i) window.record_task_duration(1.0);
+  window.observe_pool(8, 8, 0);
+  const TickResult result = controller.tick(1.0);
+  EXPECT_EQ(result.speculated, 0u);
+  EXPECT_TRUE(engine.speculate_thresholds.empty());
+}
+
+TEST(AutoscaleControllerTest, SpeculationUsesTheWindowedThreshold) {
+  FakeEngine engine;
+  engine.copies_per_call = 3;
+  StragglerSpeculationPolicy policy;  // 2 x p95 once 8 completions exist
+  MetricsWindow window;
+  fault::RecoveryLog log;
+  AutoscaleController controller(engine.actions(), {&policy}, &window, &log);
+
+  for (int i = 0; i < 20; ++i) window.record_task_duration(1.0);
+  window.observe_pool(8, 8, 0);
+  const TickResult result = controller.tick(2.0);
+
+  EXPECT_EQ(result.speculated, 3u);
+  ASSERT_EQ(engine.speculate_thresholds.size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.speculate_thresholds[0], 2.0);
+  const auto records = log.autoscale_events();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].action, AutoscaleAction::kSpeculate);
+  EXPECT_EQ(records[0].count, 3u);
+}
+
+TEST(AutoscaleControllerTest, ZeroCopiesSubmittedRecordsNothing) {
+  FakeEngine engine;  // copies_per_call = 0: no straggler was old enough
+  StragglerSpeculationPolicy policy;
+  MetricsWindow window;
+  fault::RecoveryLog log;
+  AutoscaleController controller(engine.actions(), {&policy}, &window, &log);
+
+  for (int i = 0; i < 20; ++i) window.record_task_duration(1.0);
+  window.observe_pool(8, 8, 0);
+  EXPECT_EQ(controller.tick(2.0).speculated, 0u);
+  EXPECT_EQ(engine.speculate_thresholds.size(), 1u);  // asked, found none
+  EXPECT_EQ(log.autoscale_size(), 0u);
+}
+
+TEST(AutoscaleControllerTest, FirstNonHoldPolicyOwnsTheTick) {
+  // Two utilization policies with different steps: only the first fires.
+  FakeEngine engine;
+  TargetUtilizationPolicy::Config small_step;
+  small_step.max_step = 2;
+  TargetUtilizationPolicy first(small_step);
+  TargetUtilizationPolicy second;
+  MetricsWindow window;
+  AutoscaleController controller(engine.actions(), {&first, &second},
+                                 &window);
+
+  window.observe_pool(8, 8, 12);
+  const TickResult result = controller.tick(1.0);
+  EXPECT_EQ(result.applied, 2u);
+  ASSERT_EQ(engine.grow_calls.size(), 1u);
+}
+
+TEST(AutoscaleControllerTest, NullLogAndNullWindowAreSafe) {
+  FakeEngine engine;
+  TargetUtilizationPolicy policy;
+  MetricsWindow window;
+  AutoscaleController logless(engine.actions(), {&policy}, &window, nullptr);
+  window.observe_pool(8, 8, 12);
+  EXPECT_EQ(logless.tick(1.0).applied, 16u);
+  EXPECT_EQ(logless.decisions(), 1u);  // seq advances even unlogged
+
+  AutoscaleController windowless(engine.actions(), {&policy}, nullptr);
+  const TickResult result = windowless.tick(2.0);
+  EXPECT_EQ(result.decision.kind, Decision::Kind::kHold);
+}
+
+TEST(AutoscaleControllerTest, ResetRestartsSequenceAndPolicies) {
+  FakeEngine engine;
+  TargetUtilizationPolicy::Config config;
+  config.cooldown_s = 100.0;
+  TargetUtilizationPolicy policy(config);
+  MetricsWindow window;
+  fault::RecoveryLog log;
+  AutoscaleController controller(engine.actions(), {&policy}, &window, &log);
+
+  window.observe_pool(8, 8, 12);
+  EXPECT_EQ(controller.tick(1.0).applied, 16u);
+  controller.reset();
+  EXPECT_EQ(controller.decisions(), 0u);
+  window.observe_pool(8, 8, 12);
+  // Without reset the 100 s cooldown would hold this tick.
+  EXPECT_EQ(controller.tick(1.5).applied, 16u);
+  EXPECT_EQ(log.autoscale_events()[1].seq, 0u);  // fresh sequence
+}
+
+}  // namespace
+}  // namespace mdtask::autoscale

@@ -1,0 +1,236 @@
+// Live straggler speculation on the real engines: backup copies race
+// their originals and the first completion wins exactly once — on
+// Spark via the stage publish guard, on Dask via SharedState's
+// idempotent set_value. Plus the workflow-level wiring: runners with
+// adaptive configs produce the same analysis results as static runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "mdtask/autoscale/metrics.h"
+#include "mdtask/engines/dask/dask.h"
+#include "mdtask/engines/spark/spark.h"
+#include "mdtask/fault/recovery.h"
+#include "mdtask/traj/generators.h"
+#include "mdtask/workflows/leaflet_runner.h"
+#include "mdtask/workflows/psa_runner.h"
+
+namespace mdtask {
+namespace {
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// ------------------------------------------------------------- Spark --
+
+TEST(SparkSpeculationTest, BackupWinsWhileOriginalIsStuck) {
+  fault::RecoveryLog log;
+  autoscale::MetricsWindow window;
+  spark::SparkContext sc(spark::SparkConfig{.executor_threads = 2,
+                                            .recovery_log = &log,
+                                            .metrics_window = &window});
+  std::atomic<int> arrivals{0};
+  std::atomic<bool> release{false};
+
+  // Partition 0's FIRST execution parks; its backup (second arrival)
+  // sails through, publishes, and unblocks nothing — the stage barrier
+  // still waits for the original, which recomputes and is discarded by
+  // the publish guard.
+  auto mapped = sc.parallelize(std::vector<int>{10, 20}, 2)
+                    .map([&](const int& x) {
+                      if (x == 10 &&
+                          arrivals.fetch_add(1,
+                                             std::memory_order_acq_rel) == 0) {
+                        while (!release.load(std::memory_order_acquire)) {
+                          sleep_ms(1);
+                        }
+                      }
+                      return x + 1;
+                    });
+
+  std::thread speculator([&] {
+    // Partition 1 completes on its own; only partition 0 is in flight.
+    while (window.completed() < 1) sleep_ms(1);
+    std::size_t copies = 0;
+    while ((copies = sc.speculate_inflight(0.002)) == 0) sleep_ms(1);
+    EXPECT_EQ(copies, 1u);
+    // Idempotent: the partition is already marked speculated.
+    EXPECT_EQ(sc.speculate_inflight(0.0), 0u);
+    // Wait for the backup to publish, then let the original finish.
+    while (window.completed() < 2) sleep_ms(1);
+    release.store(true, std::memory_order_release);
+  });
+  const std::vector<int> out = mapped.collect();
+  speculator.join();
+
+  EXPECT_EQ(out, (std::vector<int>{11, 21}));
+  EXPECT_EQ(sc.speculative_copies(), 1u);
+  // Winner-only duration recording: one per partition, no duplicates
+  // from the discarded original.
+  EXPECT_EQ(window.completed(), 2u);
+
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].action, fault::RecoveryAction::kSpeculativeCopy);
+  EXPECT_EQ(events[0].task_id, (std::uint64_t{1} << 20) | 0u);
+}
+
+TEST(SparkSpeculationTest, ClosedWindowRefusesNewBackups) {
+  spark::SparkContext sc(spark::SparkConfig{.executor_threads = 2});
+  // No stage in flight: nothing to speculate on.
+  EXPECT_EQ(sc.speculate_inflight(0.0), 0u);
+  const auto out =
+      sc.parallelize(std::vector<int>{1, 2, 3, 4}, 4)
+          .map([](const int& x) { return x * x; })
+          .collect();
+  EXPECT_EQ(out, (std::vector<int>{1, 4, 9, 16}));
+  // The stage is finished and its speculation window closed.
+  EXPECT_EQ(sc.speculate_inflight(0.0), 0u);
+  EXPECT_EQ(sc.speculative_copies(), 0u);
+}
+
+// -------------------------------------------------------------- Dask --
+
+TEST(DaskSpeculationTest, SetValueIsFirstCompletionWins) {
+  // The duplicate-backup race in miniature: only the first set_value
+  // publishes, the loser's value is dropped.
+  dask::detail::SharedState<int> state;
+  EXPECT_TRUE(state.set_value(7));
+  EXPECT_FALSE(state.set_value(9));
+  EXPECT_EQ(state.value(), 7);
+}
+
+TEST(DaskSpeculationTest, BackupWinsWhileOriginalIsStuck) {
+  fault::RecoveryLog log;
+  autoscale::MetricsWindow window;
+  dask::DaskClient client(dask::DaskConfig{.workers = 2,
+                                           .recovery_log = &log,
+                                           .metrics_window = &window});
+  std::atomic<int> arrivals{0};
+  std::atomic<bool> release{false};
+
+  auto future = client.submit([&] {
+    if (arrivals.fetch_add(1, std::memory_order_acq_rel) == 0) {
+      while (!release.load(std::memory_order_acquire)) sleep_ms(1);
+    }
+    return 41;
+  });
+
+  // Wait until the original has started, then speculate: the backup
+  // lands on the idle second worker and wins the race.
+  while (arrivals.load(std::memory_order_acquire) < 1) sleep_ms(1);
+  std::size_t copies = 0;
+  while ((copies = client.speculate_inflight(0.002)) == 0) sleep_ms(1);
+  EXPECT_EQ(copies, 1u);
+  EXPECT_EQ(client.speculate_inflight(0.0), 0u);  // already speculated
+
+  EXPECT_EQ(future.get(), 41);  // unblocked by the backup, not the original
+  release.store(true, std::memory_order_release);
+  client.wait_all();  // drains the parked original (its value is dropped)
+
+  EXPECT_EQ(client.speculative_copies(), 1u);
+  EXPECT_EQ(window.completed(), 1u);  // winner-only duration recording
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].action, fault::RecoveryAction::kSpeculativeCopy);
+  EXPECT_EQ(events[0].task_id, 0u);  // submission order
+}
+
+TEST(DaskSpeculationTest, QueuedTasksAreNotSpeculated) {
+  // Backups only make sense for RUNNING stragglers; a queued task has
+  // not started, so relaunching it buys nothing.
+  dask::DaskClient client(dask::DaskConfig{.workers = 1});
+  std::atomic<bool> release{false};
+  auto blocker = client.submit([&] {
+    while (!release.load(std::memory_order_acquire)) sleep_ms(1);
+    return 0;
+  });
+  auto queued = client.submit([] { return 1; });
+  sleep_ms(5);
+  // Only the running blocker is old enough AND running; with one
+  // worker its backup re-enqueues behind the queue.
+  const std::size_t copies = client.speculate_inflight(0.001);
+  EXPECT_LE(copies, 1u);
+  release.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.get(), 0);
+  EXPECT_EQ(queued.get(), 1);
+  client.wait_all();
+}
+
+// --------------------------------------------------- workflow wiring --
+
+TEST(AdaptiveWorkflowTest, AdaptivePsaMatchesStaticResultsOnEveryEngine) {
+  const auto ensemble = traj::make_protein_ensemble(5, [] {
+    traj::ProteinTrajectoryParams p;
+    p.atoms = 8;
+    p.frames = 6;
+    return p;
+  }());
+  const workflows::EngineKind kinds[] = {
+      workflows::EngineKind::kMpi, workflows::EngineKind::kSpark,
+      workflows::EngineKind::kDask, workflows::EngineKind::kRp};
+  for (const workflows::EngineKind kind : kinds) {
+    workflows::PsaRunConfig plain;
+    plain.workers = 2;
+    const auto baseline = workflows::run_psa(kind, ensemble, plain);
+
+    fault::RecoveryLog log;
+    workflows::PsaRunConfig adaptive;
+    adaptive.workers = 2;
+    adaptive.recovery_log = &log;
+    adaptive.adaptive.enabled = true;
+    adaptive.adaptive.tick_interval_s = 0.005;
+    adaptive.adaptive.utilization.min_pool = 1;
+    adaptive.adaptive.utilization.max_pool = 4;
+    adaptive.adaptive.utilization.cooldown_s = 0.01;
+    const auto controlled = workflows::run_psa(kind, ensemble, adaptive);
+
+    // Elasticity must never change the analysis, only the schedule.
+    EXPECT_EQ(baseline.matrix.data(), controlled.matrix.data())
+        << workflows::to_string(kind);
+  }
+}
+
+TEST(AdaptiveWorkflowTest, AdaptiveLeafletMatchesStaticResultsOnEveryEngine) {
+  traj::BilayerParams params;
+  params.atoms = 600;
+  const auto bilayer = traj::make_bilayer(params);
+  const double cutoff = traj::default_cutoff(params);
+  const workflows::EngineKind kinds[] = {
+      workflows::EngineKind::kMpi, workflows::EngineKind::kSpark,
+      workflows::EngineKind::kDask, workflows::EngineKind::kRp};
+  for (const workflows::EngineKind kind : kinds) {
+    workflows::LfRunConfig plain;
+    plain.workers = 2;
+    plain.target_tasks = 8;
+    const auto baseline =
+        workflows::run_leaflet_finder(kind, 3, bilayer.positions, cutoff,
+                                      plain);
+    ASSERT_TRUE(baseline.ok());
+
+    workflows::LfRunConfig adaptive = plain;
+    adaptive.adaptive.enabled = true;
+    adaptive.adaptive.tick_interval_s = 0.005;
+    adaptive.adaptive.utilization.min_pool = 1;
+    adaptive.adaptive.utilization.max_pool = 4;
+    adaptive.adaptive.utilization.cooldown_s = 0.01;
+    const auto controlled =
+        workflows::run_leaflet_finder(kind, 3, bilayer.positions, cutoff,
+                                      adaptive);
+    ASSERT_TRUE(controlled.ok());
+
+    EXPECT_EQ(baseline.value().leaflets.leaflet_a_size,
+              controlled.value().leaflets.leaflet_a_size)
+        << workflows::to_string(kind);
+    EXPECT_EQ(baseline.value().leaflets.leaflet_b_size,
+              controlled.value().leaflets.leaflet_b_size)
+        << workflows::to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace mdtask

@@ -1,0 +1,171 @@
+// Policy decisions: target-utilization hysteresis/cooldown/step
+// clamping and the straggler-speculation threshold rules. Policies are
+// pure functions of the snapshot, so every case is a table of
+// observations in and decisions out.
+#include "mdtask/autoscale/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace mdtask::autoscale {
+namespace {
+
+MetricsSnapshot snap(double now_s, std::size_t pool, std::size_t busy,
+                     std::size_t queue) {
+  MetricsSnapshot m;
+  m.now_s = now_s;
+  m.pool_size = pool;
+  m.busy = busy;
+  m.queue_depth = queue;
+  m.utilization =
+      pool == 0 ? 0.0
+                : std::min(1.0, static_cast<double>(busy) /
+                                    static_cast<double>(pool));
+  return m;
+}
+
+TEST(TargetUtilizationPolicyTest, SaturatedPoolWithBacklogScalesUp) {
+  TargetUtilizationPolicy policy;
+  // 8 busy of 8, 12 queued: demand 20 at target 0.8 wants 25 servers.
+  const Decision d = policy.decide(snap(10.0, 8, 8, 12));
+  EXPECT_EQ(d.kind, Decision::Kind::kScaleUp);
+  EXPECT_EQ(d.count, 16u);  // clamped by max_step, not 25 - 8 = 17
+  EXPECT_FALSE(d.reason.empty());
+}
+
+TEST(TargetUtilizationPolicyTest, SaturationWithoutBacklogHolds) {
+  // All servers busy but nothing queued: adding servers would idle them.
+  TargetUtilizationPolicy policy;
+  EXPECT_EQ(policy.decide(snap(10.0, 8, 8, 0)).kind, Decision::Kind::kHold);
+}
+
+TEST(TargetUtilizationPolicyTest, InsideTheHysteresisBandHolds) {
+  TargetUtilizationPolicy policy;
+  // 0.75 utilization sits between low 0.5 and high 0.9.
+  EXPECT_EQ(policy.decide(snap(10.0, 8, 6, 3)).kind, Decision::Kind::kHold);
+}
+
+TEST(TargetUtilizationPolicyTest, IdlePoolScalesDownToDemand) {
+  TargetUtilizationPolicy policy;
+  // 2 busy of 16, no queue: demand 2 at target 0.8 wants ceil(2.5) = 3.
+  const Decision d = policy.decide(snap(10.0, 16, 2, 0));
+  EXPECT_EQ(d.kind, Decision::Kind::kScaleDown);
+  EXPECT_EQ(d.count, 13u);
+}
+
+TEST(TargetUtilizationPolicyTest, IdleWithBacklogNeverShrinks) {
+  // Queue > 0 means the idle observation is transient (dispatch gap).
+  TargetUtilizationPolicy policy;
+  EXPECT_EQ(policy.decide(snap(10.0, 16, 2, 4)).kind, Decision::Kind::kHold);
+}
+
+TEST(TargetUtilizationPolicyTest, CooldownBlocksBackToBackActions) {
+  TargetUtilizationPolicy::Config config;
+  config.cooldown_s = 2.0;
+  TargetUtilizationPolicy policy(config);
+  EXPECT_EQ(policy.decide(snap(10.0, 8, 8, 12)).kind,
+            Decision::Kind::kScaleUp);
+  // Same pressure 1 s later: still cooling down.
+  EXPECT_EQ(policy.decide(snap(11.0, 8, 8, 12)).kind, Decision::Kind::kHold);
+  // 2 s after the action the policy may act again.
+  EXPECT_EQ(policy.decide(snap(12.0, 8, 8, 12)).kind,
+            Decision::Kind::kScaleUp);
+}
+
+TEST(TargetUtilizationPolicyTest, HoldsDoNotResetTheCooldownClock) {
+  TargetUtilizationPolicy::Config config;
+  config.cooldown_s = 2.0;
+  TargetUtilizationPolicy policy(config);
+  EXPECT_EQ(policy.decide(snap(10.0, 8, 8, 12)).kind,
+            Decision::Kind::kScaleUp);
+  EXPECT_EQ(policy.decide(snap(11.0, 8, 6, 3)).kind, Decision::Kind::kHold);
+  EXPECT_EQ(policy.decide(snap(12.5, 8, 8, 12)).kind,
+            Decision::Kind::kScaleUp);
+}
+
+TEST(TargetUtilizationPolicyTest, MaxPoolCapsTheUpwardTarget) {
+  TargetUtilizationPolicy::Config config;
+  config.max_pool = 10;
+  TargetUtilizationPolicy policy(config);
+  const Decision d = policy.decide(snap(10.0, 8, 8, 100));
+  EXPECT_EQ(d.kind, Decision::Kind::kScaleUp);
+  EXPECT_EQ(d.count, 2u);  // 10 - 8, despite demand for far more
+}
+
+TEST(TargetUtilizationPolicyTest, AtMaxPoolThereIsNothingToAdd) {
+  TargetUtilizationPolicy::Config config;
+  config.max_pool = 8;
+  TargetUtilizationPolicy policy(config);
+  EXPECT_EQ(policy.decide(snap(10.0, 8, 8, 100)).kind,
+            Decision::Kind::kHold);
+}
+
+TEST(TargetUtilizationPolicyTest, MinPoolFloorsTheDownwardTarget) {
+  TargetUtilizationPolicy::Config config;
+  config.min_pool = 12;
+  TargetUtilizationPolicy policy(config);
+  const Decision d = policy.decide(snap(10.0, 16, 1, 0));
+  EXPECT_EQ(d.kind, Decision::Kind::kScaleDown);
+  EXPECT_EQ(d.count, 4u);  // down to min_pool, not to demand
+}
+
+TEST(TargetUtilizationPolicyTest, EmptyPoolObservationHolds) {
+  TargetUtilizationPolicy policy;
+  EXPECT_EQ(policy.decide(snap(10.0, 0, 0, 50)).kind, Decision::Kind::kHold);
+}
+
+TEST(TargetUtilizationPolicyTest, ResetForgetsTheCooldownClock) {
+  TargetUtilizationPolicy::Config config;
+  config.cooldown_s = 100.0;
+  TargetUtilizationPolicy policy(config);
+  EXPECT_EQ(policy.decide(snap(10.0, 8, 8, 12)).kind,
+            Decision::Kind::kScaleUp);
+  policy.reset();
+  EXPECT_EQ(policy.decide(snap(10.5, 8, 8, 12)).kind,
+            Decision::Kind::kScaleUp);
+}
+
+TEST(StragglerSpeculationPolicyTest, HoldsUntilEnoughCompletions) {
+  StragglerSpeculationPolicy policy;  // min_completed = 8
+  MetricsSnapshot m = snap(0.0, 4, 4, 0);
+  m.completed = 7;
+  m.p95_s = 1.0;
+  EXPECT_DOUBLE_EQ(policy.speculation_threshold_s(m), 0.0);
+  m.completed = 8;
+  EXPECT_DOUBLE_EQ(policy.speculation_threshold_s(m), 2.0);  // 2 x p95
+}
+
+TEST(StragglerSpeculationPolicyTest, DegenerateP95Disables) {
+  StragglerSpeculationPolicy policy;
+  MetricsSnapshot m = snap(0.0, 4, 4, 0);
+  m.completed = 100;
+  m.p95_s = 0.0;
+  EXPECT_DOUBLE_EQ(policy.speculation_threshold_s(m), 0.0);
+}
+
+TEST(StragglerSpeculationPolicyTest, MinThresholdFloorsTinyP95) {
+  StragglerSpeculationPolicy::Config config;
+  config.threshold_factor = 2.0;
+  config.min_threshold_s = 0.5;
+  StragglerSpeculationPolicy policy(config);
+  MetricsSnapshot m = snap(0.0, 4, 4, 0);
+  m.completed = 100;
+  m.p95_s = 0.01;  // 2 x p95 = 0.02 would speculate on noise
+  EXPECT_DOUBLE_EQ(policy.speculation_threshold_s(m), 0.5);
+}
+
+TEST(StragglerSpeculationPolicyTest, BasePolicyNeverActs) {
+  // The Policy base defaults: hold every tick, never speculate.
+  class Inert : public Policy {
+   public:
+    const char* name() const noexcept override { return "inert"; }
+  };
+  Inert inert;
+  MetricsSnapshot m = snap(0.0, 4, 4, 100);
+  m.completed = 1000;
+  m.p95_s = 5.0;
+  EXPECT_EQ(inert.decide(m).kind, Decision::Kind::kHold);
+  EXPECT_DOUBLE_EQ(inert.speculation_threshold_s(m), 0.0);
+}
+
+}  // namespace
+}  // namespace mdtask::autoscale

@@ -347,6 +347,55 @@ TEST(SpeculationTest, NoOpWithoutStragglers) {
   EXPECT_DOUBLE_EQ(plain, speculated);
 }
 
+TEST(SpeculationTest, EmptyWaveHasZeroMakespan) {
+  const auto cluster = wrangler_cores(16);
+  EXPECT_DOUBLE_EQ(simulate_straggler_makespan(cluster, 0, 1.0, 0.05, 10.0,
+                                               SpeculationPolicy{}),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      simulate_straggler_makespan(cluster, 0, 1.0, 0.05, 10.0,
+                                  SpeculationPolicy{.enabled = true}),
+      0.0);
+}
+
+TEST(SpeculationTest, EveryTaskAStragglerStillGainsNothingOrHelps) {
+  // With fraction 1.0 there is no fast cohort to compare against: a
+  // backup copy launched at threshold x nominal still beats riding out
+  // the full 10x tail, so speculation may help but must never hurt.
+  const auto cluster = wrangler_cores(64);
+  const double plain = simulate_straggler_makespan(
+      cluster, 256, 1.0, 1.0, 10.0, SpeculationPolicy{});
+  const double speculative = simulate_straggler_makespan(
+      cluster, 256, 1.0, 1.0, 10.0,
+      SpeculationPolicy{.enabled = true, .threshold_factor = 1.5});
+  EXPECT_GT(plain, 0.0);
+  EXPECT_GT(speculative, 0.0);
+  EXPECT_LE(speculative, plain);
+}
+
+TEST(SpeculationTest, DisabledPolicyMatchesTheDefault) {
+  const auto cluster = wrangler_cores(64);
+  const double implicit = simulate_straggler_makespan(
+      cluster, 512, 1.0, 0.05, 10.0, SpeculationPolicy{});
+  const double expl = simulate_straggler_makespan(
+      cluster, 512, 1.0, 0.05, 10.0,
+      SpeculationPolicy{.enabled = false, .threshold_factor = 99.0});
+  EXPECT_DOUBLE_EQ(implicit, expl);
+}
+
+TEST(SpeculationTest, UnreachableThresholdDegeneratesToPlain) {
+  // A backup that would launch after the straggler already finished is
+  // never worth submitting: the simulator must fall back to the plain
+  // makespan rather than paying for useless copies.
+  const auto cluster = wrangler_cores(64);
+  const double plain = simulate_straggler_makespan(
+      cluster, 512, 1.0, 0.05, 10.0, SpeculationPolicy{});
+  const double lofty = simulate_straggler_makespan(
+      cluster, 512, 1.0, 0.05, 10.0,
+      SpeculationPolicy{.enabled = true, .threshold_factor = 1000.0});
+  EXPECT_DOUBLE_EQ(lofty, plain);
+}
+
 TEST(ElasticTest, GrowingThePoolShortensTheTail) {
   // 256 x 1 s tasks on 16 cores = 16 s flat; doubling the pool at t=4
   // finishes the remaining 192 tasks on 32 cores: 4 + 6 = 10 s.

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/check_bench_regression.py.
+
+Pins the data-driven behavioural skip list: fault-injection, elasticity
+and autoscale entries must be excluded from the regression gate whether
+they are marked by flag or by kernel-name prefix, and a behavioural
+entry must never fail the gate no matter how slow it looks.
+"""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, os.pardir, "scripts",
+                      "check_bench_regression.py")
+
+
+def load_module():
+    spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                                  SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+MOD = load_module()
+
+
+class BehaviouralSkipListTest(unittest.TestCase):
+    def test_plain_kernel_entry_is_not_behavioural(self):
+        entry = {"kernel": "hausdorff_rmsd", "policy": "vectorized",
+                 "ns_per_unit": 10.0}
+        self.assertIsNone(MOD.behavioural(entry))
+
+    def test_none_entry_is_not_behavioural(self):
+        self.assertIsNone(MOD.behavioural(None))
+
+    def test_every_family_flag_is_skipped(self):
+        for key, reason in MOD.BEHAVIOURAL_FAMILIES:
+            entry = {"kernel": "anything", "policy": "scalar", key: True}
+            self.assertEqual(MOD.behavioural(entry), reason, key)
+
+    def test_falsy_flag_is_not_skipped(self):
+        entry = {"kernel": "anything", "policy": "scalar",
+                 "fault_injection": False}
+        self.assertIsNone(MOD.behavioural(entry))
+
+    def test_kernel_name_prefix_is_skipped(self):
+        for key, reason in MOD.BEHAVIOURAL_FAMILIES:
+            for kernel in (key, key + "_wave"):
+                self.assertEqual(
+                    MOD.behavioural({"kernel": kernel, "policy": "scalar"}),
+                    reason, kernel)
+
+    def test_prefix_requires_word_boundary(self):
+        # "elasticity_constant" is a physics kernel, not an elasticity
+        # entry: only "<key>" or "<key>_*" match.
+        self.assertIsNone(MOD.behavioural({"kernel": "elasticaner"}))
+
+    def test_autoscale_family_is_registered(self):
+        self.assertIn("autoscale", [k for k, _ in MOD.BEHAVIOURAL_FAMILIES])
+
+
+class EndToEndGateTest(unittest.TestCase):
+    @staticmethod
+    def write_doc(path, entries):
+        with open(path, "w") as f:
+            json.dump({"schema": "mdtask-bench-kernels-v1",
+                       "entries": entries}, f)
+
+    def run_gate(self, baseline, current):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "baseline.json")
+            cur_path = os.path.join(tmp, "current.json")
+            self.write_doc(base_path, baseline)
+            self.write_doc(cur_path, current)
+            return subprocess.run(
+                [sys.executable, SCRIPT, "--baseline", base_path,
+                 "--current", cur_path],
+                capture_output=True, text=True)
+
+    def test_behavioural_slowdown_does_not_fail_the_gate(self):
+        baseline = [
+            {"kernel": "hausdorff_rmsd", "policy": "scalar",
+             "ns_per_unit": 100.0},
+            {"kernel": "autoscale_wave", "policy": "scalar",
+             "ns_per_unit": 1.0},
+            {"kernel": "fault_injection_wave", "policy": "scalar",
+             "ns_per_unit": 1.0},
+        ]
+        current = [
+            {"kernel": "hausdorff_rmsd", "policy": "scalar",
+             "ns_per_unit": 101.0},
+            # 1000x "slower": must be skipped, not a regression.
+            {"kernel": "autoscale_wave", "policy": "scalar",
+             "ns_per_unit": 1000.0},
+            {"kernel": "fault_injection_wave", "policy": "scalar",
+             "ns_per_unit": 1000.0},
+        ]
+        result = self.run_gate(baseline, current)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("skipped", result.stdout)
+
+    def test_kernel_regression_still_fails_the_gate(self):
+        baseline = [{"kernel": "hausdorff_rmsd", "policy": "scalar",
+                     "ns_per_unit": 100.0}]
+        current = [{"kernel": "hausdorff_rmsd", "policy": "scalar",
+                    "ns_per_unit": 200.0}]
+        result = self.run_gate(baseline, current)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("REGRESSION", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

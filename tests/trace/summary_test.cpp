@@ -34,6 +34,7 @@ TEST(SummaryTest, NearestRankPercentilesOverUniformDurations) {
   EXPECT_DOUBLE_EQ(s.total_us, 5050.0);
   EXPECT_DOUBLE_EQ(s.p50_us, 50.0);  // nearest-rank
   EXPECT_DOUBLE_EQ(s.p95_us, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 99.0);
   EXPECT_DOUBLE_EQ(s.max_us, 100.0);
 }
 
@@ -45,6 +46,7 @@ TEST(SummaryTest, SingleSpanHasDegeneratePercentiles) {
   ASSERT_EQ(summary.spans.size(), 1u);
   EXPECT_DOUBLE_EQ(summary.spans[0].p50_us, 7.0);
   EXPECT_DOUBLE_EQ(summary.spans[0].p95_us, 7.0);
+  EXPECT_DOUBLE_EQ(summary.spans[0].p99_us, 7.0);
   EXPECT_DOUBLE_EQ(summary.spans[0].max_us, 7.0);
 }
 
