@@ -62,6 +62,32 @@ inline bool parse_adaptive(int argc, char** argv) {
   return false;
 }
 
+/// Parses `--stream` (default off, which keeps the published CSVs
+/// byte-identical). When set, the figure benches append streamed-I/O
+/// addenda: the same task waves replayed over the machine's
+/// FileSystemModel with out-of-core shard reads, without and with
+/// double-buffered prefetch (docs/STREAMING.md).
+inline bool parse_stream(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stream") == 0) return true;
+  }
+  return false;
+}
+
+/// Parses `--shard-frames N` (default 32): frames per shard for the
+/// `--stream` addenda. 32 frames of the 131k-atom membrane is ~50 MB,
+/// which puts one shard read at ~0.4 of a task's read+compute on the
+/// calibrated costs — squarely inside the I/O-straggler regime where
+/// double-buffered prefetch overlap pays most.
+inline std::size_t parse_shard_frames(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--shard-frames") == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return 32;
+}
+
 /// Paper-style Wrangler allocation: 32 cores/node (figure labels
 /// "32/1 64/2 128/4 256/8" and "16/1 64/2 256/8" imply 32 used cores
 /// per hyper-threaded node).

@@ -16,11 +16,19 @@
 // real mini-engines with the mdtask::autoscale control loop closed
 // over them (`--churn N` stirs seeded membership events into the same
 // runs). Default flags keep the published CSV byte-identical.
+// `--stream` appends the streamed-I/O addendum: the approach-3 131k
+// task wave replayed out-of-core over Wrangler's FileSystemModel, each
+// task first pulling its `--shard-frames` shard through the shared
+// filesystem — without prefetch (read and compute strictly serialized
+// per core: the I/O-straggler regime) and with double-buffered
+// prefetch. The speedup column is the prefetch win; past the
+// filesystem's max_streams() the contention wall compresses it.
 #include <cstring>
 
 #include "bench_common.h"
 #include "mdtask/fault/membership.h"
 #include "mdtask/perf/workloads.h"
+#include "mdtask/stream/sim_io.h"
 #include "mdtask/trace/chrome_export.h"
 #include "mdtask/trace/summary.h"
 #include "mdtask/traj/catalog.h"
@@ -38,6 +46,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = bench::parse_seed(argc, argv);
   const std::size_t churn = bench::parse_churn(argc, argv);
   const bool adaptive = bench::parse_adaptive(argc, argv);
+  const bool stream = bench::parse_stream(argc, argv);
+  const std::size_t shard_frames = bench::parse_shard_frames(argc, argv);
   bench::print_seed(seed);
   trace::Tracer& tracer = trace::Tracer::global();
   if (trace_path != nullptr) tracer.set_enabled(true);
@@ -92,6 +102,52 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(table, "fig7_leaflet");
+
+  if (stream) {
+    // Streamed-I/O addendum: the exact approach-3 131k task durations
+    // Fig. 7 schedules, each task now reading one `shard_frames` shard
+    // of the membrane trajectory through Wrangler's FileSystemModel
+    // before computing. Serial read->compute per core is the
+    // I/O-straggler regime; double-buffered prefetch overlaps the next
+    // shard read with the current compute.
+    const LfWorkload workload{traj::lf_atoms(traj::LfSize::k131k),
+                              traj::lf_paper_edges(traj::LfSize::k131k),
+                              1024};
+    const std::uint64_t shard_bytes =
+        static_cast<std::uint64_t>(shard_frames) * workload.atoms * 12;
+    Table io("Fig. 7 addendum: streamed shards vs in-memory "
+             "(approach 3, 131k atoms, Wrangler filesystem model)");
+    io.set_header({"cores/nodes", "tasks", "shard_MB", "no_prefetch_s",
+                   "io_wait_pct", "prefetch_s", "prefetch_wait_pct",
+                   "speedup"});
+    for (std::size_t cores : {4u, 8u, 16u, 32u, 64u}) {
+      const auto cluster = bench::wrangler_alloc(cores);
+      const auto durations =
+          leaflet_task_durations(mpi_model(), cluster, 3, workload, costs);
+      std::vector<stream::StreamTask> tasks(durations.size());
+      for (std::size_t t = 0; t < durations.size(); ++t) {
+        tasks[t] = {durations[t], shard_bytes};
+      }
+      const auto& fs = cluster.machine.filesystem;
+      stream::StreamWaveOptions serial;
+      const auto cold = stream::simulate_stream_wave(cores, tasks, fs, serial);
+      stream::StreamWaveOptions buffered;
+      buffered.prefetch = true;
+      buffered.prefetch_depth = 2;
+      const auto warm =
+          stream::simulate_stream_wave(cores, tasks, fs, buffered);
+      io.add_row({std::to_string(cores) + "/" +
+                      std::to_string(cluster.nodes),
+                  std::to_string(tasks.size()),
+                  Table::fmt(static_cast<double>(shard_bytes) / 1e6, 1),
+                  bench::fmt_runtime(cold.makespan_s),
+                  Table::fmt(100.0 * cold.io_wait_fraction(cores), 1),
+                  bench::fmt_runtime(warm.makespan_s),
+                  Table::fmt(100.0 * warm.io_wait_fraction(cores), 1),
+                  Table::fmt(cold.makespan_s / warm.makespan_s, 2)});
+    }
+    bench::emit(io, "fig7_leaflet_stream");
+  }
 
   if (adaptive) {
     // Live addendum: the real mini-engines run approach 3 with an

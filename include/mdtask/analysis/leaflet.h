@@ -98,6 +98,25 @@ std::vector<Edge> lf_edges_tree(std::span<const traj::Vec3> all_atoms,
                                 const BlockPair& block, double cutoff,
                                 kernels::KernelPolicy policy);
 
+/// Streamed (out-of-core) variants: the chunk positions arrive as
+/// caller-loaded spans (read from a stream::ShardReader) instead of
+/// being sliced out of one in-memory system array. Edges carry the
+/// global atom ids encoded in the chunk/block bounds, and each variant
+/// runs the exact code path of its in-memory counterpart (the in-memory
+/// kernels above delegate here), so streamed runs are bit-identical.
+std::vector<Edge> lf_edges_1d_spans(std::span<const traj::Vec3> chunk_atoms,
+                                    std::span<const traj::Vec3> all_atoms,
+                                    const AtomChunk& chunk, double cutoff,
+                                    kernels::KernelPolicy policy);
+std::vector<Edge> lf_edges_2d_spans(std::span<const traj::Vec3> row_atoms,
+                                    std::span<const traj::Vec3> col_atoms,
+                                    const BlockPair& block, double cutoff,
+                                    kernels::KernelPolicy policy);
+std::vector<Edge> lf_edges_tree_spans(std::span<const traj::Vec3> row_atoms,
+                                      std::span<const traj::Vec3> col_atoms,
+                                      const BlockPair& block, double cutoff,
+                                      kernels::KernelPolicy policy);
+
 /// Bytes a map task's cdist block materializes for the given block shape;
 /// drives the paper's memory-pressure behaviour (42k tasks at 4M atoms,
 /// approach-3 Dask worker restarts).

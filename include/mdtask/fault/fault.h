@@ -30,6 +30,7 @@ enum class FaultKind {
   kStraggler,         ///< the task runs several times longer than nominal
   kNetworkPartition,  ///< transient partition: a broadcast/shuffle op fails
   kFilesystemStall,   ///< the shared parallel filesystem stalls
+  kTransientReadError,  ///< one staged read returns garbage; re-read heals
 };
 const char* to_string(FaultKind kind) noexcept;
 
@@ -69,6 +70,9 @@ struct FaultRates {
   double straggler = 0.0;
   double network_partition = 0.0;
   double fs_stall = 0.0;
+  /// Probability one shard read returns corrupt data (checksum reject)
+  /// and must be re-read — the streaming substrate's fault mode.
+  double transient_read = 0.0;
   /// Duration multiplier a probabilistic straggler applies.
   double straggler_factor = 4.0;
   /// Seconds a probabilistic FS stall adds.
@@ -76,7 +80,8 @@ struct FaultRates {
 
   bool empty() const noexcept {
     return node_crash == 0.0 && worker_oom == 0.0 && straggler == 0.0 &&
-           network_partition == 0.0 && fs_stall == 0.0;
+           network_partition == 0.0 && fs_stall == 0.0 &&
+           transient_read == 0.0;
   }
 };
 

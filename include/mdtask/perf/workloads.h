@@ -86,6 +86,16 @@ std::vector<double> leaflet_utilization_timeline(
     std::size_t buckets, trace::Tracer* tracer = nullptr,
     std::uint32_t trace_pid = 0, std::uint64_t seed = 42);
 
+/// Map-task compute durations of one Leaflet Finder cell — the exact
+/// task set simulate_leaflet schedules. Exposed so the streamed-I/O
+/// replay (stream/sim_io.h) can pair each task's compute cost with its
+/// shard read bytes and never drift from the Fig. 7 model.
+std::vector<double> leaflet_task_durations(const FrameworkModel& model,
+                                           const sim::ClusterSpec& cluster,
+                                           int approach,
+                                           const LfWorkload& workload,
+                                           const KernelCosts& costs);
+
 // ---- Sec. 6 future-work extensions (ablation benches) ----
 
 /// Straggler-mitigation policy: when a task has run longer than

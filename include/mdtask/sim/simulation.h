@@ -195,6 +195,27 @@ struct NetworkModel {
   }
 };
 
+/// Shared parallel filesystem model for streamed trajectory I/O: each
+/// read pays a metadata/seek latency plus transfer at the per-stream
+/// sequential bandwidth; the backend saturates at aggregate_Bps, so at
+/// most max_streams() reads make progress concurrently and excess
+/// readers queue (the contention that produces I/O stragglers).
+struct FileSystemModel {
+  double seek_latency_s = 5e-4;  ///< metadata + seek per shard read
+  double stream_Bps = 1.2e9;     ///< one reader's sequential bandwidth
+  double aggregate_Bps = 6e9;    ///< backend saturation bandwidth
+
+  /// Concurrent streams the backend sustains at full per-stream rate.
+  std::size_t max_streams() const noexcept {
+    const double streams = aggregate_Bps / stream_Bps;
+    return streams < 1.0 ? 1 : static_cast<std::size_t>(streams);
+  }
+  /// Uncontended service time of one `bytes` read.
+  double read_s(std::uint64_t bytes) const noexcept {
+    return seek_latency_s + static_cast<double>(bytes) / stream_Bps;
+  }
+};
+
 /// A machine family (one paper testbed).
 struct MachineProfile {
   const char* name = "generic";
@@ -208,6 +229,9 @@ struct MachineProfile {
   std::size_t physical_cores_per_node = 24;
   NetworkModel network;
   double filesystem_Bps = 5e9;  ///< shared parallel filesystem bandwidth
+  /// Streamed-I/O view of the same filesystem (filesystem_Bps remains
+  /// the aggregate the checkpoint model charges against).
+  FileSystemModel filesystem;
 };
 
 /// SDSC Comet: 24 physical Haswell cores/node, 128 GB/node (Sec. 4).

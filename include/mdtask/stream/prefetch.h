@@ -1,0 +1,97 @@
+// PrefetchPipeline: async double-buffered shard decoding.
+//
+// The 2019 follow-up to the paper found MPI stragglers dominated by
+// per-frame trajectory I/O; the classic fix is to overlap the next
+// tile's read+decode with the current tile's compute. The pipeline
+// schedules up to `depth` shard reads ahead of the consumer on the
+// shared ThreadPool and hands tiles back strictly in shard order, so a
+// kernels consumer iterating next() sees the trajectory exactly as a
+// sequential reader would — just with the I/O already done.
+//
+// Concurrency contract: next() and cancel() may be called from any
+// thread (one consumer at a time); producer jobs touch only the
+// const ShardReader and the mutex-guarded exchange state. The
+// destructor cancels and drains outstanding jobs, so the pipeline can
+// never outlive a tile in flight.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "mdtask/common/error.h"
+#include "mdtask/common/thread_pool.h"
+#include "mdtask/kernels/frame_pack.h"
+#include "mdtask/stream/shard_reader.h"
+
+namespace mdtask::stream {
+
+/// One decoded shard, delivered in order.
+struct FrameTile {
+  std::size_t shard = 0;
+  std::size_t first_frame = 0;
+  traj::Trajectory frames;
+  /// SoA lanes for the batch kernels, built off the consumer's critical
+  /// path when PrefetchOptions::pack_tiles is set.
+  std::optional<kernels::FramePack> pack;
+};
+
+struct PrefetchOptions {
+  /// Tiles buffered ahead of the consumer (in flight + decoded-but-
+  /// unconsumed). 2 = classic double buffering.
+  std::size_t depth = 2;
+  /// Shard range [begin_shard, end_shard) to stream; end clamped to the
+  /// reader's shard count. Engines pass their partition here.
+  std::size_t begin_shard = 0;
+  std::size_t end_shard = ~std::size_t{0};
+  /// Also build a kernels::FramePack per tile on the producer side.
+  bool pack_tiles = false;
+};
+
+class PrefetchPipeline {
+ public:
+  /// Neither the reader nor the pool is owned; both must outlive the
+  /// pipeline. Scheduling starts immediately.
+  PrefetchPipeline(const ShardReader& reader, ThreadPool& pool,
+                   PrefetchOptions options = {});
+  ~PrefetchPipeline();
+
+  PrefetchPipeline(const PrefetchPipeline&) = delete;
+  PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
+
+  /// Blocks until the next in-order tile is decoded. Returns nullopt at
+  /// end of stream, the shard's error if its read failed, and
+  /// kCancelled after cancel().
+  Result<std::optional<FrameTile>> next();
+
+  /// Stops scheduling and unblocks next() with kCancelled. In-flight
+  /// producer jobs finish (their tiles are discarded).
+  void cancel();
+
+  std::size_t tiles_delivered() const;
+  /// Tiles decoded and waiting plus reads in flight (test hook: bounded
+  /// by depth).
+  std::size_t buffered() const;
+
+ private:
+  void schedule_locked();
+  void produce(std::size_t shard);
+
+  const ShardReader* reader_;
+  ThreadPool* pool_;
+  PrefetchOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::size_t, Result<FrameTile>> ready_;
+  std::size_t next_to_schedule_ = 0;
+  std::size_t next_to_deliver_ = 0;
+  std::size_t end_ = 0;
+  std::size_t inflight_ = 0;
+  std::size_t delivered_ = 0;
+  bool cancelled_ = false;
+};
+
+}  // namespace mdtask::stream

@@ -1,0 +1,50 @@
+// Fault-aware shard reads.
+//
+// A transient read error (FaultKind::kTransientReadError) models a
+// staged read returning garbage — the checksum rejects the shard and
+// the fix is simply to read it again. This helper folds that loop into
+// one call: each attempt consults the plan's injector (a pure function
+// of seed/engine/task/attempt, so schedules are reproducible), a fired
+// error burns the attempt and records the engine's recovery action in
+// the RecoveryLog, and the re-read proceeds until a clean attempt or
+// the retry budget gives up. Engine runtimes get the same behaviour for
+// free — a transient read error injected into an engine task fails the
+// attempt and the engine's native recovery re-runs it, re-reading the
+// shard — but the DES I/O replay and substrate-level consumers use this
+// direct form.
+#pragma once
+
+#include <cstdint>
+
+#include "mdtask/common/error.h"
+#include "mdtask/fault/injector.h"
+#include "mdtask/fault/recovery.h"
+#include "mdtask/stream/shard_reader.h"
+
+namespace mdtask::stream {
+
+/// Injection scope for fault-aware reads. A null plan disables
+/// injection (reads pass through).
+struct ReadRecoveryContext {
+  const fault::FaultPlan* plan = nullptr;
+  fault::EngineId engine = fault::EngineId::kMpi;
+  fault::RecoveryLog* log = nullptr;
+};
+
+/// Reads shard `s`, retrying through injected transient read errors.
+/// Non-read fault kinds firing for (task_id, attempt) are ignored here;
+/// they belong to the engine's task-level injection. Returns
+/// kUnavailable when the retry budget is exhausted (the give-up is
+/// logged), the reader's error on a real I/O failure.
+Result<traj::Trajectory> read_shard_with_recovery(
+    const ShardReader& reader, std::size_t s, std::uint64_t task_id,
+    const ReadRecoveryContext& context);
+
+/// read_frames with the same per-attempt injection: each covered shard
+/// runs its own attempt loop keyed by the same task id, so a fault that
+/// fires for (task, attempt 0) costs one re-read per shard touched.
+Result<traj::Trajectory> read_frames_with_recovery(
+    const ShardReader& reader, std::size_t first, std::size_t count,
+    std::uint64_t task_id, const ReadRecoveryContext& context);
+
+}  // namespace mdtask::stream

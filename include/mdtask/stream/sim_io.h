@@ -1,0 +1,76 @@
+// Virtual-time replay of streamed task waves (the I/O-straggler study).
+//
+// simulate_stream_wave() replays a wave of {read, compute} tasks on a
+// simulated core pool fed by a sim::FileSystemModel: every task must
+// first pull its shard bytes through the shared filesystem — a
+// multi-server Resource with max_streams() slots, so excess concurrent
+// readers queue and the queue wait is exactly the contention regime the
+// 2019 follow-up paper measured ("MPI stragglers dominated by per-frame
+// trajectory I/O"). Without prefetch a core sits idle for the whole
+// read; with prefetch the next task's read is issued while the current
+// task computes (double buffering, depth configurable), which is the
+// win the bench_fig7_leaflet --stream table quantifies.
+//
+// Fault plans compose: kTransientReadError burns whole transfers and
+// re-reads (decisions by the pure-hash injector, recovery logged per
+// the engine's policy), kFilesystemStall adds its delay to the service
+// time. Single-threaded virtual time: same seed, byte-identical logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdtask/fault/injector.h"
+#include "mdtask/fault/recovery.h"
+#include "mdtask/sim/simulation.h"
+
+namespace mdtask::stream {
+
+/// One streamed task: read `read_bytes` from the shared FS, then
+/// compute for `compute_s`.
+struct StreamTask {
+  double compute_s = 0.0;
+  std::uint64_t read_bytes = 0;
+};
+
+struct StreamWaveOptions {
+  /// Overlap the next read with the current compute (double buffering).
+  bool prefetch = false;
+  /// Tiles buffered ahead per core when prefetching (>= 1).
+  std::size_t prefetch_depth = 2;
+  /// Optional fault plan: transient read errors and FS stalls apply to
+  /// the read phase; other kinds are task-level and ignored here.
+  const fault::FaultPlan* plan = nullptr;
+  fault::EngineId engine = fault::EngineId::kMpi;
+  fault::RecoveryLog* log = nullptr;
+  /// Mirrors per-core "io:read" / "task" spans in virtual time.
+  trace::Tracer* tracer = nullptr;
+};
+
+struct StreamWaveOutcome {
+  bool completed = true;
+  std::string failure;        ///< first read give-up, when !completed
+  double makespan_s = 0.0;
+  double read_s = 0.0;        ///< total FS service time (all cores)
+  double compute_s = 0.0;     ///< total compute time (all cores)
+  double io_wait_s = 0.0;     ///< core-idle time waiting for data
+  std::uint64_t reads = 0;    ///< transfers issued (incl. re-reads)
+  std::uint64_t retried_reads = 0;
+
+  /// Fraction of core time the wave spent starved on I/O.
+  double io_wait_fraction(std::size_t cores) const noexcept {
+    const double total = static_cast<double>(cores) * makespan_s;
+    return total > 0.0 ? io_wait_s / total : 0.0;
+  }
+};
+
+/// Replays `tasks` on `cores` cores over `fs`, block-cyclic assignment
+/// (task t runs on core t % cores — the MPI rank-block pattern all four
+/// partitioned readers share). Deterministic.
+StreamWaveOutcome simulate_stream_wave(std::size_t cores,
+                                       const std::vector<StreamTask>& tasks,
+                                       const sim::FileSystemModel& fs,
+                                       const StreamWaveOptions& options = {});
+
+}  // namespace mdtask::stream

@@ -13,6 +13,7 @@
 #include "mdtask/autoscale/adapters.h"
 #include "mdtask/autoscale/controller.h"
 #include "mdtask/fault/membership.h"
+#include "mdtask/stream/shard_reader.h"
 
 namespace mdtask::workflows {
 
@@ -20,6 +21,22 @@ namespace mdtask::workflows {
 enum class EngineKind { kMpi, kSpark, kDask, kRp };
 
 const char* to_string(EngineKind kind) noexcept;
+
+/// Out-of-core input for the streamed workflow entry points: a sharded
+/// store (stream/shard_format.h) map tasks read their own slice of,
+/// instead of slicing an in-memory array. How the slices map to engine
+/// work units follows each engine's idiom — MPI ranks read their
+/// block-cyclic share, Spark partitions and Dask tasks read per-block,
+/// RP units stage their inputs — but all of them go through one shared
+/// ShardReader, so results stay bit-identical to the in-memory runs.
+struct StreamInput {
+  std::string path;  ///< sharded .mds store
+  stream::ShardReader::Mode mode = stream::ShardReader::Mode::kStream;
+  /// PSA only: trajectories in the store (the store's frame count must
+  /// divide evenly). Ignored by the Leaflet Finder (one point per
+  /// stored frame).
+  std::size_t trajectories = 0;
+};
 
 /// Plain-value snapshot of engine counters after a run (non-atomic copy
 /// of engines::EngineMetrics plus workload-level measurements).

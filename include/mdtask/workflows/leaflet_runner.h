@@ -81,4 +81,19 @@ Result<LfRunResult> run_leaflet_finder(EngineKind engine, int approach,
                                        double cutoff,
                                        const LfRunConfig& config = {});
 
+/// Out-of-core Leaflet Finder: positions come from a sharded store
+/// (write them with stream::write_sharded_points) and map tasks read
+/// only their block's row/col ranges through a shared ShardReader —
+/// the full system is never materialized at the driver for approaches
+/// 2-4. Approach 1 is broadcast-everything by definition, so it loads
+/// the store once and runs the in-memory path. Results are
+/// bit-identical to run_leaflet_finder on the array the store was
+/// written from (guarded by the stream workflow tests); the store's
+/// bytes read are accounted in metrics.staged_bytes.
+Result<LfRunResult> run_leaflet_finder_streamed(EngineKind engine,
+                                                int approach,
+                                                const StreamInput& input,
+                                                double cutoff,
+                                                const LfRunConfig& config = {});
+
 }  // namespace mdtask::workflows

@@ -69,6 +69,20 @@ struct PsaRunResult {
 PsaRunResult run_psa(EngineKind engine, const traj::Ensemble& ensemble,
                      const PsaRunConfig& config = {});
 
+/// Out-of-core PSA: the ensemble lives in a sharded store (write it
+/// with stream::write_sharded over the concatenated trajectories;
+/// input.trajectories = N) and every block task reads only its row/col
+/// trajectories through a shared ShardReader — the ensemble is never
+/// materialized whole. The matrix is bit-identical to run_psa on the
+/// ensemble the store was written from (guarded by the stream workflow
+/// tests); the store's bytes read are accounted in
+/// metrics.staged_bytes. Fails with kFormatError/kInvalidArgument when
+/// the store cannot be opened or its frames do not divide into
+/// input.trajectories.
+Result<PsaRunResult> run_psa_streamed(EngineKind engine,
+                                      const StreamInput& input,
+                                      const PsaRunConfig& config = {});
+
 /// The n1 actually used for a given config/ensemble (exposed for benches).
 std::size_t psa_effective_block_size(std::size_t n_trajectories,
                                      const PsaRunConfig& config);

@@ -34,6 +34,7 @@ BEHAVIOURAL_FAMILIES = (
     ("fault_injection", "fault-injection entry; timings not comparable"),
     ("elastic", "elasticity entry; timings depend on the membership plan"),
     ("autoscale", "autoscale entry; timings depend on the control loop"),
+    ("stream", "streamed-I/O entry; timings depend on the filesystem model"),
 )
 
 

@@ -107,51 +107,82 @@ std::vector<std::uint32_t> iota_ids(std::uint32_t begin, std::uint32_t end) {
 
 }  // namespace
 
-std::vector<Edge> lf_edges_1d(std::span<const traj::Vec3> all_atoms,
-                              const AtomChunk& chunk, double cutoff) {
+std::vector<Edge> lf_edges_1d_spans(std::span<const traj::Vec3> chunk_atoms,
+                                    std::span<const traj::Vec3> all_atoms,
+                                    const AtomChunk& chunk, double cutoff,
+                                    kernels::KernelPolicy policy) {
   const auto row_ids = iota_ids(chunk.begin, chunk.end);
   const auto col_ids =
       iota_ids(0, static_cast<std::uint32_t>(all_atoms.size()));
-  return edges_from_cdist_block(
-      all_atoms.subspan(chunk.begin, chunk.size()), all_atoms, row_ids,
-      col_ids, cutoff);
+  if (policy == kernels::KernelPolicy::kScalar) {
+    return edges_from_cdist_block(chunk_atoms, all_atoms, row_ids, col_ids,
+                                  cutoff);
+  }
+  return edges_within_cutoff(chunk_atoms, all_atoms, row_ids, col_ids,
+                             cutoff, policy);
+}
+
+std::vector<Edge> lf_edges_2d_spans(std::span<const traj::Vec3> row_atoms,
+                                    std::span<const traj::Vec3> col_atoms,
+                                    const BlockPair& block, double cutoff,
+                                    kernels::KernelPolicy policy) {
+  const auto row_ids = iota_ids(block.rows.begin, block.rows.end);
+  const auto col_ids = iota_ids(block.cols.begin, block.cols.end);
+  if (policy == kernels::KernelPolicy::kScalar) {
+    return edges_from_cdist_block(row_atoms, col_atoms, row_ids, col_ids,
+                                  cutoff);
+  }
+  return edges_within_cutoff(row_atoms, col_atoms, row_ids, col_ids, cutoff,
+                             policy);
+}
+
+std::vector<Edge> lf_edges_tree_spans(std::span<const traj::Vec3> row_atoms,
+                                      std::span<const traj::Vec3> col_atoms,
+                                      const BlockPair& block, double cutoff,
+                                      kernels::KernelPolicy policy) {
+  const BallTree tree(col_atoms, /*leaf_size=*/32, policy);
+  std::vector<Edge> edges;
+  std::vector<std::uint32_t> hits;
+  for (std::uint32_t i = block.rows.begin; i < block.rows.end; ++i) {
+    hits.clear();
+    tree.query_radius(row_atoms[i - block.rows.begin], cutoff, hits);
+    for (std::uint32_t local : hits) {
+      const std::uint32_t j = block.cols.begin + local;
+      if (i < j) edges.push_back({i, j});
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> lf_edges_1d(std::span<const traj::Vec3> all_atoms,
+                              const AtomChunk& chunk, double cutoff) {
+  return lf_edges_1d_spans(all_atoms.subspan(chunk.begin, chunk.size()),
+                           all_atoms, chunk, cutoff,
+                           kernels::KernelPolicy::kScalar);
 }
 
 std::vector<Edge> lf_edges_2d(std::span<const traj::Vec3> all_atoms,
                               const BlockPair& block, double cutoff) {
-  const auto row_ids = iota_ids(block.rows.begin, block.rows.end);
-  const auto col_ids = iota_ids(block.cols.begin, block.cols.end);
-  return edges_from_cdist_block(
+  return lf_edges_2d_spans(
       all_atoms.subspan(block.rows.begin, block.rows.size()),
-      all_atoms.subspan(block.cols.begin, block.cols.size()), row_ids,
-      col_ids, cutoff);
+      all_atoms.subspan(block.cols.begin, block.cols.size()), block, cutoff,
+      kernels::KernelPolicy::kScalar);
 }
 
 std::vector<Edge> lf_edges_1d(std::span<const traj::Vec3> all_atoms,
                               const AtomChunk& chunk, double cutoff,
                               kernels::KernelPolicy policy) {
-  if (policy == kernels::KernelPolicy::kScalar) {
-    return lf_edges_1d(all_atoms, chunk, cutoff);
-  }
-  const auto row_ids = iota_ids(chunk.begin, chunk.end);
-  const auto col_ids =
-      iota_ids(0, static_cast<std::uint32_t>(all_atoms.size()));
-  return edges_within_cutoff(all_atoms.subspan(chunk.begin, chunk.size()),
-                             all_atoms, row_ids, col_ids, cutoff, policy);
+  return lf_edges_1d_spans(all_atoms.subspan(chunk.begin, chunk.size()),
+                           all_atoms, chunk, cutoff, policy);
 }
 
 std::vector<Edge> lf_edges_2d(std::span<const traj::Vec3> all_atoms,
                               const BlockPair& block, double cutoff,
                               kernels::KernelPolicy policy) {
-  if (policy == kernels::KernelPolicy::kScalar) {
-    return lf_edges_2d(all_atoms, block, cutoff);
-  }
-  const auto row_ids = iota_ids(block.rows.begin, block.rows.end);
-  const auto col_ids = iota_ids(block.cols.begin, block.cols.end);
-  return edges_within_cutoff(
+  return lf_edges_2d_spans(
       all_atoms.subspan(block.rows.begin, block.rows.size()),
-      all_atoms.subspan(block.cols.begin, block.cols.size()), row_ids,
-      col_ids, cutoff, policy);
+      all_atoms.subspan(block.cols.begin, block.cols.size()), block, cutoff,
+      policy);
 }
 
 std::vector<Edge> lf_edges_tree(std::span<const traj::Vec3> all_atoms,
@@ -162,19 +193,10 @@ std::vector<Edge> lf_edges_tree(std::span<const traj::Vec3> all_atoms,
 std::vector<Edge> lf_edges_tree(std::span<const traj::Vec3> all_atoms,
                                 const BlockPair& block, double cutoff,
                                 kernels::KernelPolicy policy) {
-  const BallTree tree(all_atoms.subspan(block.cols.begin, block.cols.size()),
-                      /*leaf_size=*/32, policy);
-  std::vector<Edge> edges;
-  std::vector<std::uint32_t> hits;
-  for (std::uint32_t i = block.rows.begin; i < block.rows.end; ++i) {
-    hits.clear();
-    tree.query_radius(all_atoms[i], cutoff, hits);
-    for (std::uint32_t local : hits) {
-      const std::uint32_t j = block.cols.begin + local;
-      if (i < j) edges.push_back({i, j});
-    }
-  }
-  return edges;
+  return lf_edges_tree_spans(
+      all_atoms.subspan(block.rows.begin, block.rows.size()),
+      all_atoms.subspan(block.cols.begin, block.cols.size()), block, cutoff,
+      policy);
 }
 
 std::size_t lf_block_cdist_bytes(const BlockPair& block) {

@@ -12,6 +12,7 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kStraggler: return "straggler";
     case FaultKind::kNetworkPartition: return "network-partition";
     case FaultKind::kFilesystemStall: return "filesystem-stall";
+    case FaultKind::kTransientReadError: return "transient-read-error";
   }
   return "?";
 }

@@ -44,6 +44,11 @@ FaultSpec FaultInjector::decide(std::uint64_t task_id,
     return FaultSpec{FaultKind::kFilesystemStall, task_id, attempt, 1.0,
                      rates.fs_stall_s};
   }
+  if (rates.transient_read > 0.0 &&
+      draw(task_id, attempt, 5) < rates.transient_read) {
+    return FaultSpec{FaultKind::kTransientReadError, task_id, attempt, 1.0,
+                     0.0};
+  }
   if (rates.straggler > 0.0 && draw(task_id, attempt, 4) < rates.straggler) {
     return FaultSpec{FaultKind::kStraggler, task_id, attempt,
                      rates.straggler_factor, 0.0};

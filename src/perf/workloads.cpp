@@ -300,6 +300,14 @@ static std::vector<double> detail_leaflet_durations(
   return durations;
 }
 
+std::vector<double> leaflet_task_durations(const FrameworkModel& model,
+                                           const sim::ClusterSpec& cluster,
+                                           int approach,
+                                           const LfWorkload& workload,
+                                           const KernelCosts& costs) {
+  return detail_leaflet_durations(model, cluster, approach, workload, costs);
+}
+
 SimOutcome simulate_leaflet(const FrameworkModel& model,
                             const sim::ClusterSpec& cluster, int approach,
                             const LfWorkload& workload,

@@ -223,6 +223,9 @@ MachineProfile comet() {
   m.network.bandwidth_Bps = 7e9;    // InfiniBand FDR
   m.network.bisection_Bps = 2.8e10;
   m.filesystem_Bps = 6e9;           // Lustre
+  m.filesystem.seek_latency_s = 8e-4;  // Lustre metadata round-trip
+  m.filesystem.stream_Bps = 1.0e9;     // one client's sequential rate
+  m.filesystem.aggregate_Bps = 6e9;    // = filesystem_Bps
   return m;
 }
 
@@ -238,6 +241,9 @@ MachineProfile wrangler() {
   m.network.bandwidth_Bps = 5e9;
   m.network.bisection_Bps = 2e10;
   m.filesystem_Bps = 1e10;          // Wrangler's flash-based storage
+  m.filesystem.seek_latency_s = 2e-4;  // flash: cheap seeks
+  m.filesystem.stream_Bps = 1.5e9;
+  m.filesystem.aggregate_Bps = 1e10;   // = filesystem_Bps
   return m;
 }
 

@@ -1,0 +1,102 @@
+#include "mdtask/stream/prefetch.h"
+
+#include <algorithm>
+
+namespace mdtask::stream {
+
+PrefetchPipeline::PrefetchPipeline(const ShardReader& reader,
+                                   ThreadPool& pool,
+                                   PrefetchOptions options)
+    : reader_(&reader), pool_(&pool), options_(options) {
+  options_.depth = std::max<std::size_t>(1, options_.depth);
+  end_ = std::min(options_.end_shard, reader_->shard_count());
+  next_to_schedule_ = std::min(options_.begin_shard, end_);
+  next_to_deliver_ = next_to_schedule_;
+  std::lock_guard lk(mu_);
+  schedule_locked();
+}
+
+PrefetchPipeline::~PrefetchPipeline() {
+  std::unique_lock lk(mu_);
+  cancelled_ = true;
+  cv_.notify_all();
+  // Drain: producer jobs hold a raw pointer to this pipeline, so the
+  // destructor must not return while any are in flight.
+  cv_.wait(lk, [this] { return inflight_ == 0; });
+}
+
+void PrefetchPipeline::schedule_locked() {
+  while (!cancelled_ && next_to_schedule_ < end_ &&
+         inflight_ + ready_.size() < options_.depth) {
+    const std::size_t shard = next_to_schedule_++;
+    ++inflight_;
+    pool_->post([this, shard] { produce(shard); });
+  }
+}
+
+void PrefetchPipeline::produce(std::size_t shard) {
+  // Read + decode outside the lock: this is the work being overlapped.
+  auto read = reader_->read_shard(shard);
+  std::optional<Result<FrameTile>> slot;
+  if (read.ok()) {
+    FrameTile tile;
+    tile.shard = shard;
+    tile.first_frame = reader_->info().shard_first_frame(shard);
+    tile.frames = std::move(read).value();
+    if (options_.pack_tiles) {
+      tile.pack = kernels::pack_trajectory(tile.frames);
+    }
+    slot.emplace(std::move(tile));
+  } else {
+    slot.emplace(read.error());
+  }
+  std::lock_guard lk(mu_);
+  --inflight_;
+  if (!cancelled_) {
+    ready_.emplace(shard, std::move(*slot));
+  }
+  cv_.notify_all();
+}
+
+Result<std::optional<FrameTile>> PrefetchPipeline::next() {
+  std::unique_lock lk(mu_);
+  if (next_to_deliver_ >= end_) {
+    return std::optional<FrameTile>{};
+  }
+  cv_.wait(lk, [this] {
+    return cancelled_ || ready_.contains(next_to_deliver_);
+  });
+  if (cancelled_) {
+    return Error(ErrorCode::kCancelled, "prefetch pipeline cancelled");
+  }
+  auto node = ready_.extract(next_to_deliver_);
+  ++next_to_deliver_;
+  Result<FrameTile> tile = std::move(node.mapped());
+  if (!tile.ok()) {
+    // A failed shard poisons the stream: stop scheduling past it.
+    cancelled_ = true;
+    cv_.notify_all();
+    return tile.error();
+  }
+  ++delivered_;
+  schedule_locked();
+  return std::optional<FrameTile>(std::move(tile).value());
+}
+
+void PrefetchPipeline::cancel() {
+  std::lock_guard lk(mu_);
+  cancelled_ = true;
+  cv_.notify_all();
+}
+
+std::size_t PrefetchPipeline::tiles_delivered() const {
+  std::lock_guard lk(mu_);
+  return delivered_;
+}
+
+std::size_t PrefetchPipeline::buffered() const {
+  std::lock_guard lk(mu_);
+  return inflight_ + ready_.size();
+}
+
+}  // namespace mdtask::stream

@@ -1,0 +1,84 @@
+#include "mdtask/stream/recovery_read.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mdtask::stream {
+namespace {
+
+/// Runs the attempt loop for one shard. The injected error burns the
+/// attempt *before* the read (the garbage is noticed at checksum time;
+/// the cost model for the wasted transfer lives in the DES layer).
+Result<traj::Trajectory> attempt_loop(const ShardReader& reader,
+                                      std::size_t s, std::uint64_t task_id,
+                                      const ReadRecoveryContext& context) {
+  if (context.plan == nullptr || context.plan->empty()) {
+    return reader.read_shard(s);
+  }
+  const fault::FaultInjector injector(*context.plan, context.engine);
+  const int budget = std::max(1, context.plan->retry.max_attempts);
+  for (int attempt = 0;; ++attempt) {
+    const fault::FaultSpec spec = injector.decide(task_id, attempt);
+    if (spec.kind != fault::FaultKind::kTransientReadError) {
+      // Clean read (other kinds are task-level faults, not ours).
+      return reader.read_shard(s);
+    }
+    const fault::RecoveryAction action = fault::recovery_action(
+        context.engine, spec.kind, attempt, context.plan->retry);
+    const double backoff =
+        fault::backoff_for_attempt(context.plan->retry, attempt + 1);
+    if (context.log != nullptr) {
+      context.log->record({context.engine, task_id, attempt, spec.kind,
+                           action, backoff, 0.0});
+    }
+    if (action == fault::RecoveryAction::kGiveUp || attempt + 1 >= budget) {
+      return Error(ErrorCode::kUnavailable,
+                   "shard " + std::to_string(s) + " unreadable after " +
+                       std::to_string(attempt + 1) + " attempts")
+          .with_task({std::string(fault::to_string(context.engine)),
+                      task_id, attempt,
+                      std::string(fault::to_string(spec.kind))});
+    }
+  }
+}
+
+}  // namespace
+
+Result<traj::Trajectory> read_shard_with_recovery(
+    const ShardReader& reader, std::size_t s, std::uint64_t task_id,
+    const ReadRecoveryContext& context) {
+  return attempt_loop(reader, s, task_id, context);
+}
+
+Result<traj::Trajectory> read_frames_with_recovery(
+    const ShardReader& reader, std::size_t first, std::size_t count,
+    std::uint64_t task_id, const ReadRecoveryContext& context) {
+  const ShardStoreInfo& info = reader.info();
+  if (first + count > info.frames) {
+    return Error(ErrorCode::kOutOfRange,
+                 "frame range beyond store: " + reader.path());
+  }
+  traj::Trajectory out(count, info.atoms);
+  if (count == 0) return out;
+  const std::size_t frame_bytes = info.atoms * sizeof(traj::Vec3);
+  auto* dst = reinterpret_cast<std::uint8_t*>(out.data().data());
+  std::size_t s = info.shard_of_frame(first);
+  std::size_t written = 0;
+  while (written < count) {
+    auto shard = attempt_loop(reader, s, task_id, context);
+    if (!shard.ok()) return shard.error();
+    const std::size_t skip = first + written - info.shard_first_frame(s);
+    const std::size_t take =
+        std::min(shard.value().frames() - skip, count - written);
+    std::memcpy(dst + written * frame_bytes,
+                reinterpret_cast<const std::uint8_t*>(
+                    shard.value().data().data()) +
+                    skip * frame_bytes,
+                take * frame_bytes);
+    written += take;
+    ++s;
+  }
+  return out;
+}
+
+}  // namespace mdtask::stream

@@ -1,6 +1,8 @@
 #include "mdtask/workflows/leaflet_runner.h"
 
 #include <algorithm>
+#include <mutex>
+#include <optional>
 
 #include "mdtask/analysis/balltree.h"
 #include "mdtask/common/serial.h"
@@ -9,6 +11,7 @@
 #include "mdtask/engines/mpi/runtime.h"
 #include "mdtask/engines/rp/pilot.h"
 #include "mdtask/engines/spark/spark.h"
+#include "mdtask/stream/shard_reader.h"
 
 namespace mdtask::workflows {
 namespace {
@@ -72,28 +75,90 @@ std::vector<Edge> discover_edges(int approach,
 
 bool uses_partial_components(int approach) { return approach >= 3; }
 
-LfRunResult finish_from_edges(std::span<const Vec3> atoms,
-                              std::vector<Edge> edges) {
+LfRunResult finish_from_edges(std::size_t n_atoms, std::vector<Edge> edges) {
   LfRunResult result;
   result.edges_found = edges.size();
   result.leaflets = analysis::summarize_leaflets(
-      analysis::connected_components_union_find(atoms.size(), edges));
+      analysis::connected_components_union_find(n_atoms, edges));
   return result;
 }
 
-LfRunResult finish_from_partials(std::span<const Vec3> atoms,
+LfRunResult finish_from_partials(std::size_t n_atoms,
                                  std::span<const PartialComponents> parts) {
   LfRunResult result;
   result.leaflets = analysis::summarize_leaflets(
-      analysis::merge_partial_components(atoms.size(), parts));
+      analysis::merge_partial_components(n_atoms, parts));
   return result;
+}
+
+/// Shared out-of-core input of one streamed run: every engine task
+/// loads its block's row/col ranges through this reader (points store:
+/// one atom per stored frame). Read errors are captured once and
+/// surfaced after the engine drains — the failing task contributes no
+/// edges, mirroring how a lost map task looks before its retry.
+struct LfStreamState {
+  stream::ShardReader reader;
+  std::mutex mu;
+  std::optional<Error> error;
+
+  explicit LfStreamState(stream::ShardReader r) : reader(std::move(r)) {}
+
+  void fail(Error e) {
+    std::lock_guard lk(mu);
+    if (!error.has_value()) error = std::move(e);
+  }
+
+  std::optional<traj::Trajectory> load(const AtomChunk& chunk) {
+    auto loaded = reader.read_frames(chunk.begin, chunk.size());
+    if (!loaded.ok()) {
+      fail(loaded.error());
+      return std::nullopt;
+    }
+    return std::move(loaded).value();
+  }
+
+  /// Streamed edge discovery: the block's row/col spans are read from
+  /// the store and handed to the exact span kernels the in-memory path
+  /// runs (approach 1 never reaches here — its broadcast semantics load
+  /// the store whole at the driver).
+  std::vector<Edge> discover(int approach, const MapTask& task,
+                             double cutoff, kernels::KernelPolicy policy) {
+    auto rows = load(task.block.rows);
+    if (!rows.has_value()) return {};
+    const std::span<const Vec3> row_view = rows->data();
+    std::optional<traj::Trajectory> cols;
+    std::span<const Vec3> col_view = row_view;
+    if (!task.block.diagonal()) {
+      cols = load(task.block.cols);
+      if (!cols.has_value()) return {};
+      col_view = cols->data();
+    }
+    if (approach == 4) {
+      return analysis::lf_edges_tree_spans(row_view, col_view, task.block,
+                                           cutoff, policy);
+    }
+    return analysis::lf_edges_2d_spans(row_view, col_view, task.block,
+                                       cutoff, policy);
+  }
+};
+
+/// One map task's edges: from the shared store when streaming, from the
+/// in-memory view otherwise.
+std::vector<Edge> run_discovery(int approach, std::span<const Vec3> view,
+                                const MapTask& task, double cutoff,
+                                kernels::KernelPolicy policy,
+                                LfStreamState* stream) {
+  if (stream != nullptr) return stream->discover(approach, task, cutoff, policy);
+  return discover_edges(approach, view, task, cutoff, policy);
 }
 
 // ---------------------------------------------------------------- MPI --
 
 Result<LfRunResult> run_mpi(int approach, std::span<const Vec3> atoms,
-                            double cutoff, const LfRunConfig& config) {
-  const auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
+                            std::size_t n_atoms, double cutoff,
+                            const LfRunConfig& config,
+                            LfStreamState* stream) {
+  const auto tasks = plan_tasks(approach, n_atoms, config.target_tasks);
   LfRunResult result;
   std::atomic<bool> memory_failed{false};
   WallTimer timer;
@@ -130,8 +195,8 @@ Result<LfRunResult> run_mpi(int approach, std::span<const Vec3> atoms,
             memory_failed.store(true);
             break;
           }
-          auto edges = discover_edges(approach, view, tasks[t], cutoff,
-                                      config.kernel_policy);
+          auto edges = run_discovery(approach, view, tasks[t], cutoff,
+                                     config.kernel_policy, stream);
           if (uses_partial_components(approach)) {
             auto part = analysis::partial_components(edges);
             my_pairs.insert(my_pairs.end(), part.vertex_root.begin(),
@@ -196,8 +261,8 @@ Result<LfRunResult> run_mpi(int approach, std::span<const Vec3> atoms,
                  "limit (increase target_tasks)");
   }
   result = uses_partial_components(approach)
-               ? finish_from_partials(atoms, root_parts)
-               : finish_from_edges(atoms, std::move(root_edges));
+               ? finish_from_partials(n_atoms, root_parts)
+               : finish_from_edges(n_atoms, std::move(root_edges));
   result.metrics.wall_seconds = timer.seconds();
   result.metrics.tasks = tasks.size();
   result.metrics.shuffle_bytes = report.total.bytes_sent;
@@ -208,8 +273,10 @@ Result<LfRunResult> run_mpi(int approach, std::span<const Vec3> atoms,
 // -------------------------------------------------------------- Spark --
 
 Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
-                              double cutoff, const LfRunConfig& config) {
-  auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
+                              std::size_t n_atoms, double cutoff,
+                              const LfRunConfig& config,
+                              LfStreamState* stream) {
+  auto tasks = plan_tasks(approach, n_atoms, config.target_tasks);
   autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
   spark::SparkContext sc(spark::SparkConfig{
       .executor_threads = config.workers,
@@ -244,13 +311,13 @@ Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
   try {
     if (uses_partial_components(approach)) {
       auto parts_rdd = base.map_partitions(
-          [positions, approach, cutoff, policy = config.kernel_policy](
-              spark::TaskContext& tc, std::vector<MapTask>& mine) {
+          [positions, approach, cutoff, policy = config.kernel_policy,
+           stream](spark::TaskContext& tc, std::vector<MapTask>& mine) {
             std::vector<PartialComponents> out;
             for (const auto& task : mine) {
               tc.reserve_memory(task_memory_bytes(approach, task));
-              out.push_back(analysis::partial_components(discover_edges(
-                  approach, *positions, task, cutoff, policy)));
+              out.push_back(analysis::partial_components(run_discovery(
+                  approach, *positions, task, cutoff, policy, stream)));
             }
             return out;
           });
@@ -268,31 +335,31 @@ Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
             1);
         auto final_parts = merged.collect();
         result = final_parts.empty()
-                     ? finish_from_partials(atoms, {})
+                     ? finish_from_partials(n_atoms, {})
                      : finish_from_partials(
-                           atoms, std::span<const PartialComponents>(
-                                      &final_parts[0].second, 1));
+                           n_atoms, std::span<const PartialComponents>(
+                                        &final_parts[0].second, 1));
       } else {
         auto parts = parts_rdd.collect();
-        result = finish_from_partials(atoms, parts);
+        result = finish_from_partials(n_atoms, parts);
       }
     } else {
       auto edges =
           base.map_partitions(
-                  [positions, approach, cutoff,
-                   policy = config.kernel_policy](
-                      spark::TaskContext& tc, std::vector<MapTask>& mine) {
+                  [positions, approach, cutoff, policy = config.kernel_policy,
+                   stream](spark::TaskContext& tc,
+                           std::vector<MapTask>& mine) {
                     std::vector<Edge> out;
                     for (const auto& task : mine) {
                       tc.reserve_memory(task_memory_bytes(approach, task));
-                      auto part = discover_edges(approach, *positions, task,
-                                                 cutoff, policy);
+                      auto part = run_discovery(approach, *positions, task,
+                                                cutoff, policy, stream);
                       out.insert(out.end(), part.begin(), part.end());
                     }
                     return out;
                   })
               .collect();
-      result = finish_from_edges(atoms, std::move(edges));
+      result = finish_from_edges(n_atoms, std::move(edges));
     }
   } catch (const engines::TaskMemoryExceeded& e) {
     return Error(ErrorCode::kResourceExhausted,
@@ -312,8 +379,10 @@ Result<LfRunResult> run_spark(int approach, std::span<const Vec3> atoms,
 // --------------------------------------------------------------- Dask --
 
 Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
-                             double cutoff, const LfRunConfig& config) {
-  const auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
+                             std::size_t n_atoms, double cutoff,
+                             const LfRunConfig& config,
+                             LfStreamState* stream) {
+  const auto tasks = plan_tasks(approach, n_atoms, config.target_tasks);
   autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
   dask::DaskClient client(dask::DaskConfig{
       .workers = config.workers,
@@ -351,11 +420,11 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
       futures.reserve(tasks.size());
       for (const auto& task : tasks) {
         futures.push_back(client.submit([&client, &atoms, task, approach,
-                                         cutoff,
-                                         policy = config.kernel_policy] {
+                                         cutoff, policy = config.kernel_policy,
+                                         stream] {
           client.reserve_memory(task_memory_bytes(approach, task));
           auto part = analysis::partial_components(
-              discover_edges(approach, atoms, task, cutoff, policy));
+              run_discovery(approach, atoms, task, cutoff, policy, stream));
           // The summary is what moves to the reduce side (Table 2).
           client.metrics().shuffle_bytes += part.byte_size();
           client.metrics().shuffle_records += part.vertex_root.size();
@@ -380,12 +449,12 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
         }
         const PartialComponents& merged = layer.front().get();
         result = finish_from_partials(
-            atoms, std::span<const PartialComponents>(&merged, 1));
+            n_atoms, std::span<const PartialComponents>(&merged, 1));
       } else {
         std::vector<PartialComponents> parts;
         parts.reserve(futures.size());
         for (const auto& f : futures) parts.push_back(f.get());
-        result = finish_from_partials(atoms, parts);
+        result = finish_from_partials(n_atoms, parts);
       }
     } else {
       std::vector<dask::Future<std::vector<Edge>>> futures;
@@ -393,9 +462,10 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
       for (const auto& task : tasks) {
         futures.push_back(client.submit(
             [&client, &atoms, task, approach, cutoff,
-             policy = config.kernel_policy] {
+             policy = config.kernel_policy, stream] {
               client.reserve_memory(task_memory_bytes(approach, task));
-              return discover_edges(approach, atoms, task, cutoff, policy);
+              return run_discovery(approach, atoms, task, cutoff, policy,
+                                   stream);
             }));
       }
       std::vector<Edge> edges;
@@ -403,7 +473,7 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
         const auto& part = f.get();
         edges.insert(edges.end(), part.begin(), part.end());
       }
-      result = finish_from_edges(atoms, std::move(edges));
+      result = finish_from_edges(n_atoms, std::move(edges));
     }
   } catch (const engines::TaskMemoryExceeded& e) {
     return Error(ErrorCode::kResourceExhausted,
@@ -423,8 +493,10 @@ Result<LfRunResult> run_dask(int approach, std::span<const Vec3> atoms,
 // ----------------------------------------------------------------- RP --
 
 Result<LfRunResult> run_rp(int approach, std::span<const Vec3> atoms,
-                           double cutoff, const LfRunConfig& config) {
-  const auto tasks = plan_tasks(approach, atoms.size(), config.target_tasks);
+                           std::size_t n_atoms, double cutoff,
+                           const LfRunConfig& config,
+                           LfStreamState* stream) {
+  const auto tasks = plan_tasks(approach, n_atoms, config.target_tasks);
   autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
   rp::UnitManager um(rp::PilotDescription{
       .cores = config.workers,
@@ -454,12 +526,14 @@ Result<LfRunResult> run_rp(int approach, std::span<const Vec3> atoms,
         .executable =
             [&atoms, task = tasks[t], approach, cutoff, out_path,
              limit = config.task_memory_limit,
-             policy = config.kernel_policy](rp::SharedFilesystem& fs) {
+             policy = config.kernel_policy,
+             stream](rp::SharedFilesystem& fs) {
               engines::check_task_memory(task_memory_bytes(approach, task),
                                          limit);
               ByteWriter writer;
               auto edges =
-                  discover_edges(approach, atoms, task, cutoff, policy);
+                  run_discovery(approach, atoms, task, cutoff, policy,
+                                stream);
               if (uses_partial_components(approach)) {
                 auto part = analysis::partial_components(edges);
                 writer.put_span<analysis::VertexRoot>(part.vertex_root);
@@ -504,13 +578,31 @@ Result<LfRunResult> run_rp(int approach, std::span<const Vec3> atoms,
     }
   }
   result = uses_partial_components(approach)
-               ? finish_from_partials(atoms, parts)
-               : finish_from_edges(atoms, std::move(edges));
+               ? finish_from_partials(n_atoms, parts)
+               : finish_from_edges(n_atoms, std::move(edges));
   result.metrics.wall_seconds = timer.seconds();
   result.metrics.tasks = um.metrics().tasks_executed.load();
   result.metrics.staged_bytes = um.metrics().staged_bytes.load();
   result.metrics.db_roundtrips = um.metrics().db_roundtrips.load();
   return result;
+}
+
+Result<LfRunResult> dispatch(EngineKind engine, int approach,
+                             std::span<const Vec3> atoms,
+                             std::size_t n_atoms, double cutoff,
+                             const LfRunConfig& config,
+                             LfStreamState* stream) {
+  switch (engine) {
+    case EngineKind::kMpi:
+      return run_mpi(approach, atoms, n_atoms, cutoff, config, stream);
+    case EngineKind::kSpark:
+      return run_spark(approach, atoms, n_atoms, cutoff, config, stream);
+    case EngineKind::kDask:
+      return run_dask(approach, atoms, n_atoms, cutoff, config, stream);
+    case EngineKind::kRp:
+      return run_rp(approach, atoms, n_atoms, cutoff, config, stream);
+  }
+  return Error(ErrorCode::kInvalidArgument, "unknown engine");
 }
 
 }  // namespace
@@ -534,14 +626,57 @@ Result<LfRunResult> run_leaflet_finder(EngineKind engine, int approach,
     run_span.arg_num("approach", approach);
     run_span.arg_num("atoms", static_cast<double>(atoms.size()));
   }
-  switch (engine) {
-    case EngineKind::kMpi: return run_mpi(approach, atoms, cutoff, config);
-    case EngineKind::kSpark:
-      return run_spark(approach, atoms, cutoff, config);
-    case EngineKind::kDask: return run_dask(approach, atoms, cutoff, config);
-    case EngineKind::kRp: return run_rp(approach, atoms, cutoff, config);
+  return dispatch(engine, approach, atoms, atoms.size(), cutoff, config,
+                  nullptr);
+}
+
+Result<LfRunResult> run_leaflet_finder_streamed(EngineKind engine,
+                                                int approach,
+                                                const StreamInput& input,
+                                                double cutoff,
+                                                const LfRunConfig& config) {
+  if (approach < 1 || approach > 4) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "leaflet finder approach must be 1..4");
   }
-  return Error(ErrorCode::kInvalidArgument, "unknown engine");
+  auto opened = stream::ShardReader::open(input.path, input.mode);
+  if (!opened.ok()) return opened.error();
+  LfStreamState state(std::move(opened).value());
+  if (config.tracer != nullptr) state.reader.set_tracer(config.tracer);
+  // Points store: one atom per stored frame.
+  const std::size_t n_atoms = state.reader.frames();
+
+  if (approach == 1) {
+    // Broadcast-everything by definition: the store is read once at the
+    // driver (the distribute phase the engines then measure) and the
+    // run proceeds in-memory.
+    auto all = state.reader.read_all();
+    if (!all.ok()) return all.error();
+    auto result = run_leaflet_finder(engine, approach, all.value().data(),
+                                     cutoff, config);
+    if (!result.ok()) return result;
+    LfRunResult run = std::move(result).value();
+    run.metrics.staged_bytes += state.reader.bytes_read();
+    return run;
+  }
+
+  trace::Span run_span;
+  if (config.tracer != nullptr) {
+    const std::uint32_t pid = config.tracer->process("workflow");
+    run_span = config.tracer->span(
+        config.tracer->named_thread(pid, "driver"),
+        std::string("leaflet-finder-streamed/") + to_string(engine),
+        "workflow");
+    run_span.arg_num("approach", approach);
+    run_span.arg_num("atoms", static_cast<double>(n_atoms));
+  }
+  auto result =
+      dispatch(engine, approach, {}, n_atoms, cutoff, config, &state);
+  if (!result.ok()) return result;
+  if (state.error.has_value()) return *state.error;
+  LfRunResult run = std::move(result).value();
+  run.metrics.staged_bytes += state.reader.bytes_read();
+  return run;
 }
 
 }  // namespace mdtask::workflows

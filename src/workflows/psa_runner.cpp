@@ -1,7 +1,9 @@
 #include "mdtask/workflows/psa_runner.h"
 
 #include <cmath>
+#include <mutex>
 #include <numeric>
+#include <optional>
 
 #include "mdtask/common/serial.h"
 #include "mdtask/common/timer.h"
@@ -9,6 +11,7 @@
 #include "mdtask/engines/mpi/runtime.h"
 #include "mdtask/engines/rp/pilot.h"
 #include "mdtask/engines/spark/spark.h"
+#include "mdtask/stream/shard_reader.h"
 
 namespace mdtask::workflows {
 namespace {
@@ -58,20 +61,75 @@ void fill_matrix(DistanceMatrix& matrix,
   for (const auto& e : entries) matrix.set(e.row, e.col, e.value);
 }
 
-std::vector<PsaBlock> plan_blocks(const traj::Ensemble& ensemble,
+std::vector<PsaBlock> plan_blocks(std::size_t n_trajectories,
                                   const PsaRunConfig& config) {
-  const std::size_t n1 =
-      psa_effective_block_size(ensemble.size(), config);
-  auto blocks = analysis::make_psa_blocks(ensemble.size(), n1);
+  const std::size_t n1 = psa_effective_block_size(n_trajectories, config);
+  auto blocks = analysis::make_psa_blocks(n_trajectories, n1);
   // n1 is validated > 0 by psa_effective_block_size.
   return std::move(blocks).value();
 }
 
-PsaRunResult run_psa_mpi(const traj::Ensemble& ensemble,
-                         const PsaRunConfig& config) {
-  const auto blocks = plan_blocks(ensemble, config);
+/// Shared out-of-core input of one streamed PSA run: the store holds
+/// the N trajectories concatenated frame-major; every block task reads
+/// only its row/col trajectories into a sparse local ensemble (the
+/// unneeded slots stay empty) and runs the unchanged block kernel on
+/// it, so values are bit-identical to the in-memory run. Read errors
+/// are captured once and surfaced after the engine drains.
+struct PsaStreamState {
+  stream::ShardReader reader;
+  std::size_t trajectories = 0;
+  std::size_t frames_each = 0;
+  std::mutex mu;
+  std::optional<Error> error;
+
+  explicit PsaStreamState(stream::ShardReader r) : reader(std::move(r)) {}
+
+  void fail(Error e) {
+    std::lock_guard lk(mu);
+    if (!error.has_value()) error = std::move(e);
+  }
+
+  bool load_into(traj::Ensemble& local, std::size_t i) {
+    auto t = reader.read_frames(i * frames_each, frames_each);
+    if (!t.ok()) {
+      fail(t.error());
+      return false;
+    }
+    local[i] = std::move(t).value();
+    return true;
+  }
+
+  std::vector<MatrixEntry> compute(const PsaBlock& block, PsaMetric metric,
+                                   kernels::KernelPolicy policy) {
+    traj::Ensemble local(trajectories);
+    bool ok = true;
+    for (std::size_t i = block.row_begin; i < block.row_end && ok; ++i) {
+      ok = load_into(local, i);
+    }
+    for (std::size_t j = block.col_begin; j < block.col_end && ok; ++j) {
+      if (local[j].frames() == 0) ok = load_into(local, j);
+    }
+    if (!ok) return {};  // failed read: the block contributes nothing
+    return compute_block_entries(local, block, metric, policy);
+  }
+};
+
+/// One block task's entries: from the shared store when streaming, from
+/// the in-memory ensemble otherwise.
+std::vector<MatrixEntry> run_block(const traj::Ensemble& ensemble,
+                                   const PsaBlock& block, PsaMetric metric,
+                                   kernels::KernelPolicy policy,
+                                   PsaStreamState* stream) {
+  if (stream != nullptr) return stream->compute(block, metric, policy);
+  return compute_block_entries(ensemble, block, metric, policy);
+}
+
+PsaRunResult run_psa_mpi(const traj::Ensemble& ensemble, std::size_t n,
+                         const PsaRunConfig& config,
+                         PsaStreamState* stream) {
+  const auto blocks = plan_blocks(n, config);
   PsaRunResult result;
-  result.matrix = DistanceMatrix(ensemble.size());
+  result.matrix = DistanceMatrix(n);
   WallTimer timer;
   const int ranks = static_cast<int>(std::max<std::size_t>(1, config.workers));
   auto body = [&](mpi::Communicator& comm) {
@@ -81,8 +139,8 @@ PsaRunResult run_psa_mpi(const traj::Ensemble& ensemble,
         for (std::size_t b = static_cast<std::size_t>(comm.rank());
              b < blocks.size();
              b += static_cast<std::size_t>(comm.size())) {
-          auto entries = compute_block_entries(
-              ensemble, blocks[b], config.metric, config.kernel_policy);
+          auto entries = run_block(ensemble, blocks[b], config.metric,
+                                   config.kernel_policy, stream);
           mine.insert(mine.end(), entries.begin(), entries.end());
         }
         auto gathered = comm.gather<MatrixEntry>(mine, 0);
@@ -116,9 +174,10 @@ PsaRunResult run_psa_mpi(const traj::Ensemble& ensemble,
   return result;
 }
 
-PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
-                           const PsaRunConfig& config) {
-  auto blocks = plan_blocks(ensemble, config);
+PsaRunResult run_psa_spark(const traj::Ensemble& ensemble, std::size_t n,
+                           const PsaRunConfig& config,
+                           PsaStreamState* stream) {
+  auto blocks = plan_blocks(n, config);
   autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
   spark::SparkContext sc(spark::SparkConfig{
       .executor_threads = config.workers,
@@ -149,19 +208,19 @@ PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
   const auto policy = config.kernel_policy;
   auto entries =
       sc.parallelize(std::move(blocks), n_blocks)
-          .map_partitions([shared, metric, policy](spark::TaskContext&,
-                                                   std::vector<PsaBlock>& mine) {
+          .map_partitions([shared, metric, policy,
+                           stream](spark::TaskContext&,
+                                   std::vector<PsaBlock>& mine) {
             std::vector<MatrixEntry> out;
             for (const auto& block : mine) {
-              auto part =
-                  compute_block_entries(**shared, block, metric, policy);
+              auto part = run_block(**shared, block, metric, policy, stream);
               out.insert(out.end(), part.begin(), part.end());
             }
             return out;
           })
           .collect();
   PsaRunResult result;
-  result.matrix = DistanceMatrix(ensemble.size());
+  result.matrix = DistanceMatrix(n);
   fill_matrix(result.matrix, entries);
   result.metrics.wall_seconds = timer.seconds();
   result.metrics.tasks = sc.metrics().tasks_executed.load();
@@ -170,9 +229,10 @@ PsaRunResult run_psa_spark(const traj::Ensemble& ensemble,
   return result;
 }
 
-PsaRunResult run_psa_dask(const traj::Ensemble& ensemble,
-                          const PsaRunConfig& config) {
-  const auto blocks = plan_blocks(ensemble, config);
+PsaRunResult run_psa_dask(const traj::Ensemble& ensemble, std::size_t n,
+                          const PsaRunConfig& config,
+                          PsaStreamState* stream) {
+  const auto blocks = plan_blocks(n, config);
   autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
   dask::DaskClient client(dask::DaskConfig{
       .workers = config.workers,
@@ -197,22 +257,23 @@ PsaRunResult run_psa_dask(const traj::Ensemble& ensemble,
   futures.reserve(blocks.size());
   for (const auto& block : blocks) {
     // One delayed function per block task, exactly the paper's Dask PSA.
-    futures.push_back(client.submit([&ensemble, block, &config] {
-      return compute_block_entries(ensemble, block, config.metric,
-                                   config.kernel_policy);
+    futures.push_back(client.submit([&ensemble, block, &config, stream] {
+      return run_block(ensemble, block, config.metric, config.kernel_policy,
+                       stream);
     }));
   }
   PsaRunResult result;
-  result.matrix = DistanceMatrix(ensemble.size());
+  result.matrix = DistanceMatrix(n);
   for (const auto& f : futures) fill_matrix(result.matrix, f.get());
   result.metrics.wall_seconds = timer.seconds();
   result.metrics.tasks = client.metrics().tasks_executed.load();
   return result;
 }
 
-PsaRunResult run_psa_rp(const traj::Ensemble& ensemble,
-                        const PsaRunConfig& config) {
-  const auto blocks = plan_blocks(ensemble, config);
+PsaRunResult run_psa_rp(const traj::Ensemble& ensemble, std::size_t n,
+                        const PsaRunConfig& config,
+                        PsaStreamState* stream) {
+  const auto blocks = plan_blocks(n, config);
   autoscale::MetricsWindow window(config.adaptive.metrics_capacity);
   rp::UnitManager um(rp::PilotDescription{
       .cores = config.workers,
@@ -240,10 +301,10 @@ PsaRunResult run_psa_rp(const traj::Ensemble& ensemble,
         .name = "psa_block_" + std::to_string(b),
         .executable =
             [&ensemble, block = blocks[b], metric = config.metric,
-             policy = config.kernel_policy,
-             out_path](rp::SharedFilesystem& fs) {
+             policy = config.kernel_policy, out_path,
+             stream](rp::SharedFilesystem& fs) {
               auto entries =
-                  compute_block_entries(ensemble, block, metric, policy);
+                  run_block(ensemble, block, metric, policy, stream);
               ByteWriter writer;
               writer.put_span<MatrixEntry>(entries);
               fs.put(out_path, std::move(writer).take());
@@ -254,7 +315,7 @@ PsaRunResult run_psa_rp(const traj::Ensemble& ensemble,
   auto units = um.submit_units(std::move(descriptions));
   um.wait_units();
   PsaRunResult result;
-  result.matrix = DistanceMatrix(ensemble.size());
+  result.matrix = DistanceMatrix(n);
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     auto bytes =
         um.filesystem().get("psa/block_" + std::to_string(b) + ".bin");
@@ -268,6 +329,19 @@ PsaRunResult run_psa_rp(const traj::Ensemble& ensemble,
   result.metrics.staged_bytes = um.metrics().staged_bytes.load();
   result.metrics.db_roundtrips = um.metrics().db_roundtrips.load();
   return result;
+}
+
+PsaRunResult dispatch(EngineKind engine, const traj::Ensemble& ensemble,
+                      std::size_t n, const PsaRunConfig& config,
+                      PsaStreamState* stream) {
+  switch (engine) {
+    case EngineKind::kMpi: return run_psa_mpi(ensemble, n, config, stream);
+    case EngineKind::kSpark:
+      return run_psa_spark(ensemble, n, config, stream);
+    case EngineKind::kDask: return run_psa_dask(ensemble, n, config, stream);
+    case EngineKind::kRp: return run_psa_rp(ensemble, n, config, stream);
+  }
+  return run_psa_mpi(ensemble, n, config, stream);
 }
 
 }  // namespace
@@ -295,13 +369,45 @@ PsaRunResult run_psa(EngineKind engine, const traj::Ensemble& ensemble,
         std::string("psa/") + to_string(engine), "workflow");
     run_span.arg_num("trajectories", static_cast<double>(ensemble.size()));
   }
-  switch (engine) {
-    case EngineKind::kMpi: return run_psa_mpi(ensemble, config);
-    case EngineKind::kSpark: return run_psa_spark(ensemble, config);
-    case EngineKind::kDask: return run_psa_dask(ensemble, config);
-    case EngineKind::kRp: return run_psa_rp(ensemble, config);
+  return dispatch(engine, ensemble, ensemble.size(), config, nullptr);
+}
+
+Result<PsaRunResult> run_psa_streamed(EngineKind engine,
+                                      const StreamInput& input,
+                                      const PsaRunConfig& config) {
+  if (input.trajectories == 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "run_psa_streamed: input.trajectories must be set");
   }
-  return run_psa_mpi(ensemble, config);
+  auto opened = stream::ShardReader::open(input.path, input.mode);
+  if (!opened.ok()) return opened.error();
+  PsaStreamState state(std::move(opened).value());
+  if (state.reader.frames() % input.trajectories != 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "store frames (" + std::to_string(state.reader.frames()) +
+                     ") do not divide into " +
+                     std::to_string(input.trajectories) +
+                     " trajectories: " + input.path);
+  }
+  state.trajectories = input.trajectories;
+  state.frames_each = state.reader.frames() / input.trajectories;
+  if (config.tracer != nullptr) state.reader.set_tracer(config.tracer);
+
+  trace::Span run_span;
+  if (config.tracer != nullptr) {
+    const std::uint32_t pid = config.tracer->process("workflow");
+    run_span = config.tracer->span(
+        config.tracer->named_thread(pid, "driver"),
+        std::string("psa-streamed/") + to_string(engine), "workflow");
+    run_span.arg_num("trajectories",
+                     static_cast<double>(input.trajectories));
+  }
+  const traj::Ensemble empty;
+  PsaRunResult result =
+      dispatch(engine, empty, input.trajectories, config, &state);
+  if (state.error.has_value()) return *state.error;
+  result.metrics.staged_bytes += state.reader.bytes_read();
+  return result;
 }
 
 }  // namespace mdtask::workflows

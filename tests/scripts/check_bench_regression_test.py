@@ -65,6 +65,9 @@ class BehaviouralSkipListTest(unittest.TestCase):
     def test_autoscale_family_is_registered(self):
         self.assertIn("autoscale", [k for k, _ in MOD.BEHAVIOURAL_FAMILIES])
 
+    def test_stream_family_is_registered(self):
+        self.assertIn("stream", [k for k, _ in MOD.BEHAVIOURAL_FAMILIES])
+
 
 class EndToEndGateTest(unittest.TestCase):
     @staticmethod
@@ -92,6 +95,8 @@ class EndToEndGateTest(unittest.TestCase):
              "ns_per_unit": 1.0},
             {"kernel": "fault_injection_wave", "policy": "scalar",
              "ns_per_unit": 1.0},
+            {"kernel": "stream_wave", "policy": "scalar",
+             "ns_per_unit": 1.0},
         ]
         current = [
             {"kernel": "hausdorff_rmsd", "policy": "scalar",
@@ -100,6 +105,10 @@ class EndToEndGateTest(unittest.TestCase):
             {"kernel": "autoscale_wave", "policy": "scalar",
              "ns_per_unit": 1000.0},
             {"kernel": "fault_injection_wave", "policy": "scalar",
+             "ns_per_unit": 1000.0},
+            # The streamed-I/O addendum depends on the filesystem model,
+            # not kernel speed: also skipped.
+            {"kernel": "stream_wave", "policy": "scalar",
              "ns_per_unit": 1000.0},
         ]
         result = self.run_gate(baseline, current)

@@ -1,0 +1,168 @@
+// DES replay of streamed task waves: the serial reader must show the
+// I/O-bound straggler regime (cores starved on reads), double-buffered
+// prefetch must win >= 1.5x while the filesystem is uncontended, and
+// the win must compress once concurrent streams exceed the backend's
+// saturation point — plus fault-plan composition and determinism.
+#include "mdtask/stream/sim_io.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mdtask::stream {
+namespace {
+
+// A Wrangler-like flash filesystem: 1.5 GB/s per stream, 6 GB/s
+// aggregate -> 4 concurrent streams at full rate.
+sim::FileSystemModel test_fs() {
+  sim::FileSystemModel fs;
+  fs.seek_latency_s = 1e-3;
+  fs.stream_Bps = 1.0e9;
+  fs.aggregate_Bps = 4.0e9;
+  return fs;
+}
+
+// Read 25 MB (26 ms with seek) then compute 30 ms: read and compute
+// are comparable, the regime where double buffering pays.
+std::vector<StreamTask> balanced_tasks(std::size_t count) {
+  return std::vector<StreamTask>(count, {0.030, 25'000'000});
+}
+
+TEST(SimIoTest, SerialWaveIsIoBound) {
+  const auto fs = test_fs();
+  const auto tasks = balanced_tasks(64);
+  const StreamWaveOutcome serial = simulate_stream_wave(4, tasks, fs);
+  ASSERT_TRUE(serial.completed);
+  EXPECT_EQ(serial.reads, 64u);
+  EXPECT_EQ(serial.retried_reads, 0u);
+  EXPECT_NEAR(serial.compute_s, 64 * 0.030, 1e-9);
+  // 4 readers on a 4-stream filesystem: uncontended, so each core
+  // alternates a 26 ms read with a 30 ms compute — nearly half its
+  // time starved on I/O. This is the straggler regime.
+  EXPECT_GT(serial.io_wait_fraction(4), 0.40);
+  EXPECT_NEAR(serial.makespan_s, 16 * (0.026 + 0.030), 1e-6);
+}
+
+TEST(SimIoTest, PrefetchHidesReadsWhileUncontended) {
+  const auto fs = test_fs();
+  const auto tasks = balanced_tasks(64);
+  const StreamWaveOutcome serial = simulate_stream_wave(4, tasks, fs);
+  StreamWaveOptions prefetch;
+  prefetch.prefetch = true;
+  prefetch.prefetch_depth = 2;
+  const StreamWaveOutcome warm = simulate_stream_wave(4, tasks, fs, prefetch);
+  ASSERT_TRUE(warm.completed);
+  // Compute dominates once reads overlap: makespan ~ pipeline ramp +
+  // 16 computes per core ~ 0.53 s, versus 0.90 s serial.
+  EXPECT_GE(serial.makespan_s / warm.makespan_s, 1.5);
+  EXPECT_LT(warm.io_wait_fraction(4), 0.20);
+  // Prefetch reorders I/O, it must not invent or drop work.
+  EXPECT_EQ(warm.reads, serial.reads);
+  EXPECT_NEAR(warm.compute_s, serial.compute_s, 1e-9);
+}
+
+TEST(SimIoTest, ContentionWallCompressesThePrefetchWin) {
+  const auto fs = test_fs();  // saturates at 4 streams
+  auto speedup_at = [&](std::size_t cores) {
+    const auto tasks = balanced_tasks(16 * cores);
+    const StreamWaveOutcome serial = simulate_stream_wave(cores, tasks, fs);
+    StreamWaveOptions prefetch;
+    prefetch.prefetch = true;
+    const StreamWaveOutcome warm =
+        simulate_stream_wave(cores, tasks, fs, prefetch);
+    return serial.makespan_s / warm.makespan_s;
+  };
+  const double uncontended = speedup_at(4);
+  const double contended = speedup_at(32);
+  EXPECT_GE(uncontended, 1.5);
+  // 32 readers queue on 4 stream slots: the filesystem, not the core,
+  // is the bottleneck, and overlap cannot manufacture bandwidth.
+  EXPECT_LT(contended, uncontended);
+  EXPECT_LT(contended, 1.3);
+}
+
+TEST(SimIoTest, DeterministicReplay) {
+  const auto fs = test_fs();
+  const auto tasks = balanced_tasks(17);  // uneven per-core split
+  StreamWaveOptions prefetch;
+  prefetch.prefetch = true;
+  const StreamWaveOutcome a = simulate_stream_wave(3, tasks, fs, prefetch);
+  const StreamWaveOutcome b = simulate_stream_wave(3, tasks, fs, prefetch);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.io_wait_s, b.io_wait_s);
+  EXPECT_EQ(a.read_s, b.read_s);
+  EXPECT_EQ(a.reads, b.reads);
+}
+
+TEST(SimIoTest, TransientReadErrorBurnsATransferAndLogs) {
+  const auto fs = test_fs();
+  const auto tasks = balanced_tasks(8);
+  fault::FaultPlan plan;
+  plan.schedule.push_back({fault::FaultKind::kTransientReadError, 3, 0});
+  plan.retry.max_attempts = 3;
+  fault::RecoveryLog log;
+  StreamWaveOptions options;
+  options.plan = &plan;
+  options.engine = fault::EngineId::kRp;
+  options.log = &log;
+  const StreamWaveOutcome faulted = simulate_stream_wave(4, tasks, fs, options);
+  ASSERT_TRUE(faulted.completed);
+  EXPECT_EQ(faulted.reads, 9u);  // 8 tasks + 1 burned transfer
+  EXPECT_EQ(faulted.retried_reads, 1u);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.events()[0].task_id, 3u);
+  EXPECT_EQ(log.events()[0].fault, fault::FaultKind::kTransientReadError);
+  // The wasted transfer makes the wave strictly slower than clean.
+  const StreamWaveOutcome clean = simulate_stream_wave(4, tasks, fs);
+  EXPECT_GT(faulted.makespan_s, clean.makespan_s);
+}
+
+TEST(SimIoTest, ReadGiveUpReportsFailureButDrains) {
+  const auto fs = test_fs();
+  const auto tasks = balanced_tasks(6);
+  fault::FaultPlan plan;
+  plan.schedule.push_back({fault::FaultKind::kTransientReadError, 2,
+                           fault::FaultSpec::kEveryAttempt});
+  plan.retry.max_attempts = 2;
+  fault::RecoveryLog log;
+  StreamWaveOptions options;
+  options.plan = &plan;
+  options.engine = fault::EngineId::kDask;
+  options.log = &log;
+  const StreamWaveOutcome outcome = simulate_stream_wave(2, tasks, fs, options);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_NE(outcome.failure.find("task 2"), std::string::npos);
+  EXPECT_EQ(outcome.retried_reads, 2u);
+  // The wave still drains: every task computed.
+  EXPECT_NEAR(outcome.compute_s, 6 * 0.030, 1e-9);
+}
+
+TEST(SimIoTest, FilesystemStallDelaysTheRead) {
+  const auto fs = test_fs();
+  const auto tasks = balanced_tasks(4);
+  fault::FaultPlan plan;
+  plan.schedule.push_back(
+      {fault::FaultKind::kFilesystemStall, 1, 0, 1.0, /*delay_s=*/0.5});
+  StreamWaveOptions options;
+  options.plan = &plan;
+  const StreamWaveOutcome stalled = simulate_stream_wave(4, tasks, fs, options);
+  const StreamWaveOutcome clean = simulate_stream_wave(4, tasks, fs);
+  ASSERT_TRUE(stalled.completed);
+  EXPECT_EQ(stalled.retried_reads, 0u);
+  EXPECT_NEAR(stalled.makespan_s - clean.makespan_s, 0.5, 1e-6);
+}
+
+TEST(SimIoTest, DegenerateInputs) {
+  const auto fs = test_fs();
+  const StreamWaveOutcome empty = simulate_stream_wave(4, {}, fs);
+  EXPECT_TRUE(empty.completed);
+  EXPECT_EQ(empty.makespan_s, 0.0);
+  EXPECT_EQ(empty.reads, 0u);
+  // Zero cores clamps to one.
+  const StreamWaveOutcome one = simulate_stream_wave(0, balanced_tasks(2), fs);
+  EXPECT_TRUE(one.completed);
+  EXPECT_NEAR(one.makespan_s, 2 * (0.026 + 0.030), 1e-6);
+}
+
+}  // namespace
+}  // namespace mdtask::stream
