@@ -24,6 +24,7 @@ mdtask_bench(bench_tab1_properties mdtask_perf)
 mdtask_bench(bench_tab2_shuffle_volumes mdtask_workflows)
 mdtask_bench(bench_tab3_decision mdtask_perf)
 mdtask_bench(bench_ablations mdtask_workflows mdtask_cpptraj)
+mdtask_bench(bench_pool mdtask_common)
 mdtask_bench(bench_kernels mdtask_analysis mdtask_cpptraj)
 target_link_libraries(bench_kernels PRIVATE benchmark::benchmark)
 mdtask_bench(bench_real_engines mdtask_workflows)

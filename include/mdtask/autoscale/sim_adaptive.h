@@ -47,6 +47,15 @@ struct AdaptiveSimConfig {
   double tick_interval_s = 0.5;
   /// Completed-task duration window fed to the policies.
   std::size_t metrics_capacity = 1024;
+  /// Per-server speed multipliers (heterogeneous core classes): server
+  /// slot s runs its holds at core_speeds[s % size] x nominal speed,
+  /// and slots added by scale-ups continue the tiling. Build one with
+  /// sim::core_speed_schedule. Empty (the default, and every published
+  /// run) means all servers run at 1.0 — the replay is then event-for-
+  /// event identical to the homogeneous model. Pair with
+  /// speculation.core_class_aware to stop the controller from backup-
+  /// copying tasks that are merely sitting on slow cores.
+  std::vector<double> core_speeds;
 };
 
 /// Outcome of one adaptive replay.

@@ -3,35 +3,78 @@
 // here when executing for correctness rather than in simulated time).
 // Elastic membership events grow it with add_workers and shrink it with
 // retire_workers (drain semantics: a retiring worker finishes its
-// current job, stops taking new ones, and exits).
+// current job, stops taking new ones, and exits; its queued jobs are
+// handed to the survivors).
+//
+// Execution model (docs/TOPOLOGY.md): topology-aware work stealing.
+// Each worker owns a cache-line-padded deque (topo::StealQueue); a job
+// posted from inside a worker goes to that worker's deque and is popped
+// LIFO (hot in its cache), jobs posted from non-worker threads land in
+// a shared overflow queue that idle workers drain in batches, and a
+// worker whose own deque runs dry steals FIFO from victims ordered by
+// hardware distance (SMT sibling -> L2 peer -> package peer -> rest).
+// Workers are pinned one-per-physical-core (SMT siblings second) unless
+// MDTASK_PIN_THREADS=0. The same public API and drain/retire semantics
+// as the earlier single-FIFO pool are preserved; bench_pool gates the
+// contended-throughput win over that design.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "mdtask/topo/cpu_topology.h"
+#include "mdtask/topo/steal_deque.h"
 #include "mdtask/trace/tracer.h"
 
 namespace mdtask {
 
-/// Resizable FIFO thread pool. Tasks are std::function<void()>; submit()
-/// also offers a future-returning overload for result-bearing jobs.
+/// Resizable work-stealing thread pool. Tasks are std::function<void()>;
+/// submit() also offers a future-returning overload for result-bearing
+/// jobs.
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (>= 1; 0 is clamped to 1).
+  /// Spawns `threads` workers (>= 1; 0 is clamped to 1) on the host
+  /// topology, pinning them unless MDTASK_PIN_THREADS disables it.
   explicit ThreadPool(std::size_t threads);
+
+  /// Test/bench hook: an explicit (possibly synthetic) topology and
+  /// pinning choice.
+  ThreadPool(std::size_t threads, topo::CpuTopology topology,
+             bool pin_threads);
+
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a fire-and-forget job. Safe from multiple threads.
+  /// Enqueues a fire-and-forget job. Safe from multiple threads. From a
+  /// worker of this pool the job goes to that worker's own deque
+  /// (LIFO-hot); from any other thread it goes to the shared overflow
+  /// queue.
   void post(std::function<void()> job);
+
+  /// Enqueues a job that any idle worker should pick up promptly, even
+  /// when posted from a busy worker: always lands in the shared
+  /// overflow queue instead of the poster's deque. I/O-bound producers
+  /// (stream::PrefetchPipeline decode tasks) use this so compute
+  /// workers never sit on a decode job they are too busy to run.
+  void post_shared(std::function<void()> job);
+
+  /// Locality-hinted post: jobs with the same `group` are routed to
+  /// workers sharing an L2 cache domain, and distinct `member_hint`
+  /// values within a group spread across that domain's workers — the
+  /// two halves of a Hausdorff tile pair pass (pair_id, 0) and
+  /// (pair_id, 1) to co-schedule on cache-sharing cores. A hint, not a
+  /// guarantee: stealing may still move the job.
+  void post_grouped(std::uint64_t group, std::uint64_t member_hint,
+                    std::function<void()> job);
 
   /// Enqueues a result-bearing job and returns its future.
   template <typename F>
@@ -44,28 +87,41 @@ class ThreadPool {
     return fut;
   }
 
+  /// Locality-hinted submit: see post_grouped.
+  template <typename F>
+  auto submit_grouped(std::uint64_t group, std::uint64_t member_hint,
+                      F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    post_grouped(group, member_hint, [task] { (*task)(); });
+    return fut;
+  }
+
   /// Blocks until every queued and running job has finished.
   void wait_idle();
 
   /// Elastic grow: spawns `count` additional workers, which start
-  /// draining the queue immediately. If tracing is enabled they get
+  /// draining the queues immediately. If tracing is enabled they get
   /// their own "<worker_prefix>-<i>" tracks.
   void add_workers(std::size_t count);
 
   /// Elastic shrink with drain semantics: flags `count` workers
   /// (highest indices first — deterministic) to exit after their
-  /// current job; queued jobs are left for the survivors. Clamped so at
-  /// least one active worker remains. Returns the indices of the
-  /// retired workers, which engines use to find the tasks that were
-  /// in flight on departed executors.
+  /// current job; their queued jobs are flushed to the overflow queue
+  /// for the survivors. Clamped so at least one active worker remains.
+  /// Returns the indices of the retired workers, which engines use to
+  /// find the tasks that were in flight on departed executors.
   std::vector<std::size_t> retire_workers(std::size_t count);
 
   /// Active (non-retired) workers. Counts a retiring worker out as soon
   /// as it is flagged, even if it is still finishing its last job.
   std::size_t size() const;
 
-  /// Jobs enqueued but not yet picked up by a worker. Together with
-  /// busy() this is the observation an autoscale MetricsWindow samples.
+  /// Jobs enqueued (across worker deques and the overflow queue) but
+  /// not yet picked up by a worker. Together with busy() this is the
+  /// observation an autoscale MetricsWindow samples.
   std::size_t queued() const;
 
   /// Workers currently executing a job (including retiring workers
@@ -76,7 +132,12 @@ class ThreadPool {
   /// thread track per worker ("<worker_prefix>-<i>"), a "queue-wait"
   /// span from enqueue to pickup and a "job" span around each run.
   /// Call before submitting work (engines call it right after
-  /// construction); jobs posted earlier carry no queue-wait stamp.
+  /// construction). Once a tracer is attached, every post() stamps its
+  /// enqueue time unconditionally — even while the tracer is disabled —
+  /// so a later set_enabled(true) sees correct queue-waits; only jobs
+  /// posted before ANY tracer was attached carry no stamp (there is no
+  /// time base to stamp them with), and those run without a queue-wait
+  /// span. Tested in ThreadPoolTracingTest.
   void enable_tracing(trace::Tracer& tracer, std::uint32_t pid,
                       const std::string& worker_prefix = "worker");
 
@@ -88,27 +149,82 @@ class ThreadPool {
   /// The calling worker thread's index in its pool, or -1 off-pool.
   static std::ptrdiff_t current_worker_index() noexcept;
 
+  /// The topology this pool schedules against.
+  const topo::CpuTopology& topology() const noexcept { return topology_; }
+
+  /// True when workers pin themselves to their placement CPUs.
+  bool pinned() const noexcept { return pin_; }
+
+  /// Distinct L2 locality groups the grouped-post router spreads over
+  /// (>= 1 while any worker is active).
+  std::size_t locality_groups() const;
+
+  /// The pin target of worker `index` under this pool's placement
+  /// (exposed for tests; valid for any index ever returned by the
+  /// pool).
+  int placement_cpu(std::size_t index) const;
+
  private:
   struct Job {
     std::function<void()> fn;
     double enqueue_us = -1.0;  ///< tracer timestamp; -1 = not stamped
   };
 
+  /// One worker's scheduling state. Slots are created once and kept for
+  /// the pool's lifetime (index == worker index), so thieves and the
+  /// grouped-post router can hold references across membership changes.
+  struct Slot {
+    topo::StealQueue<Job> deque;
+    std::atomic<bool> retired{false};
+    std::atomic<bool> traced{false};
+    trace::Track track{};  ///< written before traced is released
+    int cpu = -1;          ///< pin target (-1 = none)
+    int l2 = 0;            ///< L2 domain of the pin target
+  };
+
+  /// Immutable membership snapshot, swapped atomically under
+  /// roster_mu_; workers refresh their copy when epoch_ changes.
+  struct Roster {
+    std::vector<std::shared_ptr<Slot>> slots;  ///< index = worker index
+    std::vector<int> cpus;                     ///< pin target per slot
+    /// Non-retired slot indices per L2 domain (the grouped-post router).
+    std::vector<std::vector<std::size_t>> l2_members;
+  };
+
+  std::shared_ptr<const Roster> snapshot_roster() const;
+  static void rebuild_l2_members(Roster& roster);
+  std::shared_ptr<Slot> make_slot(std::size_t index);
+  void enqueue(topo::StealQueue<Job>& queue, std::function<void()> fn);
+  void wake_one();
+  void run_job(Job& job, Slot* slot);
   void worker_loop(std::size_t index);
 
-  std::vector<std::thread> workers_;
-  std::deque<Job> queue_;
-  mutable std::mutex mu_;
+  topo::CpuTopology topology_;
+  bool pin_ = false;
+  std::vector<int> placement_base_;  ///< cpu per index mod logical CPUs
+
+  mutable std::mutex roster_mu_;       ///< guards roster_ swaps only
+  std::shared_ptr<const Roster> roster_;
+  std::atomic<std::uint64_t> epoch_{0};  ///< bumped after roster swaps
+
+  topo::StealQueue<Job> overflow_;  ///< non-worker posts, retiree drains
+
+  mutable std::mutex mu_;  ///< sleep/wake handshake + membership calls
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  std::size_t alive_ = 0;                 ///< workers not flagged to retire
-  bool stop_ = false;
-  std::vector<std::uint8_t> retire_flags_;  ///< per worker; guarded by mu_
-  trace::Tracer* tracer_ = nullptr;       ///< guarded by mu_
-  std::uint32_t trace_pid_ = 0;           ///< for tracks of late joiners
-  std::string worker_prefix_ = "worker";
-  std::vector<trace::Track> tracks_;      ///< per worker; guarded by mu_
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> stop_{false};
+  std::size_t alive_ = 0;  ///< workers not flagged to retire; under mu_
+
+  std::atomic<std::size_t> queued_{0};       ///< jobs waiting in queues
+  std::atomic<std::size_t> active_{0};       ///< jobs being executed
+  std::atomic<std::size_t> outstanding_{0};  ///< queued + active
+
+  std::vector<std::thread> workers_;  ///< under mu_; joined at teardown
+
+  std::atomic<trace::Tracer*> tracer_{nullptr};
+  std::uint32_t trace_pid_ = 0;       ///< under mu_
+  std::string worker_prefix_ = "worker";  ///< under mu_
 };
 
 }  // namespace mdtask

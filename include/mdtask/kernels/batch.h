@@ -65,6 +65,17 @@ double hausdorff_packed(const FramePack& a, const FramePack& b,
                         bool early_break, KernelPolicy policy,
                         std::size_t* evals = nullptr) noexcept;
 
+/// Symmetric Hausdorff with the two directed halves run as separate
+/// pool tasks, co-scheduled on L2-sharing workers via
+/// ThreadPool::submit_grouped(pair_id, 0|1): both halves stream the same
+/// two packs, so placing them under one cache keeps the second half's
+/// reads hot. Identical value (and eval count) to hausdorff_packed.
+/// Call from a NON-worker thread — the caller blocks on both halves.
+double hausdorff_packed_parallel(const FramePack& a, const FramePack& b,
+                                 bool early_break, KernelPolicy policy,
+                                 ThreadPool& pool, std::uint64_t pair_id,
+                                 std::size_t* evals = nullptr);
+
 /// Tiled all-pairs frame RMSD (the cpptraj "2D-RMSD" comparator):
 /// out[i * b.frames() + j] = rmsd(a[i], b[j]); out.size() must be
 /// a.frames() * b.frames(). Tiles of kFrameTile x kFrameTile frames keep

@@ -216,12 +216,27 @@ struct FileSystemModel {
   }
 };
 
+/// A homogeneous group of cores inside one machine family: `count`
+/// cores running at `speed` x the profile's core_speed. Heterogeneous
+/// (big.LITTLE-style, or thermally throttled) nodes declare several.
+struct CoreClass {
+  const char* name = "core";
+  double speed = 1.0;
+  std::size_t count = 0;
+};
+
 /// A machine family (one paper testbed).
 struct MachineProfile {
   const char* name = "generic";
   std::size_t cores_per_node = 24;
   /// Compute speed relative to the calibration host (1.0 = host speed).
   double core_speed = 1.0;
+  /// Heterogeneous core classes. Empty (the default, and both paper
+  /// testbeds) means every core runs at core_speed — all published
+  /// results are produced with this empty. Non-empty: the classes tile
+  /// in declaration order to give each core slot a speed multiplier
+  /// (see core_speed_schedule).
+  std::vector<CoreClass> core_classes;
   /// Wrangler's 24 cores/node are hyper-threaded (12 physical): the
   /// second thread on a core contributes only this fraction of extra
   /// throughput. Comet's 24 are physical (factor 1).
@@ -238,6 +253,16 @@ struct MachineProfile {
 MachineProfile comet();
 /// TACC Wrangler: 24 hyper-threaded cores/node (12 physical), 128 GB.
 MachineProfile wrangler();
+
+/// Per-core speed multipliers for `cores` slots of `machine`: the
+/// core_classes tile in declaration order (class 0's count slots, then
+/// class 1's, ...), repeating when `cores` exceeds one tiling; a class
+/// with count 0 is skipped. Empty core_classes (or all counts 0) yields
+/// all-1.0 — the homogeneous machines every published figure uses. The
+/// multipliers compose with the profile-wide core_speed, which callers
+/// apply separately.
+std::vector<double> core_speed_schedule(const MachineProfile& machine,
+                                        std::size_t cores);
 
 /// A concrete allocation: nodes x machine.
 struct ClusterSpec {

@@ -1,0 +1,110 @@
+// Hardware topology detection and thread placement for the execution
+// layer (docs/TOPOLOGY.md).
+//
+// The paper's node-level engines keep 24-core Comet/Wrangler nodes busy
+// by scheduling one task per core; how well that works on a real host
+// depends on where the OS puts the pool's threads and which caches the
+// tasks share. CpuTopology answers three questions for the ThreadPool:
+//
+//  * where to PIN each worker (one thread per physical core first, SMT
+//    siblings only once every core is taken),
+//  * which victims a work-stealing worker should try FIRST (an SMT
+//    sibling shares L1/L2; an L2 peer shares L2; a package peer shares
+//    the LLC; everyone else costs a cross-socket miss),
+//  * which workers share L2, so cooperating tile pairs (the two halves
+//    of a Hausdorff evaluation) can be co-scheduled on cache-sharing
+//    cores.
+//
+// Detection reads Linux sysfs (core_id / physical_package_id and the
+// level-2 entry of cache/index*); on other platforms, or when sysfs is
+// absent, a flat synthetic topology of hardware_concurrency() CPUs is
+// used, so the pool never fails to construct. Synthetic topologies with
+// explicit SMT/L2/package shapes are also constructible directly — the
+// unit tests and the DES heterogeneity studies use them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mdtask::topo {
+
+/// One logical CPU's position in the cache/core hierarchy. Group ids
+/// are opaque labels: equal id <=> shared domain.
+struct CpuInfo {
+  int cpu = 0;      ///< logical cpu id (sysfs cpuN)
+  int core = 0;     ///< physical core: SMT siblings share it
+  int l2 = 0;       ///< L2 cache sharing group
+  int package = 0;  ///< socket / LLC domain
+};
+
+class CpuTopology {
+ public:
+  /// Flat single-CPU topology (a valid degenerate machine).
+  CpuTopology() : CpuTopology(make_synthetic(1, 1, 1, 0)) {}
+
+  /// Reads the host topology from sysfs; falls back to a flat synthetic
+  /// topology of hardware_concurrency() CPUs when sysfs is unavailable.
+  static CpuTopology detect();
+
+  /// The process-wide detected topology (detect() runs once, lazily).
+  static const CpuTopology& host();
+
+  /// Builds an explicit topology: `logical` CPUs, `smt_per_core`
+  /// hyper-threads per physical core, `cores_per_l2` physical cores per
+  /// L2 domain, `cores_per_package` physical cores per socket (0 = one
+  /// socket). CPU ids are laid out core-major, the sysfs convention on
+  /// most x86 servers (cpu i and cpu i + cores share core i).
+  static CpuTopology synthetic(std::size_t logical,
+                               std::size_t smt_per_core = 1,
+                               std::size_t cores_per_l2 = 1,
+                               std::size_t cores_per_package = 0);
+
+  std::size_t logical_cpus() const noexcept { return cpus_.size(); }
+  const CpuInfo& cpu(std::size_t i) const { return cpus_[i]; }
+  const std::vector<CpuInfo>& cpus() const noexcept { return cpus_; }
+  /// True when this topology came from sysfs rather than a fallback.
+  bool detected() const noexcept { return detected_; }
+  /// Distinct L2 sharing domains.
+  std::size_t l2_domains() const noexcept { return l2_domains_; }
+  /// Distinct physical cores.
+  std::size_t physical_cores() const noexcept { return physical_cores_; }
+
+  /// Pin target for each of `workers` pool threads: one thread per
+  /// physical core first (cores ordered by package, then L2, then core
+  /// id), then the SMT siblings in a second sweep, wrapping round-robin
+  /// when workers exceed logical CPUs.
+  std::vector<int> worker_placement(std::size_t workers) const;
+
+  /// Steal order for worker `self` given each worker's pin target
+  /// (`assignment[w]` = cpu id, -1 = unpinned): SMT siblings of self's
+  /// CPU first, then L2 peers, then package peers, then the rest.
+  /// Within each tier victims are rotated by `self` so concurrent
+  /// thieves fan out over different victims. Unpinned workers fall back
+  /// to plain rotation. `self` is excluded.
+  std::vector<std::size_t> victim_order(const std::vector<int>& assignment,
+                                        std::size_t self) const;
+
+ private:
+  explicit CpuTopology(std::vector<CpuInfo> cpus);
+  static std::vector<CpuInfo> make_synthetic(std::size_t logical,
+                                             std::size_t smt_per_core,
+                                             std::size_t cores_per_l2,
+                                             std::size_t cores_per_package);
+
+  std::vector<CpuInfo> cpus_;
+  std::size_t l2_domains_ = 0;
+  std::size_t physical_cores_ = 0;
+  bool detected_ = false;
+};
+
+/// Pins the calling thread to logical CPU `cpu` via
+/// pthread_setaffinity_np. Returns false (and leaves the affinity mask
+/// untouched) on non-Linux platforms, a negative cpu, or kernel refusal
+/// (e.g. a cgroup cpuset that excludes the target).
+bool pin_current_thread(int cpu);
+
+/// The MDTASK_PIN_THREADS escape hatch: pinning defaults ON; "0",
+/// "off", "false" or "no" disable it. Read once per process.
+bool pinning_enabled();
+
+}  // namespace mdtask::topo

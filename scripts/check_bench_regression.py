@@ -8,9 +8,17 @@ Usage:
         [--max-regression 0.25] \
         [--min-speedup hausdorff_rmsd=2.0 --min-speedup leaflet_cutoff=2.0]
 
+Also understands bench_pool --json output (same schema, family "pool").
+
 Exit status is non-zero when any (kernel, policy) cell is more than
 --max-regression slower than the baseline, or when a --min-speedup
-kernel's vectorized/scalar ratio falls below the requested factor.
+kernel's policy-pair ratio falls below the requested factor.
+
+--min-speedup accepts KERNEL=FACTOR[:SLOW/FAST]; the policy pair
+defaults to scalar/vectorized. With an explicit pair, behavioural
+entries are gated too: both cells come from the same run on the same
+machine, so the ratio is comparable even though the absolute ns is not.
+Example: --min-speedup pool_tile=0.9:single_fifo/work_stealing
 """
 
 import argparse
@@ -35,6 +43,8 @@ BEHAVIOURAL_FAMILIES = (
     ("elastic", "elasticity entry; timings depend on the membership plan"),
     ("autoscale", "autoscale entry; timings depend on the control loop"),
     ("stream", "streamed-I/O entry; timings depend on the filesystem model"),
+    ("pool", "pool-overhead entry; absolute ns is machine-bound, gate the "
+             "same-run policy ratio instead"),
 )
 
 
@@ -58,9 +68,10 @@ def main():
     ap.add_argument("--max-regression", type=float, default=0.25,
                     help="fail when current > baseline * (1 + this)")
     ap.add_argument("--min-speedup", action="append", default=[],
-                    metavar="KERNEL=FACTOR",
-                    help="fail when vectorized is not FACTOR x faster "
-                         "than scalar for KERNEL (repeatable)")
+                    metavar="KERNEL=FACTOR[:SLOW/FAST]",
+                    help="fail when FAST is not FACTOR x faster than SLOW "
+                         "for KERNEL (repeatable; the policy pair defaults "
+                         "to scalar/vectorized)")
     args = ap.parse_args()
 
     baseline = load_entries(args.baseline)
@@ -94,26 +105,37 @@ def main():
               f"current {cur_ns:>9.2f}  ratio {ratio:5.2f}  {status}")
 
     for spec in args.min_speedup:
-        kernel, _, factor = spec.partition("=")
-        factor = float(factor)
-        scalar_entry = current.get((kernel, "scalar"))
-        vectorized_entry = current.get((kernel, "vectorized"))
-        if scalar_entry is None or vectorized_entry is None:
-            failures.append(f"{kernel}: scalar/vectorized cells missing")
+        kernel, _, rest = spec.partition("=")
+        factor_text, _, pair = rest.partition(":")
+        factor = float(factor_text)
+        if pair:
+            slow_name, _, fast_name = pair.partition("/")
+        else:
+            slow_name, fast_name = "scalar", "vectorized"
+        slow_entry = current.get((kernel, slow_name))
+        fast_entry = current.get((kernel, fast_name))
+        if slow_entry is None or fast_entry is None:
+            failures.append(
+                f"{kernel}: {slow_name}/{fast_name} cells missing")
             continue
-        reason = behavioural(scalar_entry) or behavioural(vectorized_entry)
-        if reason:
-            print(f"{kernel:<16} skipped ({reason})")
-            continue
-        scalar = scalar_entry["ns_per_unit"]
-        vectorized = vectorized_entry["ns_per_unit"]
-        speedup = scalar / vectorized if vectorized > 0 else float("inf")
+        if not pair:
+            # Behavioural entries stay out of the implicit gate, but an
+            # EXPLICIT pair opts in: both cells come from the same run on
+            # the same machine, so the ratio is comparable even though
+            # the absolute ns is not.
+            reason = behavioural(slow_entry) or behavioural(fast_entry)
+            if reason:
+                print(f"{kernel:<16} skipped ({reason})")
+                continue
+        slow = slow_entry["ns_per_unit"]
+        fast = fast_entry["ns_per_unit"]
+        speedup = slow / fast if fast > 0 else float("inf")
         ok = speedup >= factor
-        print(f"{kernel:<16} vectorized speedup {speedup:5.2f}x "
+        print(f"{kernel:<16} {fast_name} speedup {speedup:5.2f}x "
               f"(required {factor:.2f}x)  {'ok' if ok else 'TOO SLOW'}")
         if not ok:
             failures.append(
-                f"{kernel}: vectorized speedup {speedup:.2f}x < "
+                f"{kernel}: {fast_name} speedup {speedup:.2f}x < "
                 f"required {factor:.2f}x")
 
     if failures:

@@ -119,8 +119,13 @@ DistanceMatrix psa_parallel(const traj::Ensemble& ensemble,
   std::vector<std::future<void>> pending;
   pending.reserve(blocks.size());
   for (const auto& block : blocks) {
-    pending.push_back(pool.submit([&packs, &out, block, kernel, policy,
-                                   tracer] {
+    // Blocks in the same row stripe read the same row packs; routing a
+    // stripe to one L2 group keeps those packs cache-resident across
+    // its blocks (column index spreads within the group).
+    pending.push_back(pool.submit_grouped(
+        static_cast<std::uint64_t>(block.row_begin / n1),
+        static_cast<std::uint64_t>(block.col_begin / n1),
+        [&packs, &out, block, kernel, policy, tracer] {
       trace::Span span;
       if (tracer != nullptr) {
         if (const trace::Track* track = ThreadPool::current_worker_track()) {

@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 
 #include "mdtask/autoscale/controller.h"
 #include "mdtask/fault/injector.h"
@@ -31,6 +32,7 @@ struct RunningCopy {
   std::uint64_t task = 0;
   bool backup = false;
   double start_s = 0.0;
+  std::size_t slot = 0;  ///< server slot: its core class fixes the speed
 };
 
 }  // namespace
@@ -68,7 +70,20 @@ AdaptiveOutcome simulate_adaptive_wave(
   };
   std::deque<QueueEntry> queue;
   std::map<std::uint64_t, RunningCopy> running;
-  std::size_t free = cores;
+  // Servers are identified slots so heterogeneous core classes can be
+  // modelled: slot s runs at core_speeds[s % size]. With core_speeds
+  // empty every speed is 1.0 and the replay is event-for-event the
+  // homogeneous model.
+  std::set<std::size_t> free_slots;
+  for (std::size_t s = 0; s < cores; ++s) free_slots.insert(s);
+  std::size_t next_slot = cores;  ///< ids for scale-up servers
+  const auto speed_for = [&config](std::size_t slot) {
+    return config.core_speeds.empty()
+               ? 1.0
+               : config.core_speeds[slot % config.core_speeds.size()];
+  };
+  const bool class_aware = config.speculation.core_class_aware &&
+                           !config.core_speeds.empty();
   std::size_t to_drain = 0;  ///< busy servers retiring at hold end
   std::uint64_t next_instance = 0;
   std::uint64_t completed_count = 0;
@@ -76,29 +91,33 @@ AdaptiveOutcome simulate_adaptive_wave(
   std::vector<double> latencies(n_tasks, 0.0);
 
   MetricsWindow window(config.metrics_capacity);
-  const auto pool_size = [&] { return free + running.size() - to_drain; };
-  const auto release_server = [&] {
+  const auto pool_size = [&] {
+    return free_slots.size() + running.size() - to_drain;
+  };
+  const auto release_server = [&](std::size_t slot) {
     if (to_drain > 0) {
-      --to_drain;
+      --to_drain;  // the slot retires with its hold: it does not return
       return;
     }
-    ++free;
+    free_slots.insert(slot);
   };
 
   std::function<void(std::uint64_t)> complete;
   const auto pump = [&] {
-    while (free > 0 && !queue.empty()) {
+    while (!free_slots.empty() && !queue.empty()) {
       const QueueEntry entry = queue.front();
       queue.pop_front();
       TaskState& t = tasks[entry.task];
       if (t.completed) continue;  // stale backup/requeue of a done task
-      --free;
+      const std::size_t slot = *free_slots.begin();
+      free_slots.erase(free_slots.begin());
       const std::uint64_t id = next_instance++;
-      running[id] = {entry.task, entry.backup, simulation.now()};
+      running[id] = {entry.task, entry.backup, simulation.now(), slot};
       t.active.push_back(id);
       if (t.first_start < 0.0) t.first_start = simulation.now();
-      const double duration = entry.backup ? t.nominal : t.actual;
-      simulation.after(duration, [&complete, id] { complete(id); });
+      const double work = entry.backup ? t.nominal : t.actual;
+      simulation.after(work / speed_for(slot),
+                       [&complete, id] { complete(id); });
     }
   };
 
@@ -109,19 +128,25 @@ AdaptiveOutcome simulate_adaptive_wave(
     running.erase(it);
     TaskState& t = tasks[run.task];
     std::erase(t.active, id);
-    release_server();
+    release_server(run.slot);
     if (!t.completed) {
       t.completed = true;
       ++completed_count;
       last_done = simulation.now();
       const double latency = simulation.now() - t.first_start;
       latencies[run.task] = latency;
-      window.record_task_duration(latency);
+      // Core-class-aware mode records speed-normalized latencies (the
+      // task's WORK), so a slow core cannot inflate p95 for everyone.
+      window.record_task_duration(
+          class_aware ? latency * speed_for(run.slot) : latency);
       // First completion wins: the loser copy is killed now, its
       // server released (same model as the static speculation study).
       for (const std::uint64_t loser : t.active) {
-        running.erase(loser);
-        release_server();
+        const auto loser_it = running.find(loser);
+        if (loser_it == running.end()) continue;
+        const std::size_t loser_slot = loser_it->second.slot;
+        running.erase(loser_it);
+        release_server(loser_slot);
       }
       t.active.clear();
     }
@@ -140,7 +165,9 @@ AdaptiveOutcome simulate_adaptive_wave(
     // server tagged to retire simply stays.
     const std::size_t reclaimed = std::min(count, to_drain);
     to_drain -= reclaimed;
-    free += count - reclaimed;
+    for (std::size_t n = reclaimed; n < count; ++n) {
+      free_slots.insert(next_slot++);
+    }
     pump();
     outcome.peak_pool = std::max(outcome.peak_pool, pool_size());
     return count;
@@ -148,9 +175,12 @@ AdaptiveOutcome simulate_adaptive_wave(
   actions.shrink = [&](std::size_t count) {
     const std::size_t pool = pool_size();
     count = std::min(count, pool > 1 ? pool - 1 : 0);  // never empty
-    // Idle servers leave immediately under either departure policy.
-    const std::size_t idle = std::min(count, free);
-    free -= idle;
+    // Idle servers leave immediately under either departure policy;
+    // youngest slots go first, matching the kill-side victim order.
+    const std::size_t idle = std::min(count, free_slots.size());
+    for (std::size_t n = 0; n < idle; ++n) {
+      free_slots.erase(std::prev(free_slots.end()));
+    }
     std::size_t applied = idle;
     std::size_t rest = count - idle;
     if (departure == fault::DeparturePolicy::kKill) {
@@ -186,7 +216,12 @@ AdaptiveOutcome simulate_adaptive_wave(
       if (run.backup) continue;
       TaskState& t = tasks[run.task];
       if (t.completed || t.speculated) continue;
-      if (now - run.start_s <= threshold_s) continue;
+      // Core-class-aware: compare the copy's accomplished WORK-age, not
+      // wall age — a task pacing exactly with its slow core is not a
+      // straggler, only a task slow relative to its own core's speed.
+      const double age = (now - run.start_s) *
+                         (class_aware ? speed_for(run.slot) : 1.0);
+      if (age <= threshold_s) continue;
       t.speculated = true;
       queue.push_back({run.task, true});
       ++copies;

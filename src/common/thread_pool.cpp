@@ -2,25 +2,48 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <map>
 
 namespace mdtask {
 namespace {
 
-// Per-thread identity of traced pool workers. A worker copies its Track
-// here (under the pool mutex) before running each job, so engine code
-// executing inside the job can place task spans on the worker's
-// timeline via current_worker_track() without touching the pool.
+// Per-thread identity of pool workers. A worker copies its Track here
+// before running each traced job, so engine code executing inside the
+// job can place task spans on the worker's timeline via
+// current_worker_track() without touching the pool.
 thread_local trace::Track tls_worker_track{};
 thread_local bool tls_worker_traced = false;
 thread_local std::ptrdiff_t tls_worker_index = -1;
+thread_local ThreadPool* tls_worker_pool = nullptr;
+// Points at the worker's own Slot (a private pool type, hence void*).
+thread_local void* tls_worker_slot = nullptr;
+
+/// Jobs moved from the overflow queue into a worker's deque per grab:
+/// one lock acquisition amortized over the batch. Small enough that a
+/// burst still spreads across workers via stealing.
+constexpr std::size_t kOverflowBatch = 16;
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : ThreadPool(threads, topo::CpuTopology::host(),
+                 topo::pinning_enabled()) {}
+
+ThreadPool::ThreadPool(std::size_t threads, topo::CpuTopology topology,
+                       bool pin_threads)
+    : topology_(std::move(topology)), pin_(pin_threads) {
   threads = std::max<std::size_t>(1, threads);
-  workers_.reserve(threads);
-  retire_flags_.assign(threads, 0);
+  placement_base_ = topology_.worker_placement(topology_.logical_cpus());
+  auto roster = std::make_shared<Roster>();
+  roster->slots.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    roster->slots.push_back(make_slot(i));
+    roster->cpus.push_back(roster->slots.back()->cpu);
+  }
+  rebuild_l2_members(*roster);
+  roster_ = std::move(roster);
   alive_ = threads;
+  workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
@@ -29,43 +52,133 @@ ThreadPool::ThreadPool(std::size_t threads) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard lk(mu_);
-    stop_ = true;
+    stop_.store(true, std::memory_order_seq_cst);
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::post(std::function<void()> job) {
-  {
-    std::lock_guard lk(mu_);
-    Job j;
-    j.fn = std::move(job);
-    if (tracer_ != nullptr && tracer_->enabled()) {
-      j.enqueue_us = tracer_->now_us();
+std::shared_ptr<ThreadPool::Slot> ThreadPool::make_slot(std::size_t index) {
+  auto slot = std::make_shared<Slot>();
+  slot->cpu = placement_base_.empty()
+                  ? -1
+                  : placement_base_[index % placement_base_.size()];
+  for (const topo::CpuInfo& c : topology_.cpus()) {
+    if (c.cpu == slot->cpu) {
+      slot->l2 = c.l2;
+      break;
     }
-    queue_.push_back(std::move(j));
   }
-  cv_.notify_one();
+  return slot;
+}
+
+void ThreadPool::rebuild_l2_members(Roster& roster) {
+  // Group the non-retired slots by L2 domain, domains in id order so
+  // the router is deterministic for a given membership.
+  std::map<int, std::vector<std::size_t>> by_l2;
+  for (std::size_t i = 0; i < roster.slots.size(); ++i) {
+    if (roster.slots[i]->retired.load(std::memory_order_relaxed)) continue;
+    by_l2[roster.slots[i]->l2].push_back(i);
+  }
+  roster.l2_members.clear();
+  for (auto& [l2, members] : by_l2) {
+    roster.l2_members.push_back(std::move(members));
+  }
+}
+
+std::shared_ptr<const ThreadPool::Roster> ThreadPool::snapshot_roster()
+    const {
+  std::lock_guard lk(roster_mu_);
+  return roster_;
+}
+
+void ThreadPool::enqueue(topo::StealQueue<Job>& queue,
+                         std::function<void()> fn) {
+  Job job;
+  job.fn = std::move(fn);
+  // Stamp unconditionally once any tracer has ever been attached (even
+  // while disabled): enabling tracing mid-run then must not produce
+  // bogus queue-waits for jobs already in flight. See enable_tracing.
+  if (trace::Tracer* tracer = tracer_.load(std::memory_order_acquire)) {
+    job.enqueue_us = tracer->now_us();
+  }
+  outstanding_.fetch_add(1, std::memory_order_seq_cst);
+  // queued_ is bumped BEFORE the push: a worker that observes 0 here
+  // inside its sleep predicate can only have done so before this post
+  // began, and then the wake below covers it.
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+  queue.push(std::move(job));
+  wake_one();
+}
+
+void ThreadPool::wake_one() {
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    // Empty critical section orders this wake against a worker that is
+    // between its predicate check and cv_.wait; the notify itself is
+    // issued with mu_ released so the woken worker never runs straight
+    // into a held lock.
+    { std::lock_guard lk(mu_); }
+    cv_.notify_one();
+  }
+}
+
+void ThreadPool::post(std::function<void()> job) {
+  Slot* local = tls_worker_pool == this
+                    ? static_cast<Slot*>(tls_worker_slot)
+                    : nullptr;
+  if (local != nullptr && !local->retired.load(std::memory_order_relaxed)) {
+    enqueue(local->deque, std::move(job));
+    return;
+  }
+  enqueue(overflow_, std::move(job));
+}
+
+void ThreadPool::post_shared(std::function<void()> job) {
+  enqueue(overflow_, std::move(job));
+}
+
+void ThreadPool::post_grouped(std::uint64_t group,
+                              std::uint64_t member_hint,
+                              std::function<void()> job) {
+  const std::shared_ptr<const Roster> roster = snapshot_roster();
+  if (roster->l2_members.empty()) {
+    post(std::move(job));
+    return;
+  }
+  const auto& members =
+      roster->l2_members[group % roster->l2_members.size()];
+  if (members.empty()) {
+    post(std::move(job));
+    return;
+  }
+  const std::size_t target = members[member_hint % members.size()];
+  enqueue(roster->slots[target]->deque, std::move(job));
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock lk(mu_);
-  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lk, [this] {
+    return outstanding_.load(std::memory_order_seq_cst) == 0;
+  });
 }
 
 void ThreadPool::enable_tracing(trace::Tracer& tracer, std::uint32_t pid,
                                 const std::string& worker_prefix) {
+  const std::shared_ptr<const Roster> roster = snapshot_roster();
   std::vector<trace::Track> tracks;
-  tracks.reserve(workers_.size());
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    tracks.push_back(tracer.thread(pid, worker_prefix + "-" +
-                                            std::to_string(i)));
+  tracks.reserve(roster->slots.size());
+  for (std::size_t i = 0; i < roster->slots.size(); ++i) {
+    tracks.push_back(
+        tracer.thread(pid, worker_prefix + "-" + std::to_string(i)));
   }
   std::lock_guard lk(mu_);
-  tracer_ = &tracer;
   trace_pid_ = pid;
   worker_prefix_ = worker_prefix;
-  tracks_ = std::move(tracks);
+  for (std::size_t i = 0; i < roster->slots.size(); ++i) {
+    roster->slots[i]->track = tracks[i];
+    roster->slots[i]->traced.store(true, std::memory_order_release);
+  }
+  tracer_.store(&tracer, std::memory_order_release);
 }
 
 std::size_t ThreadPool::size() const {
@@ -74,27 +187,49 @@ std::size_t ThreadPool::size() const {
 }
 
 std::size_t ThreadPool::queued() const {
-  std::lock_guard lk(mu_);
-  return queue_.size();
+  return queued_.load(std::memory_order_seq_cst);
 }
 
 std::size_t ThreadPool::busy() const {
-  std::lock_guard lk(mu_);
-  return active_;
+  return active_.load(std::memory_order_seq_cst);
+}
+
+std::size_t ThreadPool::locality_groups() const {
+  return std::max<std::size_t>(1, snapshot_roster()->l2_members.size());
+}
+
+int ThreadPool::placement_cpu(std::size_t index) const {
+  return placement_base_.empty()
+             ? -1
+             : placement_base_[index % placement_base_.size()];
 }
 
 void ThreadPool::add_workers(std::size_t count) {
   std::lock_guard lk(mu_);
+  auto next = std::make_shared<Roster>(*snapshot_roster());
+  trace::Tracer* tracer = tracer_.load(std::memory_order_acquire);
+  const std::size_t first = next->slots.size();
   for (std::size_t n = 0; n < count; ++n) {
-    const std::size_t index = workers_.size();
-    retire_flags_.push_back(0);
-    if (tracer_ != nullptr) {
-      tracks_.push_back(tracer_->thread(
-          trace_pid_, worker_prefix_ + "-" + std::to_string(index)));
+    const std::size_t index = first + n;
+    auto slot = make_slot(index);
+    if (tracer != nullptr) {
+      slot->track = tracer->thread(
+          trace_pid_, worker_prefix_ + "-" + std::to_string(index));
+      slot->traced.store(true, std::memory_order_release);
     }
-    // The new thread blocks on mu_ at the top of worker_loop until this
-    // call releases it, so spawning under the lock is safe.
-    workers_.emplace_back([this, index] { worker_loop(index); });
+    next->slots.push_back(std::move(slot));
+    next->cpus.push_back(next->slots.back()->cpu);
+  }
+  rebuild_l2_members(*next);
+  {
+    std::lock_guard rlk(roster_mu_);
+    roster_ = std::move(next);
+  }
+  // Publish the roster before the epoch bump: a worker that sees the
+  // new epoch must snapshot a roster at least as new.
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (std::size_t n = 0; n < count; ++n) {
+    workers_.emplace_back([this, index = first + n] { worker_loop(index); });
     ++alive_;
   }
 }
@@ -106,13 +241,21 @@ std::vector<std::size_t> ThreadPool::retire_workers(std::size_t count) {
     // A pool that retired every worker could never drain its queue.
     const std::size_t ceiling = alive_ > 1 ? alive_ - 1 : 0;
     count = std::min(count, ceiling);
-    for (std::size_t i = workers_.size(); i-- > 0 && retired.size() < count;) {
-      if (!retire_flags_[i]) {
-        retire_flags_[i] = 1;
+    auto next = std::make_shared<Roster>(*snapshot_roster());
+    for (std::size_t i = next->slots.size();
+         i-- > 0 && retired.size() < count;) {
+      if (!next->slots[i]->retired.load(std::memory_order_relaxed)) {
+        next->slots[i]->retired.store(true, std::memory_order_seq_cst);
         retired.push_back(i);
       }
     }
     alive_ -= retired.size();
+    rebuild_l2_members(*next);
+    {
+      std::lock_guard rlk(roster_mu_);
+      roster_ = std::move(next);
+    }
+    epoch_.fetch_add(1, std::memory_order_release);
   }
   cv_.notify_all();
   return retired;
@@ -126,55 +269,114 @@ std::ptrdiff_t ThreadPool::current_worker_index() noexcept {
   return tls_worker_index;
 }
 
-void ThreadPool::worker_loop(std::size_t index) {
-  tls_worker_index = static_cast<std::ptrdiff_t>(index);
-  for (;;) {
-    Job job;
-    trace::Tracer* tracer = nullptr;
-    {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [this, index] {
-        return stop_ || retire_flags_[index] || !queue_.empty();
-      });
-      if (stop_ && queue_.empty()) return;
-      if (retire_flags_[index]) {
-        // Retired: exit without taking new work. Hand any wakeup we may
-        // have consumed on to a surviving worker.
-        if (!queue_.empty()) cv_.notify_one();
-        return;
-      }
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
-      // tracer_/tracks_ are written under mu_, so this read is ordered
-      // after any enable_tracing() call; the thread-local copy lets the
-      // job body read its track without re-locking.
-      if (tracer_ != nullptr && index < tracks_.size()) {
-        tracer = tracer_;
-        tls_worker_track = tracks_[index];
-        tls_worker_traced = true;
-      }
+void ThreadPool::run_job(Job& job, Slot* slot) {
+  active_.fetch_add(1, std::memory_order_seq_cst);
+  trace::Tracer* tracer = tracer_.load(std::memory_order_acquire);
+  if (tracer != nullptr && slot->traced.load(std::memory_order_acquire)) {
+    tls_worker_track = slot->track;
+    tls_worker_traced = true;
+  }
+  if (tracer != nullptr && tracer->enabled() && tls_worker_traced) {
+    if (job.enqueue_us >= 0.0) {
+      const double picked_us = tracer->now_us();
+      tracer->complete(tls_worker_track, "queue-wait", "queue",
+                       job.enqueue_us,
+                       std::max(0.0, picked_us - job.enqueue_us));
     }
-    if (tracer != nullptr && tracer->enabled()) {
-      if (job.enqueue_us >= 0.0) {
-        const double picked_us = tracer->now_us();
-        tracer->complete(tls_worker_track, "queue-wait", "queue",
-                         job.enqueue_us,
-                         std::max(0.0, picked_us - job.enqueue_us));
-      }
-      {
-        MDTASK_SCOPED_SPAN(job_span, *tracer, tls_worker_track, "job",
-                           "pool");
-        job.fn();
-      }
-    } else {
+    {
+      MDTASK_SCOPED_SPAN(job_span, *tracer, tls_worker_track, "job",
+                         "pool");
       job.fn();
     }
-    {
-      std::lock_guard lk(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  } else {
+    job.fn();
+  }
+  active_.fetch_sub(1, std::memory_order_seq_cst);
+  if (outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    // Last outstanding job: release wait_idle callers. The empty
+    // critical section orders against a waiter between its predicate
+    // check and the wait.
+    { std::lock_guard lk(mu_); }
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_pool = this;
+  tls_worker_index = static_cast<std::ptrdiff_t>(index);
+  std::shared_ptr<const Roster> roster = snapshot_roster();
+  std::uint64_t my_epoch = epoch_.load(std::memory_order_acquire);
+  const std::shared_ptr<Slot> slot = roster->slots[index];
+  tls_worker_slot = slot.get();
+  if (pin_ && slot->cpu >= 0) topo::pin_current_thread(slot->cpu);
+  std::vector<std::size_t> victims =
+      topology_.victim_order(roster->cpus, index);
+  std::vector<Job> batch;
+
+  for (;;) {
+    if (slot->retired.load(std::memory_order_seq_cst)) {
+      // Drain semantics: hand queued jobs to the survivors, then exit.
+      batch.clear();
+      slot->deque.drain(batch);
+      for (auto& j : batch) overflow_.push(std::move(j));
+      if (!batch.empty()) {
+        { std::lock_guard lk(mu_); }
+        cv_.notify_all();
+      }
+      return;
     }
+    if (epoch_.load(std::memory_order_acquire) != my_epoch) {
+      my_epoch = epoch_.load(std::memory_order_acquire);
+      roster = snapshot_roster();
+      victims = topology_.victim_order(roster->cpus, index);
+    }
+
+    Job job;
+    bool got = slot->deque.pop(job);
+    if (!got) {
+      // Batched overflow grab: run the oldest, keep the rest local
+      // (still "queued" — thieves may take them back).
+      batch.clear();
+      if (overflow_.steal_batch(batch, kOverflowBatch) > 0) {
+        got = true;
+        job = std::move(batch.front());
+        // One lock for the whole re-push; the jobs stay stealable.
+        slot->deque.push_batch(batch, 1);
+      }
+    }
+    if (!got) {
+      // Steal FIFO from victims in topology order: SMT sibling, L2
+      // peer, package peer, then the rest.
+      for (const std::size_t v : victims) {
+        if (v < roster->slots.size() &&
+            roster->slots[v]->deque.steal(job)) {
+          got = true;
+          break;
+        }
+      }
+    }
+    if (got) {
+      queued_.fetch_sub(1, std::memory_order_seq_cst);
+      run_job(job, slot.get());
+      continue;
+    }
+
+    // Nothing anywhere: sleep until a post, a membership change, or
+    // shutdown. The queued_ term of the predicate plus the poster's
+    // fenced wake makes a lost wakeup impossible (see enqueue).
+    std::unique_lock lk(mu_);
+    if (stop_.load(std::memory_order_seq_cst) &&
+        queued_.load(std::memory_order_seq_cst) == 0) {
+      return;
+    }
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait(lk, [&] {
+      return stop_.load(std::memory_order_seq_cst) ||
+             slot->retired.load(std::memory_order_seq_cst) ||
+             queued_.load(std::memory_order_seq_cst) > 0 ||
+             epoch_.load(std::memory_order_acquire) != my_epoch;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
   }
 }
 

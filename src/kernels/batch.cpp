@@ -187,6 +187,27 @@ double hausdorff_packed(const FramePack& a, const FramePack& b,
                   hausdorff_directed_packed(b, a, early_break, policy, evals));
 }
 
+double hausdorff_packed_parallel(const FramePack& a, const FramePack& b,
+                                 bool early_break, KernelPolicy policy,
+                                 ThreadPool& pool, std::uint64_t pair_id,
+                                 std::size_t* evals) {
+  if (pool.size() <= 1) return hausdorff_packed(a, b, early_break, policy,
+                                                evals);
+  // Same group, distinct member hints: the router places both halves in
+  // one L2 domain, on different workers where the domain has them.
+  std::size_t evals_ab = 0, evals_ba = 0;
+  auto ab = pool.submit_grouped(pair_id, 0, [&] {
+    return hausdorff_directed_packed(a, b, early_break, policy, &evals_ab);
+  });
+  auto ba = pool.submit_grouped(pair_id, 1, [&] {
+    return hausdorff_directed_packed(b, a, early_break, policy, &evals_ba);
+  });
+  const double hab = ab.get();
+  const double hba = ba.get();
+  if (evals != nullptr) *evals += evals_ab + evals_ba;
+  return std::max(hab, hba);
+}
+
 void rmsd2d_packed(const FramePack& a, const FramePack& b,
                    KernelPolicy policy, std::span<double> out) noexcept {
   const std::size_t na = a.frames();
@@ -224,11 +245,18 @@ void rmsd2d_packed_parallel(const FramePack& a, const FramePack& b,
     rmsd2d_packed(a, b, policy, out);
     return;
   }
+  const std::size_t n_tiles = (na + kFrameTile - 1) / kFrameTile;
+  const std::size_t groups = pool.locality_groups();
   std::vector<std::future<void>> tiles;
-  tiles.reserve((na + kFrameTile - 1) / kFrameTile);
+  tiles.reserve(n_tiles);
   for (std::size_t i0 = 0; i0 < na; i0 += kFrameTile) {
     const std::size_t i1 = std::min(i0 + kFrameTile, na);
-    tiles.push_back(pool.submit([&a, &b, policy, tracer, out, i0, i1, nb] {
+    // Contiguous row-tile chunks per L2 group: neighbouring tiles walk
+    // the same B-side tiles, so co-locating them shares those reads.
+    const std::size_t tile_idx = i0 / kFrameTile;
+    const std::uint64_t group = tile_idx * groups / n_tiles;
+    tiles.push_back(pool.submit_grouped(
+        group, tile_idx, [&a, &b, policy, tracer, out, i0, i1, nb] {
       trace::Span span;
       if (tracer != nullptr) {
         if (const trace::Track* track = ThreadPool::current_worker_track()) {

@@ -247,6 +247,21 @@ MachineProfile wrangler() {
   return m;
 }
 
+std::vector<double> core_speed_schedule(const MachineProfile& machine,
+                                        std::size_t cores) {
+  std::vector<double> schedule(cores, 1.0);
+  // One tiling of the declared classes; skip count-0 entries.
+  std::vector<double> pattern;
+  for (const CoreClass& cls : machine.core_classes) {
+    for (std::size_t i = 0; i < cls.count; ++i) pattern.push_back(cls.speed);
+  }
+  if (pattern.empty()) return schedule;  // homogeneous machine
+  for (std::size_t c = 0; c < cores; ++c) {
+    schedule[c] = pattern[c % pattern.size()];
+  }
+  return schedule;
+}
+
 std::vector<double> utilization_timeline(
     const std::vector<ServiceInterval>& intervals, std::size_t servers,
     std::size_t buckets, double horizon) {

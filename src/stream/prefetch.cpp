@@ -30,7 +30,11 @@ void PrefetchPipeline::schedule_locked() {
          inflight_ + ready_.size() < options_.depth) {
     const std::size_t shard = next_to_schedule_++;
     ++inflight_;
-    pool_->post([this, shard] { produce(shard); });
+    // post_shared: decode jobs go to the overflow queue even when the
+    // consumer calling next() is itself a pool worker, so any idle
+    // worker (or thief) picks them up instead of the busy poster
+    // sitting on them — the I/O overlap is the point of the pipeline.
+    pool_->post_shared([this, shard] { produce(shard); });
   }
 }
 

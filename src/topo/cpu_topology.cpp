@@ -1,0 +1,240 @@
+#include "mdtask/topo/cpu_topology.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace mdtask::topo {
+namespace {
+
+/// Reads one sysfs value file; returns fallback on any failure.
+int read_int(const std::string& path, int fallback) {
+  std::ifstream in(path);
+  int value = fallback;
+  if (!(in >> value)) return fallback;
+  return value;
+}
+
+/// First cpu id of a sysfs cpu-list ("0-3,8" -> 0), or -1. The minimum
+/// member is a stable label for the sharing group itself.
+int list_leader(const std::string& path) {
+  std::ifstream in(path);
+  std::string text;
+  if (!(in >> text)) return -1;
+  int leader = -1;
+  std::stringstream ss(text);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const std::size_t dash = tok.find('-');
+    const std::string head = dash == std::string::npos ? tok : tok.substr(0, dash);
+    char* end = nullptr;
+    const long v = std::strtol(head.c_str(), &end, 10);
+    if (end == head.c_str()) continue;
+    if (leader < 0 || v < leader) leader = static_cast<int>(v);
+  }
+  return leader;
+}
+
+/// The L2 sharing-group label of cpuN: the smallest cpu id in the
+/// shared_cpu_list of its level-2 cache, or -1 when sysfs lacks one.
+int l2_leader(const std::string& cpu_dir) {
+  for (int index = 0; index < 8; ++index) {
+    const std::string cache =
+        cpu_dir + "/cache/index" + std::to_string(index);
+    const int level = read_int(cache + "/level", -1);
+    if (level != 2) continue;
+    return list_leader(cache + "/shared_cpu_list");
+  }
+  return -1;
+}
+
+std::size_t fallback_cpu_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+CpuTopology::CpuTopology(std::vector<CpuInfo> cpus) : cpus_(std::move(cpus)) {
+  std::vector<int> l2s, cores;
+  for (const CpuInfo& c : cpus_) {
+    l2s.push_back(c.l2);
+    cores.push_back(c.core);
+  }
+  std::sort(l2s.begin(), l2s.end());
+  std::sort(cores.begin(), cores.end());
+  l2_domains_ = static_cast<std::size_t>(
+      std::unique(l2s.begin(), l2s.end()) - l2s.begin());
+  physical_cores_ = static_cast<std::size_t>(
+      std::unique(cores.begin(), cores.end()) - cores.begin());
+}
+
+std::vector<CpuInfo> CpuTopology::make_synthetic(
+    std::size_t logical, std::size_t smt_per_core, std::size_t cores_per_l2,
+    std::size_t cores_per_package) {
+  logical = std::max<std::size_t>(1, logical);
+  smt_per_core = std::max<std::size_t>(1, smt_per_core);
+  cores_per_l2 = std::max<std::size_t>(1, cores_per_l2);
+  const std::size_t cores = (logical + smt_per_core - 1) / smt_per_core;
+  if (cores_per_package == 0) cores_per_package = cores;
+  std::vector<CpuInfo> cpus(logical);
+  for (std::size_t i = 0; i < logical; ++i) {
+    // Core-major layout: cpu i and cpu i + cores are SMT siblings.
+    const std::size_t core = i % cores;
+    cpus[i].cpu = static_cast<int>(i);
+    cpus[i].core = static_cast<int>(core);
+    cpus[i].l2 = static_cast<int>(core / cores_per_l2);
+    cpus[i].package = static_cast<int>(core / cores_per_package);
+  }
+  return cpus;
+}
+
+CpuTopology CpuTopology::synthetic(std::size_t logical,
+                                   std::size_t smt_per_core,
+                                   std::size_t cores_per_l2,
+                                   std::size_t cores_per_package) {
+  return CpuTopology(make_synthetic(logical, smt_per_core, cores_per_l2,
+                                    cores_per_package));
+}
+
+CpuTopology CpuTopology::detect() {
+  std::vector<CpuInfo> cpus;
+#if defined(__linux__)
+  for (int id = 0;; ++id) {
+    const std::string dir =
+        "/sys/devices/system/cpu/cpu" + std::to_string(id);
+    const std::string topo = dir + "/topology";
+    const int core = read_int(topo + "/core_id", -1);
+    if (core < 0 && !std::ifstream(topo + "/core_id").good()) break;
+    CpuInfo info;
+    info.cpu = id;
+    info.package = read_int(topo + "/physical_package_id", 0);
+    // core_id is only unique within a package; qualify it.
+    info.core = info.package * 65536 + std::max(core, 0);
+    const int l2 = l2_leader(dir);
+    info.l2 = l2 >= 0 ? l2 : info.core;
+    cpus.push_back(info);
+    if (id > 4095) break;  // runaway guard; no host has more
+  }
+#endif
+  if (cpus.empty()) {
+    CpuTopology flat(make_synthetic(fallback_cpu_count(), 1, 1, 0));
+    return flat;
+  }
+  CpuTopology result{std::move(cpus)};
+  result.detected_ = true;
+  return result;
+}
+
+const CpuTopology& CpuTopology::host() {
+  static const CpuTopology topology = detect();
+  return topology;
+}
+
+std::vector<int> CpuTopology::worker_placement(std::size_t workers) const {
+  // Order CPUs so one sweep fills every physical core before any SMT
+  // sibling: sort by (thread-rank-on-core, package, l2, core, cpu).
+  std::map<int, int> rank_on_core;
+  std::vector<const CpuInfo*> order;
+  order.reserve(cpus_.size());
+  for (const CpuInfo& c : cpus_) order.push_back(&c);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const CpuInfo* a, const CpuInfo* b) {
+                     return a->cpu < b->cpu;
+                   });
+  std::vector<std::pair<std::array<int, 5>, int>> keyed;
+  keyed.reserve(order.size());
+  for (const CpuInfo* c : order) {
+    const int rank = rank_on_core[c->core]++;
+    keyed.push_back({{rank, c->package, c->l2, c->core, c->cpu}, c->cpu});
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<int> placement(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    placement[w] = keyed[w % keyed.size()].second;
+  }
+  return placement;
+}
+
+std::vector<std::size_t> CpuTopology::victim_order(
+    const std::vector<int>& assignment, std::size_t self) const {
+  const std::size_t n = assignment.size();
+  std::vector<std::size_t> order;
+  if (n <= 1 || self >= n) return order;
+  order.reserve(n - 1);
+
+  const CpuInfo* me = nullptr;
+  if (assignment[self] >= 0) {
+    for (const CpuInfo& c : cpus_) {
+      if (c.cpu == assignment[self]) {
+        me = &c;
+        break;
+      }
+    }
+  }
+
+  // Tier of victim w relative to self: 0 = SMT sibling, 1 = L2 peer,
+  // 2 = package peer, 3 = everything else (incl. unpinned workers).
+  const auto tier = [&](std::size_t w) {
+    if (me == nullptr || assignment[w] < 0) return 3;
+    for (const CpuInfo& c : cpus_) {
+      if (c.cpu != assignment[w]) continue;
+      if (c.core == me->core && c.cpu != me->cpu) return 0;
+      if (c.cpu == me->cpu) return 1;  // same pin target: L2-hot anyway
+      if (c.l2 == me->l2) return 1;
+      if (c.package == me->package) return 2;
+      return 3;
+    }
+    return 3;
+  };
+
+  // Rotate within tiers by self so concurrent thieves spread out.
+  std::vector<std::pair<int, std::size_t>> keyed;
+  keyed.reserve(n - 1);
+  for (std::size_t d = 1; d < n; ++d) {
+    const std::size_t w = (self + d) % n;
+    keyed.push_back({tier(w), w});
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (const auto& [t, w] : keyed) order.push_back(w);
+  return order;
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+bool pinning_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("MDTASK_PIN_THREADS");
+    if (env == nullptr) return true;
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0 || std::strcmp(env, "no") == 0);
+  }();
+  return enabled;
+}
+
+}  // namespace mdtask::topo

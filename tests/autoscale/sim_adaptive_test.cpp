@@ -186,5 +186,83 @@ TEST(SimAdaptiveTest, EmptyWaveCompletesImmediately) {
   EXPECT_EQ(outcome.speculative_copies, 0u);
 }
 
+TEST(SimAdaptiveHeterogeneousTest, EmptyCoreSpeedsMatchesHomogeneousModel) {
+  // The slot-based server model with no core_speeds must reproduce the
+  // homogeneous replay exactly (the published-figure invariant).
+  const std::vector<double> durations(200, 1.0);
+  AdaptiveSimConfig plain = elastic_config();
+  AdaptiveSimConfig with_empty = elastic_config();
+  with_empty.core_speeds.clear();
+  const auto a = simulate_adaptive_wave(16, durations, straggler_plan(),
+                                        EngineId::kDask, plain);
+  const auto b = simulate_adaptive_wave(16, durations, straggler_plan(),
+                                        EngineId::kDask, with_empty);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.speculative_copies, b.speculative_copies);
+  EXPECT_EQ(a.scale_ups, b.scale_ups);
+  EXPECT_EQ(a.scale_downs, b.scale_downs);
+}
+
+TEST(SimAdaptiveHeterogeneousTest, SlowCoresStretchTheWave) {
+  const std::vector<double> durations(128, 1.0);
+  fault::FaultPlan clean;  // no faults: isolate the core-class effect
+  AdaptiveSimConfig config;
+  config.scaling_enabled = false;
+  config.speculation_enabled = false;
+  AdaptiveSimConfig hetero = config;
+  hetero.core_speeds = std::vector<double>(8, 0.5);  // all cores 2x slower
+  const auto fast = simulate_adaptive_wave(8, durations, clean,
+                                           EngineId::kDask, config);
+  const auto slow = simulate_adaptive_wave(8, durations, clean,
+                                           EngineId::kDask, hetero);
+  EXPECT_NEAR(slow.makespan_s, 2.0 * fast.makespan_s, 1e-9);
+}
+
+TEST(SimAdaptiveHeterogeneousTest, NaiveSpeculationCopiesSlowCoreTasks) {
+  // Uniform work, no faults, half the cores at 0.4x: every task on a
+  // slow core looks 2.5x late to a wall-clock threshold. The naive
+  // policy wastes backup copies on them; the core-class-aware policy
+  // knows they are pacing their cores and submits none.
+  const std::vector<double> durations(160, 1.0);
+  fault::FaultPlan clean;
+  AdaptiveSimConfig naive;
+  naive.scaling_enabled = false;
+  naive.speculation.threshold_factor = 1.5;
+  naive.speculation.min_completed = 8;
+  AdaptiveSimConfig aware = naive;
+  const auto speeds = [] {
+    std::vector<double> s(16, 1.0);
+    for (std::size_t i = 8; i < 16; ++i) s[i] = 0.4;
+    return s;
+  }();
+  naive.core_speeds = speeds;
+  aware.core_speeds = speeds;
+  aware.speculation.core_class_aware = true;
+  const auto wasteful = simulate_adaptive_wave(16, durations, clean,
+                                               EngineId::kDask, naive);
+  const auto precise = simulate_adaptive_wave(16, durations, clean,
+                                              EngineId::kDask, aware);
+  EXPECT_GT(wasteful.speculative_copies, 0u);
+  EXPECT_EQ(precise.speculative_copies, 0u);
+  // No real stragglers exist, so the copies cannot beat the makespan.
+  EXPECT_LE(precise.makespan_s, wasteful.makespan_s + 1e-9);
+}
+
+TEST(SimAdaptiveHeterogeneousTest, AwareSpeculationStillCatchesRealStragglers) {
+  // A genuinely stretched task on a FAST core must still earn a backup
+  // under the core-class-aware test.
+  const std::vector<double> durations(160, 1.0);
+  AdaptiveSimConfig config;
+  config.scaling_enabled = false;
+  config.speculation.threshold_factor = 1.5;
+  config.speculation.min_completed = 8;
+  config.speculation.core_class_aware = true;
+  config.core_speeds = {1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.5};
+  const auto outcome = simulate_adaptive_wave(
+      8, durations, straggler_plan(), EngineId::kDask, config);
+  EXPECT_GT(outcome.stragglers, 0u);
+  EXPECT_GT(outcome.speculative_copies, 0u);
+}
+
 }  // namespace
 }  // namespace mdtask::autoscale

@@ -227,6 +227,39 @@ TEST(BatchEquivalenceTest, Rmsd2dParallelMatchesSerial) {
   }
 }
 
+TEST(BatchEquivalenceTest, HausdorffParallelMatchesSerialExactly) {
+  // The grouped two-task split must not change the value OR the eval
+  // count: each directed half is computed by the same serial kernel,
+  // just on a co-scheduled worker pair.
+  ThreadPool pool(4, topo::CpuTopology::synthetic(4, 1, 2), false);
+  std::uint64_t seed = 1200;
+  for (const std::size_t frames : {kFrameTile - 1, kFrameTile + 3}) {
+    const auto a = make_pack(seed, frames, 19);
+    const auto b = make_pack(seed + 5, frames + 2, 19);
+    ++seed;
+    for (const auto policy : kAllPolicies) {
+      for (const bool early : {false, true}) {
+        std::size_t serial_evals = 0, parallel_evals = 0;
+        const double serial =
+            hausdorff_packed(a, b, early, policy, &serial_evals);
+        const double parallel = hausdorff_packed_parallel(
+            a, b, early, policy, pool, /*pair_id=*/seed, &parallel_evals);
+        EXPECT_DOUBLE_EQ(parallel, serial) << to_string(policy);
+        EXPECT_EQ(parallel_evals, serial_evals) << to_string(policy);
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalenceTest, HausdorffParallelSingleWorkerFallsBackSerial) {
+  ThreadPool pool(1, topo::CpuTopology::synthetic(1), false);
+  const auto a = make_pack(31, kFrameTile, 12);
+  const auto b = make_pack(32, kFrameTile, 12);
+  EXPECT_DOUBLE_EQ(
+      hausdorff_packed_parallel(a, b, true, KernelPolicy::kBlocked, pool, 0),
+      hausdorff_packed(a, b, true, KernelPolicy::kBlocked));
+}
+
 TEST(BatchEquivalenceTest, CutoffPairListsIdenticalAcrossPolicies) {
   // Cloud sizes straddle kCutoffTile and the group width; the cutoff is
   // picked so a few percent of pairs hit.

@@ -68,6 +68,16 @@ class BehaviouralSkipListTest(unittest.TestCase):
     def test_stream_family_is_registered(self):
         self.assertIn("stream", [k for k, _ in MOD.BEHAVIOURAL_FAMILIES])
 
+    def test_pool_family_is_registered(self):
+        self.assertIn("pool", [k for k, _ in MOD.BEHAVIOURAL_FAMILIES])
+
+    def test_pool_scenarios_match_by_prefix(self):
+        for kernel in ("pool_contended", "pool_chained", "pool_burst",
+                       "pool_tile"):
+            self.assertIsNotNone(
+                MOD.behavioural({"kernel": kernel, "policy": "single_fifo"}),
+                kernel)
+
 
 class EndToEndGateTest(unittest.TestCase):
     @staticmethod
@@ -76,7 +86,7 @@ class EndToEndGateTest(unittest.TestCase):
             json.dump({"schema": "mdtask-bench-kernels-v1",
                        "entries": entries}, f)
 
-    def run_gate(self, baseline, current):
+    def run_gate(self, baseline, current, extra_args=()):
         with tempfile.TemporaryDirectory() as tmp:
             base_path = os.path.join(tmp, "baseline.json")
             cur_path = os.path.join(tmp, "current.json")
@@ -84,7 +94,7 @@ class EndToEndGateTest(unittest.TestCase):
             self.write_doc(cur_path, current)
             return subprocess.run(
                 [sys.executable, SCRIPT, "--baseline", base_path,
-                 "--current", cur_path],
+                 "--current", cur_path, *extra_args],
                 capture_output=True, text=True)
 
     def test_behavioural_slowdown_does_not_fail_the_gate(self):
@@ -123,6 +133,56 @@ class EndToEndGateTest(unittest.TestCase):
         result = self.run_gate(baseline, current)
         self.assertNotEqual(result.returncode, 0)
         self.assertIn("REGRESSION", result.stdout)
+
+    POOL_DOC = [
+        {"kernel": "pool_tile", "policy": "single_fifo",
+         "ns_per_unit": 3000.0},
+        {"kernel": "pool_tile", "policy": "work_stealing",
+         "ns_per_unit": 3100.0},
+    ]
+
+    def test_explicit_policy_pair_gates_behavioural_ratio(self):
+        # 3000/3100 = 0.97x: passes a 0.9 floor, fails a 1.5 floor —
+        # even though "pool" is a behavioural family, the explicit pair
+        # opts the same-run ratio into the gate.
+        ok = self.run_gate(
+            self.POOL_DOC, self.POOL_DOC,
+            ["--min-speedup", "pool_tile=0.9:single_fifo/work_stealing"])
+        self.assertEqual(ok.returncode, 0, ok.stderr)
+        self.assertIn("work_stealing speedup", ok.stdout)
+        bad = self.run_gate(
+            self.POOL_DOC, self.POOL_DOC,
+            ["--min-speedup", "pool_tile=1.5:single_fifo/work_stealing"])
+        self.assertNotEqual(bad.returncode, 0)
+        self.assertIn("TOO SLOW", bad.stdout)
+
+    def test_pool_entries_skip_the_absolute_ns_gate(self):
+        # A 1000x absolute slowdown on a different machine must NOT trip
+        # the cross-machine gate for pool entries.
+        slower = [dict(e, ns_per_unit=e["ns_per_unit"] * 1000)
+                  for e in self.POOL_DOC]
+        result = self.run_gate(self.POOL_DOC, slower)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("skipped", result.stdout)
+
+    def test_default_pair_still_skips_behavioural_entries(self):
+        doc = [
+            {"kernel": "autoscale_wave", "policy": "scalar",
+             "ns_per_unit": 100.0},
+            {"kernel": "autoscale_wave", "policy": "vectorized",
+             "ns_per_unit": 100.0},
+        ]
+        result = self.run_gate(doc, doc,
+                               ["--min-speedup", "autoscale_wave=2.0"])
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("skipped", result.stdout)
+
+    def test_missing_pair_cell_fails_the_gate(self):
+        result = self.run_gate(
+            self.POOL_DOC, self.POOL_DOC,
+            ["--min-speedup", "pool_burst=0.5:single_fifo/work_stealing"])
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("cells missing", result.stderr)
 
 
 if __name__ == "__main__":

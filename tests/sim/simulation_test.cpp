@@ -209,6 +209,27 @@ TEST(TraceTest, ResourceRecordsServiceIntervals) {
   EXPECT_DOUBLE_EQ(trace[2].end, 10.0);
 }
 
+TEST(CoreSpeedScheduleTest, EmptyClassesYieldAllOnes) {
+  const MachineProfile m = comet();  // both testbeds are homogeneous
+  const auto schedule = core_speed_schedule(m, 5);
+  EXPECT_EQ(schedule, (std::vector<double>{1.0, 1.0, 1.0, 1.0, 1.0}));
+}
+
+TEST(CoreSpeedScheduleTest, ClassesTileInDeclarationOrder) {
+  MachineProfile m;
+  m.core_classes = {{"fast", 1.0, 2}, {"slow", 0.5, 1}};
+  const auto schedule = core_speed_schedule(m, 7);
+  EXPECT_EQ(schedule, (std::vector<double>{1.0, 1.0, 0.5, 1.0, 1.0, 0.5,
+                                           1.0}));
+}
+
+TEST(CoreSpeedScheduleTest, ZeroCountClassesAreSkipped) {
+  MachineProfile m;
+  m.core_classes = {{"ghost", 9.0, 0}, {"slow", 0.25, 2}};
+  const auto schedule = core_speed_schedule(m, 3);
+  EXPECT_EQ(schedule, (std::vector<double>{0.25, 0.25, 0.25}));
+}
+
 TEST(UtilizationTimelineTest, FullyBusyThenIdle) {
   // 2 servers, intervals covering [0,5) on both, horizon 10, 2 buckets:
   // first bucket fully busy, second idle.

@@ -1,0 +1,141 @@
+#include "mdtask/topo/cpu_topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace mdtask::topo {
+namespace {
+
+TEST(CpuTopologyTest, SyntheticFlatTopologyHasOneCpuPerCoreAndL2) {
+  const CpuTopology t = CpuTopology::synthetic(4);
+  EXPECT_EQ(t.logical_cpus(), 4u);
+  EXPECT_EQ(t.physical_cores(), 4u);
+  EXPECT_EQ(t.l2_domains(), 4u);
+  EXPECT_FALSE(t.detected());
+}
+
+TEST(CpuTopologyTest, SyntheticSmtPairsShareCoresCoreMajor) {
+  // 8 logical = 4 cores x 2 threads, core-major: cpu i and cpu i+4 are
+  // siblings.
+  const CpuTopology t = CpuTopology::synthetic(8, 2);
+  EXPECT_EQ(t.physical_cores(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.cpu(i).core, t.cpu(i + 4).core) << "cpu " << i;
+  }
+}
+
+TEST(CpuTopologyTest, SyntheticL2AndPackageGrouping) {
+  // 8 cores, 2 cores per L2, 4 cores per package => 4 L2 domains, 2
+  // sockets.
+  const CpuTopology t = CpuTopology::synthetic(8, 1, 2, 4);
+  EXPECT_EQ(t.l2_domains(), 4u);
+  EXPECT_EQ(t.cpu(0).l2, t.cpu(1).l2);
+  EXPECT_NE(t.cpu(1).l2, t.cpu(2).l2);
+  EXPECT_EQ(t.cpu(0).package, t.cpu(3).package);
+  EXPECT_NE(t.cpu(3).package, t.cpu(4).package);
+}
+
+TEST(CpuTopologyTest, ZeroLogicalClampsToOne) {
+  const CpuTopology t = CpuTopology::synthetic(0);
+  EXPECT_EQ(t.logical_cpus(), 1u);
+}
+
+TEST(CpuTopologyTest, DetectNeverFails) {
+  const CpuTopology t = CpuTopology::detect();
+  EXPECT_GE(t.logical_cpus(), 1u);
+  EXPECT_GE(t.physical_cores(), 1u);
+  EXPECT_GE(t.l2_domains(), 1u);
+  // host() is the same topology, computed once.
+  EXPECT_EQ(CpuTopology::host().logical_cpus(), t.logical_cpus());
+}
+
+TEST(WorkerPlacementTest, FillsPhysicalCoresBeforeSmtSiblings) {
+  const CpuTopology t = CpuTopology::synthetic(8, 2);  // 4 cores x 2 SMT
+  const std::vector<int> placement = t.worker_placement(8);
+  ASSERT_EQ(placement.size(), 8u);
+  // First 4 workers land on 4 distinct physical cores.
+  std::set<int> first_cores;
+  for (std::size_t w = 0; w < 4; ++w) {
+    first_cores.insert(t.cpu(static_cast<std::size_t>(placement[w])).core);
+  }
+  EXPECT_EQ(first_cores.size(), 4u);
+  // All 8 CPUs used exactly once overall.
+  std::set<int> all(placement.begin(), placement.end());
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(WorkerPlacementTest, WrapsRoundRobinWhenOversubscribed) {
+  const CpuTopology t = CpuTopology::synthetic(4);
+  const std::vector<int> placement = t.worker_placement(10);
+  ASSERT_EQ(placement.size(), 10u);
+  for (std::size_t w = 4; w < 10; ++w) {
+    EXPECT_EQ(placement[w], placement[w - 4]);
+  }
+}
+
+TEST(VictimOrderTest, SmtSiblingFirstThenL2ThenPackage) {
+  // 8 cores, 2 SMT each = 16 logical; 2 cores/L2, 4 cores/package.
+  const CpuTopology t = CpuTopology::synthetic(16, 2, 2, 4);
+  const std::vector<int> placement = t.worker_placement(16);
+  const std::vector<std::size_t> order = t.victim_order(placement, 0);
+  ASSERT_EQ(order.size(), 15u);
+
+  const CpuInfo& me = t.cpu(static_cast<std::size_t>(placement[0]));
+  const CpuInfo& first = t.cpu(static_cast<std::size_t>(placement[order[0]]));
+  // The first victim shares my physical core (SMT sibling).
+  EXPECT_EQ(first.core, me.core);
+  EXPECT_NE(first.cpu, me.cpu);
+
+  // Victims sharing my L2 all come before any victim on another socket.
+  std::size_t last_l2 = 0, first_foreign = order.size();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const CpuInfo& v = t.cpu(static_cast<std::size_t>(placement[order[i]]));
+    if (v.l2 == me.l2) last_l2 = i;
+    if (v.package != me.package && first_foreign == order.size()) {
+      first_foreign = i;
+    }
+  }
+  EXPECT_LT(last_l2, first_foreign);
+}
+
+TEST(VictimOrderTest, RotatesBySelfAndExcludesSelf) {
+  const CpuTopology t = CpuTopology::synthetic(4);
+  const std::vector<int> placement = t.worker_placement(4);
+  const auto o1 = t.victim_order(placement, 1);
+  const auto o2 = t.victim_order(placement, 2);
+  EXPECT_EQ(std::count(o1.begin(), o1.end(), std::size_t{1}), 0);
+  EXPECT_EQ(std::count(o2.begin(), o2.end(), std::size_t{2}), 0);
+  ASSERT_FALSE(o1.empty());
+  ASSERT_FALSE(o2.empty());
+  EXPECT_NE(o1.front(), o2.front());  // concurrent thieves fan out
+}
+
+TEST(VictimOrderTest, UnpinnedWorkersStillGetAFullOrder) {
+  const CpuTopology t = CpuTopology::synthetic(4);
+  const std::vector<int> unpinned(6, -1);
+  const auto order = t.victim_order(unpinned, 0);
+  std::set<std::size_t> seen(order.begin(), order.end());
+  EXPECT_EQ(order.size(), 5u);
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen.count(0), 0u);
+}
+
+TEST(PinTest, PinCurrentThreadToCpuZeroSucceedsOnLinux) {
+#if defined(__linux__)
+  std::thread worker([] { EXPECT_TRUE(pin_current_thread(0)); });
+  worker.join();
+#else
+  GTEST_SKIP() << "pinning is Linux-only";
+#endif
+}
+
+TEST(PinTest, NegativeCpuIsRejected) {
+  EXPECT_FALSE(pin_current_thread(-1));
+}
+
+}  // namespace
+}  // namespace mdtask::topo
