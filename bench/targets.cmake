@@ -31,3 +31,4 @@ mdtask_bench(bench_real_engines mdtask_workflows)
 mdtask_bench(bench_future_work mdtask_perf mdtask_workflows)
 mdtask_bench(bench_iterative_caching mdtask_analysis mdtask_engines)
 mdtask_bench(bench_utilization mdtask_perf mdtask_autoscale)
+mdtask_bench(bench_service mdtask_service)

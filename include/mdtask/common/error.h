@@ -22,6 +22,7 @@ enum class ErrorCode {
   kFormatError,
   kResourceExhausted,  ///< e.g. simulated worker memory limit exceeded
   kUnavailable,        ///< e.g. simulated database unreachable
+  kOverloaded,         ///< service admission control shed the request
   kCancelled,
   kInternal,
 };

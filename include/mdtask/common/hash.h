@@ -1,0 +1,100 @@
+// Shared deterministic hash helpers.
+//
+// One home for the two hash primitives the repository's seeded
+// subsystems are built on, hoisted from mdtask::stream (shard
+// checksums) and mdtask::fault (pure-hash fault/membership draws) so
+// new layers — the mdtask::service result-cache keys in particular —
+// reuse the same arithmetic instead of re-deriving it:
+//
+//  * FNV-1a 64: the byte-stream integrity/content hash (shard
+//    checksums, trajectory fingerprints, canonicalized request params).
+//  * SplitMix64: the avalanche step behind every seeded decision
+//    stream (xoshiro seeding, fault injector draws, membership
+//    schedules, traffic generators).
+//
+// Both are defined inline and bit-for-bit identical to the previous
+// per-subsystem copies; the hash tests pin the reference vectors so the
+// hoist can never silently change a published seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mdtask {
+
+/// FNV-1a 64 offset basis / prime (the standard Fowler-Noll-Vo
+/// parameters; also the shard-checksum constants of the .mds format).
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// The SplitMix64 increment (2^64 / phi), doubling as the golden-gamma
+/// constant the seeded subsystems mix scope labels with.
+inline constexpr std::uint64_t kGoldenGamma = 0x9e3779b97f4a7c15ULL;
+
+/// Continues an FNV-1a 64 hash over `bytes` from `hash` (incremental
+/// form: chain calls to fingerprint multi-part keys without copies).
+constexpr std::uint64_t fnv1a64_append(
+    std::uint64_t hash, std::span<const std::uint8_t> bytes) noexcept {
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// FNV-1a 64 over a byte span (the shard integrity hash).
+constexpr std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes) noexcept {
+  return fnv1a64_append(kFnv1aOffsetBasis, bytes);
+}
+
+/// Incremental FNV-1a 64 over text (canonicalized service params).
+constexpr std::uint64_t fnv1a64_append(std::uint64_t hash,
+                                       std::string_view text) noexcept {
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// FNV-1a 64 over text.
+constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+  return fnv1a64_append(kFnv1aOffsetBasis, text);
+}
+
+/// Incremental FNV-1a 64 over one little-endian u64 (fingerprinting a
+/// sequence of checksums or ids without serializing them).
+constexpr std::uint64_t fnv1a64_append_u64(std::uint64_t hash,
+                                           std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffU;
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// SplitMix64 step: advances `state` by the golden gamma and returns
+/// the avalanche of the new state. Used for seeding and hashing small
+/// integers; the pure-hash fault/membership draws are built on it.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += kGoldenGamma);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless avalanche of one value (a SplitMix64 step over a local
+/// copy): the mixing function for combining hash words into cache keys.
+constexpr std::uint64_t hash_mix(std::uint64_t value) noexcept {
+  return splitmix64(value);
+}
+
+/// Order-dependent combination of two hash words.
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  return hash_mix(seed ^ (value + kGoldenGamma + (seed << 6) + (seed >> 2)));
+}
+
+}  // namespace mdtask

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "mdtask/common/hash.h"
+
 namespace mdtask {
 
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
@@ -48,7 +50,8 @@ class Xoshiro256StarStar {
   bool has_cached_normal_ = false;
 };
 
-/// SplitMix64 step; used for seeding and hashing small integers.
-std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+// splitmix64 (seeding, small-integer hashing) now lives in
+// mdtask/common/hash.h alongside FNV-1a; included above so existing
+// call sites keep compiling unchanged.
 
 }  // namespace mdtask

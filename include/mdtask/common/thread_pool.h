@@ -22,6 +22,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -164,6 +165,33 @@ class ThreadPool {
   /// pool).
   int placement_cpu(std::size_t index) const;
 
+  /// Cumulative work-stealing statistics: how often idle workers found
+  /// work by stealing, where the stolen job came from (the victim's
+  /// hardware-distance tier, or the shared overflow queue), and how
+  /// long the successful victim sweeps took. When tracing is enabled
+  /// every successful steal also samples `pool:steal-*` counters on
+  /// the thief's track, so trace summaries surface the same data
+  /// (docs/TOPOLOGY.md, docs/OBSERVABILITY.md).
+  struct StealCounters {
+    std::uint64_t smt = 0;      ///< steals from an SMT-sibling worker
+    std::uint64_t l2 = 0;       ///< steals from an L2-peer worker
+    std::uint64_t package = 0;  ///< steals from a package-peer worker
+    std::uint64_t rest = 0;     ///< steals from any other worker
+    std::uint64_t overflow_grabs = 0;  ///< batched overflow-queue grabs
+    std::uint64_t overflow_jobs = 0;   ///< jobs taken by those grabs
+    /// Successful-sweep latency (sweep start to steal) across deque
+    /// steals; total/max in microseconds.
+    double steal_latency_total_us = 0.0;
+    double steal_latency_max_us = 0.0;
+
+    std::uint64_t deque_steals() const noexcept {
+      return smt + l2 + package + rest;
+    }
+  };
+
+  /// Snapshot of the cumulative steal statistics.
+  StealCounters steal_counters() const;
+
  private:
   struct Job {
     std::function<void()> fn;
@@ -196,6 +224,9 @@ class ThreadPool {
   std::shared_ptr<Slot> make_slot(std::size_t index);
   void enqueue(topo::StealQueue<Job>& queue, std::function<void()> fn);
   void wake_one();
+  void note_deque_steal(topo::StealTier tier, double latency_us,
+                        Slot* thief);
+  void note_overflow_grab(std::size_t jobs, Slot* thief);
   void run_job(Job& job, Slot* slot);
   void worker_loop(std::size_t index);
 
@@ -221,6 +252,14 @@ class ThreadPool {
   std::atomic<std::size_t> outstanding_{0};  ///< queued + active
 
   std::vector<std::thread> workers_;  ///< under mu_; joined at teardown
+
+  /// Cumulative steal statistics (steal_counters()); latencies are
+  /// kept in integer nanoseconds so the hot path stays fetch_add-only.
+  std::atomic<std::uint64_t> steals_by_tier_[4] = {};  ///< index = StealTier
+  std::atomic<std::uint64_t> overflow_grabs_{0};
+  std::atomic<std::uint64_t> overflow_jobs_{0};
+  std::atomic<std::uint64_t> steal_latency_total_ns_{0};
+  std::atomic<std::uint64_t> steal_latency_max_ns_{0};
 
   std::atomic<trace::Tracer*> tracer_{nullptr};
   std::uint32_t trace_pid_ = 0;       ///< under mu_

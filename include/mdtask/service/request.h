@@ -1,0 +1,103 @@
+// Request model of the mdtask::service serving front end.
+//
+// The paper's task-parallel engines assume one analyst submitting one
+// campaign at a time; a shared deployment instead serves MANY tenants
+// whose requests arrive continuously and repeat heavily (the same
+// trajectory analysed with the same parameters by different people).
+// This header defines the unit of work the serving layer schedules: an
+// AnalysisRequest names a tenant (with a service class), an analysis
+// family, the trajectory store it reads (by content fingerprint) and a
+// canonicalized parameter set. Two requests with the same RequestKey
+// are EQUIVALENT — they may be answered by one engine execution, which
+// is what the result cache and in-flight deduplication exploit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mdtask/common/hash.h"
+#include "mdtask/stream/shard_format.h"
+
+namespace mdtask::service {
+
+/// Service class of a tenant, in strictly decreasing scheduling weight.
+enum class TenantClass : std::uint8_t {
+  kInteractive = 0,  ///< notebook-style exploration; latency-sensitive
+  kBatch = 1,        ///< campaign sweeps; throughput-oriented
+  kBestEffort = 2,   ///< background refreshes; first to be starved
+};
+
+inline constexpr std::size_t kTenantClasses = 3;
+
+/// Short label ("interactive", "batch", "best-effort").
+const char* to_string(TenantClass tenant_class) noexcept;
+
+/// The analysis a request asks for, at the granularity the serving
+/// layer batches on (one family = one engine code path).
+enum class AnalysisFamily : std::uint8_t {
+  kRmsdSeries = 0,  ///< per-frame RMSD against a reference
+  kPsa = 1,         ///< path-similarity (Hausdorff/Frechet) block
+  kLeaflet = 2,     ///< leaflet assignment of a membrane frame range
+};
+
+inline constexpr std::size_t kAnalysisFamilies = 3;
+
+/// Short label ("rmsd-series", "psa", "leaflet").
+const char* to_string(AnalysisFamily family) noexcept;
+
+/// One tenant request as admitted by the front end.
+struct AnalysisRequest {
+  std::uint64_t id = 0;      ///< unique per submission (not per key)
+  std::uint64_t tenant = 0;  ///< tenant identity
+  TenantClass tenant_class = TenantClass::kBatch;
+  AnalysisFamily family = AnalysisFamily::kRmsdSeries;
+  /// Content fingerprint of the sharded trajectory store the request
+  /// reads (store_fingerprint below); equal fingerprint = same bytes.
+  std::uint64_t store_fingerprint = 0;
+  /// Analysis parameters as key/value pairs. Order does NOT matter:
+  /// keys are canonicalized (sorted) before hashing, so reordered but
+  /// equal configurations share a RequestKey.
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Bytes of trajectory data the request touches; the admission
+  /// controller budgets on it and fair-share uses it as the DRR cost.
+  std::uint64_t input_bytes = 0;
+};
+
+/// Equivalence key of a request: same store bytes, same analysis
+/// family, same canonical parameters => same answer.
+struct RequestKey {
+  std::uint64_t store = 0;
+  std::uint8_t family = 0;
+  std::uint64_t params = 0;
+
+  friend bool operator==(const RequestKey&, const RequestKey&) = default;
+};
+
+/// Hash functor for unordered containers keyed by RequestKey.
+struct RequestKeyHash {
+  std::size_t operator()(const RequestKey& key) const noexcept {
+    std::uint64_t h = hash_mix(key.store);
+    h = hash_combine(h, key.family);
+    h = hash_combine(h, key.params);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Order-independent FNV-1a hash of a parameter set: pairs are sorted
+/// by (key, value) and hashed with field separators, so permutations of
+/// the same configuration collide on purpose.
+std::uint64_t canonical_params_hash(
+    const std::vector<std::pair<std::string, std::string>>& params);
+
+/// The equivalence key of `request` (canonicalizes params).
+RequestKey request_key(const AnalysisRequest& request);
+
+/// Content fingerprint of a sharded store: FNV-1a over the store shape
+/// and every shard's integrity checksum. Two stores with identical
+/// bytes fingerprint identically without re-reading payloads.
+std::uint64_t store_fingerprint(const stream::ShardStoreInfo& info);
+
+}  // namespace mdtask::service

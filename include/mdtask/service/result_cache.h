@@ -1,0 +1,117 @@
+// Bounded LRU result cache with in-flight deduplication.
+//
+// Keyed by RequestKey (store fingerprint + analysis family + canonical
+// params): two requests with the same key have the same answer, so
+//
+//  * a completed answer is served from the cache (kHit),
+//  * a request whose key is ALREADY BEING COMPUTED joins the in-flight
+//    computation instead of starting a second one (kJoined) and
+//    receives the owner's result through a shared_future,
+//  * otherwise the caller becomes the owner (kMiss): it must run the
+//    computation and call fulfill() exactly once with the outcome.
+//
+// A failed owner resolves every joined waiter with the error and leaves
+// the cache UNPOISONED: nothing is inserted, and the next lookup for
+// that key is a fresh kMiss. Capacity is bounded both by entry count
+// and by payload bytes; eviction is strict LRU. With `enabled = false`
+// every lookup is a kMiss and fulfill() is a no-op — each duplicate
+// request then costs its own engine execution, which is exactly the
+// comparison bench_service's cache on/off table makes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mdtask/common/error.h"
+#include "mdtask/service/request.h"
+
+namespace mdtask::service {
+
+/// One analysis answer. `values` is the engine's numeric output;
+/// `weight_bytes` is the capacity charge (0 = derive from values).
+struct ResultPayload {
+  std::vector<double> values;
+  std::uint64_t weight_bytes = 0;
+
+  std::uint64_t charge() const noexcept {
+    return weight_bytes != 0
+               ? weight_bytes
+               : static_cast<std::uint64_t>(values.size()) * sizeof(double);
+  }
+};
+
+using CachedResult = Result<std::shared_ptr<const ResultPayload>>;
+
+struct CacheConfig {
+  std::size_t max_entries = 1024;
+  std::uint64_t max_bytes = 64ull << 20;
+  bool enabled = true;
+};
+
+class ResultCache {
+ public:
+  enum class Outcome : std::uint8_t { kHit, kJoined, kMiss };
+
+  struct Lookup {
+    Outcome outcome = Outcome::kMiss;
+    /// Ready on kHit; resolves when the owner fulfills on kJoined;
+    /// invalid (not needed — the caller computes) on kMiss.
+    std::shared_future<CachedResult> future;
+    RequestKey key;
+  };
+
+  explicit ResultCache(CacheConfig config) : config_(config) {}
+  ResultCache() : ResultCache(CacheConfig{}) {}
+
+  /// Classifies `key` as hit / joined / miss (see file comment). A
+  /// kMiss caller owns the computation and must fulfill() once.
+  Lookup lookup_or_join(const RequestKey& key);
+
+  /// Owner delivers the outcome for `key`: resolves every joined
+  /// waiter, then inserts on success (evicting LRU entries past the
+  /// capacity bounds). An error resolves waiters and caches nothing.
+  void fulfill(const RequestKey& key, CachedResult result);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inflight_joins = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Stats stats() const;
+  std::size_t entries() const;
+  std::uint64_t bytes() const;
+
+  const CacheConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ResultPayload> payload;
+    std::list<RequestKey>::iterator lru;  ///< position in lru_
+  };
+  struct InFlight {
+    std::promise<CachedResult> promise;
+    std::shared_future<CachedResult> future;
+  };
+
+  /// Evicts LRU entries until both capacity bounds hold. mu_ held.
+  void evict_to_capacity();
+
+  CacheConfig config_;
+  mutable std::mutex mu_;
+  std::unordered_map<RequestKey, Entry, RequestKeyHash> entries_;
+  std::list<RequestKey> lru_;  ///< front = most recently used
+  std::unordered_map<RequestKey, InFlight, RequestKeyHash> inflight_;
+  std::uint64_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mdtask::service

@@ -1,0 +1,149 @@
+// The live multi-tenant serving front end (docs/SERVICE.md).
+//
+// AnalysisService composes the serving-layer pieces around the
+// execution substrate the rest of the library already provides:
+//
+//   submit() -> AdmissionController (shed or reserve)
+//            -> FairShareScheduler  (weighted DRR across classes)
+//   dispatcher thread
+//            -> ResultCache         (hit / join in-flight / own)
+//            -> Batcher             (coalesce same store+family)
+//            -> ThreadPool          (run the engine executor)
+//
+// The executor callback is the engine boundary: it receives one
+// EngineJob and returns one ResultPayload per request in the job, so
+// the service layer stays agnostic of WHICH engine (Spark/Dask/RP
+// mini-runtime, streamed workflow, ...) answers requests. Requests
+// resolve through futures of CachedResult; a shed request fails fast
+// with ErrorCode::kOverloaded, a failed engine job fails every request
+// it carried (and every in-flight joiner) without poisoning the cache.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "mdtask/common/error.h"
+#include "mdtask/common/thread_pool.h"
+#include "mdtask/service/admission.h"
+#include "mdtask/service/batcher.h"
+#include "mdtask/service/fair_share.h"
+#include "mdtask/service/request.h"
+#include "mdtask/service/result_cache.h"
+
+namespace mdtask::service {
+
+struct ServiceConfig {
+  AdmissionConfig admission;
+  FairShareConfig fair_share;
+  CacheConfig cache;
+  BatchConfig batch;
+};
+
+class AnalysisService {
+ public:
+  /// Runs one coalesced engine job; must return exactly one payload
+  /// per job.requests entry (same order) or an Error that fails them
+  /// all. Called on ThreadPool workers; may run concurrently with
+  /// itself for different jobs.
+  using Executor =
+      std::function<Result<std::vector<ResultPayload>>(const EngineJob&)>;
+
+  /// The pool must outlive the service. The executor is copied.
+  AnalysisService(ServiceConfig config, ThreadPool& pool,
+                  Executor executor);
+
+  /// Drains: flushes open batches, waits for every admitted request to
+  /// resolve, then stops the dispatcher.
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Submits one request. `request.id` is overwritten with an internal
+  /// ticket (returned results identify requests by future, not id).
+  /// The future resolves with the payload, the engine error, or an
+  /// immediate kOverloaded when admission sheds the request.
+  std::future<CachedResult> submit(AnalysisRequest request);
+
+  /// Blocks until every admitted request has resolved (open batches
+  /// are force-flushed first so nothing waits out a delay window).
+  void drain();
+
+  struct Stats {
+    AdmissionController::Stats admission;
+    ResultCache::Stats cache;
+    std::uint64_t engine_jobs = 0;  ///< executor invocations
+    std::uint64_t completed = 0;    ///< requests resolved (ok or error)
+    std::uint64_t rejected = 0;     ///< shed at admission
+  };
+
+  Stats stats() const;
+
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Pending {
+    std::promise<CachedResult> promise;
+    AnalysisRequest request;
+  };
+  using PendingPtr = std::shared_ptr<Pending>;
+  /// A resolved promise and its value, completed outside the lock.
+  struct Completion {
+    PendingPtr pending;
+    CachedResult result;
+  };
+
+  double now_s() const;
+  void dispatcher_loop();
+  /// Routes one scheduled request through cache and batcher. Appends
+  /// immediate resolutions (cache hits) to `completions` and full
+  /// batches to `jobs`.
+  void route(AnalysisRequest request, std::vector<Completion>* completions,
+             std::vector<EngineJob>* jobs);
+  void dispatch_job(EngineJob job);
+  void run_job(const EngineJob& job);
+  /// Resolves `pending` with `result`; releases its admission slot.
+  /// Appends to `completions` for promise-setting outside mu_.
+  void finish(PendingPtr pending, CachedResult result,
+              std::vector<Completion>* completions);
+  static void complete_all(std::vector<Completion> completions);
+
+  ServiceConfig config_;
+  ThreadPool& pool_;
+  Executor executor_;
+  AdmissionController admission_;
+  FairShareScheduler scheduler_;
+  ResultCache cache_;
+  Batcher batcher_;
+
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        ///< dispatcher wakeups
+  std::condition_variable drain_cv_;  ///< outstanding_ -> 0
+  bool signal_ = false;               ///< work arrived since last look
+  bool stopping_ = false;
+  std::size_t outstanding_ = 0;  ///< admitted, not yet resolved
+  std::size_t draining_ = 0;     ///< active drain() calls
+  std::unordered_map<std::uint64_t, PendingPtr> pending_by_id_;
+  std::unordered_map<RequestKey, std::vector<PendingPtr>, RequestKeyHash>
+      joiners_;
+
+  std::atomic<std::uint64_t> next_ticket_{0};
+  std::atomic<std::uint64_t> engine_jobs_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+
+  std::thread dispatcher_;  ///< last member: starts fully-constructed
+};
+
+}  // namespace mdtask::service

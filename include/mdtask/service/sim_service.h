@@ -1,0 +1,102 @@
+// DES replay of the serving layer (docs/SERVICE.md).
+//
+// simulate_service() replays a seeded traffic schedule (traffic.h)
+// through the REAL serving components — AdmissionController,
+// FairShareScheduler, ResultCache, Batcher — against a sim::Resource
+// engine pool in virtual time. Engine jobs cost a base latency plus a
+// per-megabyte streaming term (one store pass amortized across the
+// batch, so coalescing pays); cache hits answer without touching the
+// pool. Optionally the autoscale TargetUtilizationPolicy closes the
+// loop on the pool, scaling it with the diurnal/bursty demand.
+//
+// The report carries per-tenant-class latency percentiles and SLO
+// attainment — the tables bench_service prints — plus a canonical
+// event log: everything is a pure function of the config, so two runs
+// with the same seed produce byte-identical logs, traces and tables.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdtask/autoscale/policy.h"
+#include "mdtask/service/service.h"
+#include "mdtask/service/traffic.h"
+#include "mdtask/trace/tracer.h"
+
+namespace mdtask::service {
+
+/// Per-class completion-latency targets (seconds from arrival).
+struct SloTargets {
+  std::array<double, kTenantClasses> latency_s{0.5, 2.0, 8.0};
+};
+
+struct ServiceSimConfig {
+  TrafficConfig traffic;
+  /// Admission / fair-share / cache / batch knobs (the live-service
+  /// struct reused; its executor plays no role here).
+  ServiceConfig service;
+  /// Initial engine pool width (servers = concurrent engine jobs).
+  std::size_t servers = 8;
+  /// Engine job cost model: base + per-MB streaming + a marginal term
+  /// per additional coalesced request.
+  double service_base_s = 0.010;
+  double service_per_mb_s = 0.020;
+  double per_request_overhead_s = 0.002;
+  SloTargets slo;
+  /// Close the autoscale loop on the engine pool.
+  bool autoscale_enabled = false;
+  autoscale::TargetUtilizationPolicy::Config autoscale;
+  double tick_interval_s = 0.5;
+  /// Mirror arrivals into the log (off: only rejects, dispatches,
+  /// completions and scale events are logged).
+  bool log_arrivals = false;
+  /// Mirror engine-job spans and service:* counters (virtual time).
+  trace::Tracer* tracer = nullptr;
+  std::uint32_t trace_pid = 40;
+};
+
+/// Outcome for one tenant class.
+struct ClassOutcome {
+  std::uint64_t requests = 0;    ///< arrivals
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;    ///< shed at admission
+  std::uint64_t cache_hits = 0;
+  std::uint64_t dedup_joins = 0; ///< joined an in-flight computation
+  std::uint64_t completed = 0;
+  double p50_s = 0.0;  ///< completion latency percentiles (arrival ->
+  double p95_s = 0.0;  ///< resolution, nearest-rank)
+  double p99_s = 0.0;
+  double max_s = 0.0;
+  /// Completions within the class SLO / (completed + rejected): a shed
+  /// request counts as a miss.
+  double slo_attainment = 0.0;
+};
+
+struct ServiceSimReport {
+  std::array<ClassOutcome, kTenantClasses> classes;
+  std::uint64_t requests = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t dedup_joins = 0;
+  std::uint64_t engine_jobs = 0;       ///< pool acquisitions
+  std::uint64_t batched_requests = 0;  ///< requests carried by jobs
+  std::size_t initial_servers = 0;
+  std::size_t peak_servers = 0;
+  std::size_t final_servers = 0;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  double horizon_s = 0.0;   ///< virtual time of the last event
+  double busy_time_s = 0.0; ///< pool busy-time integral
+  /// Canonical event log: deterministic, byte-identical across runs of
+  /// the same config (the determinism tests diff it verbatim).
+  std::vector<std::string> log;
+};
+
+ServiceSimReport simulate_service(const ServiceSimConfig& config);
+
+}  // namespace mdtask::service

@@ -1,0 +1,92 @@
+// Seeded synthetic traffic for the serving layer.
+//
+// generate_traffic() produces an open-loop arrival schedule over a
+// population of thousands of tenants, suitable for replay through the
+// DES (sim_service.h) or a live AnalysisService. Arrivals follow a
+// non-homogeneous Poisson process realized by Lewis-Shedler thinning:
+//
+//  * kPoisson — constant rate,
+//  * kDiurnal — sinusoidal day/night modulation of the rate,
+//  * kBursty  — square-wave bursts of `burst_factor` x the base rate.
+//
+// Each arrival is synthesized deterministically from the seed: the
+// tenant (and therefore its class — a tenant's class is a pure hash of
+// its id against the class mix), the analysis key (with probability
+// `repeat_fraction` a draw from a small hot-key population — the
+// repeat-heavy regime result caches exist for), and the input size.
+// Same config + same seed => byte-identical schedule.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mdtask/service/request.h"
+
+namespace mdtask::service {
+
+enum class ArrivalPattern : std::uint8_t {
+  kPoisson = 0,
+  kDiurnal = 1,
+  kBursty = 2,
+};
+
+/// Short label ("poisson", "diurnal", "bursty").
+const char* to_string(ArrivalPattern pattern) noexcept;
+
+struct TrafficConfig {
+  std::uint64_t seed = 42;
+  double duration_s = 60.0;
+  /// Base arrival rate (requests/second) before modulation.
+  double rate_per_s = 50.0;
+  ArrivalPattern pattern = ArrivalPattern::kPoisson;
+
+  /// Tenant population; each arrival draws a tenant uniformly.
+  std::size_t tenants = 2000;
+  /// Probability a tenant belongs to each class (index = TenantClass);
+  /// normalized internally.
+  std::array<double, kTenantClasses> class_mix{0.2, 0.5, 0.3};
+
+  /// Distinct trajectory stores and per-family parameter variants the
+  /// cold (non-repeated) request space draws from.
+  std::size_t stores = 8;
+  std::size_t param_variants = 4;
+  /// Probability an arrival repeats one of `hot_keys` popular
+  /// (store, family, params) combinations instead of a cold draw.
+  double repeat_fraction = 0.6;
+  std::size_t hot_keys = 16;
+  /// Mean request input size; actual sizes are exponential-ish spread
+  /// derived from the request's key.
+  std::uint64_t mean_input_bytes = 1u << 20;
+
+  /// kDiurnal: rate(t) = rate x (1 + depth x sin(2 pi t / period)).
+  double diurnal_depth = 0.8;
+  double diurnal_period_s = 30.0;
+  /// kBursty: rate x burst_factor during the first burst_fraction of
+  /// each burst_period, rate x (reduced base) otherwise, preserving
+  /// the configured mean rate.
+  double burst_factor = 6.0;
+  double burst_fraction = 0.1;
+  double burst_period_s = 10.0;
+};
+
+/// One scheduled arrival.
+struct TrafficEvent {
+  double arrival_s = 0.0;
+  AnalysisRequest request;
+};
+
+/// The tenant's service class under `config`: a pure hash of the
+/// tenant id against the (normalized) class mix, stable across runs.
+TenantClass tenant_class_of(std::uint64_t tenant,
+                            const TrafficConfig& config);
+
+/// Rate multiplier of `pattern` at time `t` (1.0 for kPoisson).
+double rate_modulation(const TrafficConfig& config, double t) noexcept;
+
+/// Generates the full arrival schedule, sorted by arrival time, with
+/// unique ascending request ids starting at 1.
+std::vector<TrafficEvent> generate_traffic(const TrafficConfig& config);
+
+}  // namespace mdtask::service

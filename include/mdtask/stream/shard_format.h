@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "mdtask/common/error.h"
+#include "mdtask/common/hash.h"
 #include "mdtask/traj/trajectory.h"
 
 namespace mdtask::stream {
@@ -80,8 +81,12 @@ struct ShardStoreOptions {
   bool delta_compress = true;
 };
 
-/// FNV-1a 64-bit over a byte span (the shard integrity hash).
-std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
+/// FNV-1a 64-bit over a byte span (the shard integrity hash). The
+/// implementation is the shared helper in mdtask/common/hash.h; this
+/// alias keeps the historical stream-local spelling working.
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
+  return ::mdtask::fnv1a64(bytes);
+}
 
 /// XOR-delta (per `frame_bytes` stride, first frame against zeros),
 /// byte-plane shuffle (plane k collects byte k of each 8-byte double so

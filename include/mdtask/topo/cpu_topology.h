@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace mdtask::topo {
@@ -36,6 +37,21 @@ struct CpuInfo {
   int l2 = 0;       ///< L2 cache sharing group
   int package = 0;  ///< socket / LLC domain
 };
+
+/// Hardware-distance tier of a steal victim relative to the thief, in
+/// victim-order priority: an SMT sibling shares L1/L2, an L2 peer
+/// shares L2, a package peer shares the LLC, the rest (other sockets,
+/// unpinned workers) cost a cross-socket miss. The ThreadPool's
+/// steal-origin counters bucket successful steals by this tier.
+enum class StealTier : std::uint8_t {
+  kSmt = 0,
+  kL2 = 1,
+  kPackage = 2,
+  kRest = 3,
+};
+
+/// Short label ("smt", "l2", "package", "rest").
+const char* to_string(StealTier tier) noexcept;
 
 class CpuTopology {
  public:
@@ -83,6 +99,14 @@ class CpuTopology {
   /// to plain rotation. `self` is excluded.
   std::vector<std::size_t> victim_order(const std::vector<int>& assignment,
                                         std::size_t self) const;
+
+  /// Like victim_order, but additionally reports each victim's
+  /// StealTier in `tiers` (parallel to the returned order; pass
+  /// nullptr for the plain ordering). The pool's steal-origin counters
+  /// are bucketed by these tiers.
+  std::vector<std::size_t> victim_order(const std::vector<int>& assignment,
+                                        std::size_t self,
+                                        std::vector<StealTier>* tiers) const;
 
  private:
   explicit CpuTopology(std::vector<CpuInfo> cpus);

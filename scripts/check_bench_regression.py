@@ -45,6 +45,8 @@ BEHAVIOURAL_FAMILIES = (
     ("stream", "streamed-I/O entry; timings depend on the filesystem model"),
     ("pool", "pool-overhead entry; absolute ns is machine-bound, gate the "
              "same-run policy ratio instead"),
+    ("service", "serving-layer entry; latencies depend on the traffic "
+                "schedule, gate same-run ratios instead"),
 )
 
 

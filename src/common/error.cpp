@@ -10,6 +10,7 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kFormatError: return "kFormatError";
     case ErrorCode::kResourceExhausted: return "kResourceExhausted";
     case ErrorCode::kUnavailable: return "kUnavailable";
+    case ErrorCode::kOverloaded: return "kOverloaded";
     case ErrorCode::kCancelled: return "kCancelled";
     case ErrorCode::kInternal: return "kInternal";
   }

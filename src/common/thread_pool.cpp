@@ -1,6 +1,7 @@
 #include "mdtask/common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <map>
 
@@ -261,6 +262,62 @@ std::vector<std::size_t> ThreadPool::retire_workers(std::size_t count) {
   return retired;
 }
 
+ThreadPool::StealCounters ThreadPool::steal_counters() const {
+  StealCounters out;
+  out.smt = steals_by_tier_[0].load(std::memory_order_relaxed);
+  out.l2 = steals_by_tier_[1].load(std::memory_order_relaxed);
+  out.package = steals_by_tier_[2].load(std::memory_order_relaxed);
+  out.rest = steals_by_tier_[3].load(std::memory_order_relaxed);
+  out.overflow_grabs = overflow_grabs_.load(std::memory_order_relaxed);
+  out.overflow_jobs = overflow_jobs_.load(std::memory_order_relaxed);
+  out.steal_latency_total_us =
+      static_cast<double>(
+          steal_latency_total_ns_.load(std::memory_order_relaxed)) /
+      1000.0;
+  out.steal_latency_max_us =
+      static_cast<double>(
+          steal_latency_max_ns_.load(std::memory_order_relaxed)) /
+      1000.0;
+  return out;
+}
+
+void ThreadPool::note_deque_steal(topo::StealTier tier, double latency_us,
+                                  Slot* thief) {
+  const auto t = static_cast<std::size_t>(tier) & 3u;
+  const std::uint64_t total =
+      steals_by_tier_[t].fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto latency_ns =
+      static_cast<std::uint64_t>(std::max(0.0, latency_us) * 1000.0);
+  steal_latency_total_ns_.fetch_add(latency_ns, std::memory_order_relaxed);
+  std::uint64_t prev_max =
+      steal_latency_max_ns_.load(std::memory_order_relaxed);
+  while (prev_max < latency_ns &&
+         !steal_latency_max_ns_.compare_exchange_weak(
+             prev_max, latency_ns, std::memory_order_relaxed)) {
+  }
+  trace::Tracer* tracer = tracer_.load(std::memory_order_acquire);
+  if (tracer != nullptr && tracer->enabled() &&
+      thief->traced.load(std::memory_order_acquire)) {
+    const double now = tracer->now_us();
+    tracer->counter(thief->track,
+                    std::string("pool:steal-") + topo::to_string(tier), now,
+                    static_cast<double>(total));
+    tracer->counter(thief->track, "pool:steal-latency-us", now, latency_us);
+  }
+}
+
+void ThreadPool::note_overflow_grab(std::size_t jobs, Slot* thief) {
+  overflow_grabs_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t total =
+      overflow_jobs_.fetch_add(jobs, std::memory_order_relaxed) + jobs;
+  trace::Tracer* tracer = tracer_.load(std::memory_order_acquire);
+  if (tracer != nullptr && tracer->enabled() &&
+      thief->traced.load(std::memory_order_acquire)) {
+    tracer->counter(thief->track, "pool:steal-overflow", tracer->now_us(),
+                    static_cast<double>(total));
+  }
+}
+
 const trace::Track* ThreadPool::current_worker_track() noexcept {
   return tls_worker_traced ? &tls_worker_track : nullptr;
 }
@@ -309,8 +366,9 @@ void ThreadPool::worker_loop(std::size_t index) {
   const std::shared_ptr<Slot> slot = roster->slots[index];
   tls_worker_slot = slot.get();
   if (pin_ && slot->cpu >= 0) topo::pin_current_thread(slot->cpu);
+  std::vector<topo::StealTier> victim_tiers;
   std::vector<std::size_t> victims =
-      topology_.victim_order(roster->cpus, index);
+      topology_.victim_order(roster->cpus, index, &victim_tiers);
   std::vector<Job> batch;
 
   for (;;) {
@@ -328,7 +386,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     if (epoch_.load(std::memory_order_acquire) != my_epoch) {
       my_epoch = epoch_.load(std::memory_order_acquire);
       roster = snapshot_roster();
-      victims = topology_.victim_order(roster->cpus, index);
+      victims = topology_.victim_order(roster->cpus, index, &victim_tiers);
     }
 
     Job job;
@@ -339,18 +397,30 @@ void ThreadPool::worker_loop(std::size_t index) {
       batch.clear();
       if (overflow_.steal_batch(batch, kOverflowBatch) > 0) {
         got = true;
+        const std::size_t grabbed = batch.size();
         job = std::move(batch.front());
         // One lock for the whole re-push; the jobs stay stealable.
         slot->deque.push_batch(batch, 1);
+        note_overflow_grab(grabbed, slot.get());
       }
     }
     if (!got) {
       // Steal FIFO from victims in topology order: SMT sibling, L2
       // peer, package peer, then the rest.
-      for (const std::size_t v : victims) {
+      const auto sweep_start = std::chrono::steady_clock::now();
+      for (std::size_t vi = 0; vi < victims.size(); ++vi) {
+        const std::size_t v = victims[vi];
         if (v < roster->slots.size() &&
             roster->slots[v]->deque.steal(job)) {
           got = true;
+          const double latency_us =
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - sweep_start)
+                  .count();
+          note_deque_steal(vi < victim_tiers.size()
+                               ? victim_tiers[vi]
+                               : topo::StealTier::kRest,
+                           latency_us, slot.get());
           break;
         }
       }

@@ -1,0 +1,62 @@
+#include "mdtask/service/request.h"
+
+#include <algorithm>
+
+namespace mdtask::service {
+
+const char* to_string(TenantClass tenant_class) noexcept {
+  switch (tenant_class) {
+    case TenantClass::kInteractive: return "interactive";
+    case TenantClass::kBatch: return "batch";
+    case TenantClass::kBestEffort: return "best-effort";
+  }
+  return "batch";
+}
+
+const char* to_string(AnalysisFamily family) noexcept {
+  switch (family) {
+    case AnalysisFamily::kRmsdSeries: return "rmsd-series";
+    case AnalysisFamily::kPsa: return "psa";
+    case AnalysisFamily::kLeaflet: return "leaflet";
+  }
+  return "rmsd-series";
+}
+
+std::uint64_t canonical_params_hash(
+    const std::vector<std::pair<std::string, std::string>>& params) {
+  std::vector<std::pair<std::string, std::string>> sorted = params;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t h = kFnv1aOffsetBasis;
+  for (const auto& [key, value] : sorted) {
+    h = fnv1a64_append(h, key);
+    // Separators keep ("ab","c") and ("a","bc") from colliding.
+    h = fnv1a64_append(h, std::string_view("\x1f", 1));
+    h = fnv1a64_append(h, value);
+    h = fnv1a64_append(h, std::string_view("\x1e", 1));
+  }
+  return h;
+}
+
+RequestKey request_key(const AnalysisRequest& request) {
+  RequestKey key;
+  key.store = request.store_fingerprint;
+  key.family = static_cast<std::uint8_t>(request.family);
+  key.params = canonical_params_hash(request.params);
+  return key;
+}
+
+std::uint64_t store_fingerprint(const stream::ShardStoreInfo& info) {
+  std::uint64_t h = kFnv1aOffsetBasis;
+  h = fnv1a64_append_u64(h, info.frames);
+  h = fnv1a64_append_u64(h, info.atoms);
+  h = fnv1a64_append_u64(h, info.frames_per_shard);
+  h = fnv1a64_append_u64(h, info.flags);
+  for (const stream::ShardIndexEntry& entry : info.index) {
+    h = fnv1a64_append_u64(h, entry.stored_bytes);
+    h = fnv1a64_append_u64(h, entry.raw_bytes);
+    h = fnv1a64_append_u64(h, entry.checksum);
+  }
+  return h;
+}
+
+}  // namespace mdtask::service

@@ -1,0 +1,101 @@
+#include "mdtask/service/result_cache.h"
+
+#include <utility>
+
+namespace mdtask::service {
+
+ResultCache::Lookup ResultCache::lookup_or_join(const RequestKey& key) {
+  Lookup out;
+  out.key = key;
+  if (!config_.enabled) {
+    std::lock_guard lk(mu_);
+    ++stats_.misses;
+    out.outcome = Outcome::kMiss;
+    return out;
+  }
+  std::lock_guard lk(mu_);
+  const auto hit = entries_.find(key);
+  if (hit != entries_.end()) {
+    ++stats_.hits;
+    lru_.erase(hit->second.lru);
+    lru_.push_front(key);
+    hit->second.lru = lru_.begin();
+    std::promise<CachedResult> ready;
+    ready.set_value(CachedResult(hit->second.payload));
+    out.outcome = Outcome::kHit;
+    out.future = ready.get_future().share();
+    return out;
+  }
+  const auto flying = inflight_.find(key);
+  if (flying != inflight_.end()) {
+    ++stats_.inflight_joins;
+    out.outcome = Outcome::kJoined;
+    out.future = flying->second.future;
+    return out;
+  }
+  ++stats_.misses;
+  InFlight& slot = inflight_[key];
+  slot.future = slot.promise.get_future().share();
+  out.outcome = Outcome::kMiss;
+  out.future = slot.future;
+  return out;
+}
+
+void ResultCache::fulfill(const RequestKey& key, CachedResult result) {
+  if (!config_.enabled) return;
+  std::promise<CachedResult> promise;
+  bool resolve = false;
+  {
+    std::lock_guard lk(mu_);
+    const auto flying = inflight_.find(key);
+    if (flying != inflight_.end()) {
+      promise = std::move(flying->second.promise);
+      resolve = true;
+      inflight_.erase(flying);
+    }
+    if (result.ok() && result.value() != nullptr &&
+        entries_.find(key) == entries_.end()) {
+      lru_.push_front(key);
+      entries_[key] = Entry{result.value(), lru_.begin()};
+      bytes_ += result.value()->charge();
+      ++stats_.insertions;
+      evict_to_capacity();
+    }
+  }
+  // Waiters run their continuations on their own threads; resolving
+  // outside mu_ keeps them from re-entering the cache under our lock.
+  if (resolve) promise.set_value(std::move(result));
+}
+
+void ResultCache::evict_to_capacity() {
+  while (!lru_.empty() && (entries_.size() > config_.max_entries ||
+                           bytes_ > config_.max_bytes)) {
+    const RequestKey victim = lru_.back();
+    lru_.pop_back();
+    const auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      bytes_ -= it->second.payload->charge() <= bytes_
+                    ? it->second.payload->charge()
+                    : bytes_;
+      entries_.erase(it);
+      ++stats_.evictions;
+    }
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard lk(mu_);
+  return entries_.size();
+}
+
+std::uint64_t ResultCache::bytes() const {
+  std::lock_guard lk(mu_);
+  return bytes_;
+}
+
+}  // namespace mdtask::service

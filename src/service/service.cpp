@@ -1,0 +1,241 @@
+#include "mdtask/service/service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace mdtask::service {
+
+AnalysisService::AnalysisService(ServiceConfig config, ThreadPool& pool,
+                                 Executor executor)
+    : config_(config),
+      pool_(pool),
+      executor_(std::move(executor)),
+      admission_(config.admission),
+      scheduler_(config.fair_share),
+      cache_(config.cache),
+      batcher_(config.batch),
+      epoch_(std::chrono::steady_clock::now()),
+      dispatcher_([this] { dispatcher_loop(); }) {}
+
+AnalysisService::~AnalysisService() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+    signal_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+  // The dispatcher flushed every batch before exiting; jobs may still
+  // be running on the pool. Wait for them to resolve every request.
+  std::unique_lock lk(mu_);
+  drain_cv_.wait(lk, [this] { return outstanding_ == 0; });
+}
+
+double AnalysisService::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::future<CachedResult> AnalysisService::submit(AnalysisRequest request) {
+  request.id = next_ticket_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const Status admitted = admission_.admit(request);
+  if (!admitted.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<CachedResult> shed;
+    shed.set_value(CachedResult(admitted.error()));
+    return shed.get_future();
+  }
+  auto pending = std::make_shared<Pending>();
+  pending->request = request;
+  std::future<CachedResult> fut = pending->promise.get_future();
+  {
+    std::lock_guard lk(mu_);
+    if (stopping_) {
+      admission_.release(request);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      pending->promise.set_value(CachedResult(
+          Error(ErrorCode::kUnavailable, "service is shutting down")));
+      return fut;
+    }
+    pending_by_id_[request.id] = std::move(pending);
+    ++outstanding_;
+  }
+  scheduler_.push(std::move(request));
+  // signal_ is raised AFTER the push: a dispatcher that consumed an
+  // earlier signal and found the scheduler still empty re-checks once
+  // this one lands, so the wakeup cannot be lost.
+  {
+    std::lock_guard lk(mu_);
+    signal_ = true;
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void AnalysisService::finish(PendingPtr pending, CachedResult result,
+                             std::vector<Completion>* completions) {
+  admission_.release(pending->request);
+  pending_by_id_.erase(pending->request.id);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (outstanding_ > 0) --outstanding_;
+  completions->push_back(Completion{std::move(pending), std::move(result)});
+}
+
+void AnalysisService::complete_all(std::vector<Completion> completions) {
+  for (Completion& c : completions) {
+    c.pending->promise.set_value(std::move(c.result));
+  }
+}
+
+void AnalysisService::route(AnalysisRequest request,
+                            std::vector<Completion>* completions,
+                            std::vector<EngineJob>* jobs) {
+  const RequestKey key = request_key(request);
+  std::lock_guard lk(mu_);
+  const auto it = pending_by_id_.find(request.id);
+  if (it == pending_by_id_.end()) return;  // already resolved (shutdown)
+  PendingPtr pending = it->second;
+  const ResultCache::Lookup lookup = cache_.lookup_or_join(key);
+  switch (lookup.outcome) {
+    case ResultCache::Outcome::kHit:
+      finish(std::move(pending), lookup.future.get(), completions);
+      return;
+    case ResultCache::Outcome::kJoined:
+      joiners_[key].push_back(std::move(pending));
+      return;
+    case ResultCache::Outcome::kMiss:
+      if (auto job = batcher_.add(std::move(request), now_s())) {
+        jobs->push_back(std::move(*job));
+      }
+      return;
+  }
+}
+
+void AnalysisService::dispatch_job(EngineJob job) {
+  engine_jobs_.fetch_add(1, std::memory_order_relaxed);
+  auto shared = std::make_shared<EngineJob>(std::move(job));
+  pool_.post_shared([this, shared] { run_job(*shared); });
+}
+
+void AnalysisService::run_job(const EngineJob& job) {
+  Result<std::vector<ResultPayload>> result = executor_(job);
+  if (result.ok() && result.value().size() != job.requests.size()) {
+    result = Error(ErrorCode::kInternal,
+                   "executor returned " +
+                       std::to_string(result.value().size()) +
+                       " payloads for " +
+                       std::to_string(job.requests.size()) + " requests");
+  }
+  std::vector<Completion> completions;
+  {
+    std::lock_guard lk(mu_);
+    for (std::size_t i = 0; i < job.requests.size(); ++i) {
+      const AnalysisRequest& request = job.requests[i];
+      const RequestKey key = request_key(request);
+      CachedResult outcome =
+          result.ok()
+              ? CachedResult(std::make_shared<const ResultPayload>(
+                    std::move(result.value()[i])))
+              : CachedResult(result.error());
+      // Fulfill BEFORE draining joiners, both under mu_: a concurrent
+      // route() either joined before (drained here) or looks up after
+      // (sees the cached entry / a fresh miss on error).
+      cache_.fulfill(key, outcome);
+      const auto owner = pending_by_id_.find(request.id);
+      if (owner != pending_by_id_.end()) {
+        finish(owner->second, outcome, &completions);
+      }
+      const auto joined = joiners_.find(key);
+      if (joined != joiners_.end()) {
+        std::vector<PendingPtr> waiters = std::move(joined->second);
+        joiners_.erase(joined);
+        for (PendingPtr& waiter : waiters) {
+          finish(std::move(waiter), outcome, &completions);
+        }
+      }
+    }
+    // Notify while holding mu_: the drain()/destructor waiter cannot
+    // leave its wait (and destroy drain_cv_) before this thread
+    // releases the lock, so the notify never touches a dying object.
+    if (outstanding_ == 0) drain_cv_.notify_all();
+  }
+  complete_all(std::move(completions));
+}
+
+void AnalysisService::dispatcher_loop() {
+  for (;;) {
+    std::vector<Completion> completions;
+    std::vector<EngineJob> jobs;
+    AnalysisRequest request;
+    while (scheduler_.pop(&request)) {
+      route(std::move(request), &completions, &jobs);
+    }
+    for (EngineJob& job : batcher_.due(now_s())) {
+      jobs.push_back(std::move(job));
+    }
+    bool exit_after_flush = false;
+    bool flush_now = false;
+    {
+      std::lock_guard lk(mu_);
+      const bool idle = scheduler_.queued() == 0;
+      exit_after_flush = stopping_ && idle;
+      // While a drain() is waiting, every pass force-flushes open
+      // batches: nothing may sit out a delay window.
+      flush_now = idle && (stopping_ || draining_ > 0);
+    }
+    if (flush_now) {
+      for (EngineJob& job : batcher_.flush_all()) {
+        jobs.push_back(std::move(job));
+      }
+    }
+    const bool completed_any = !completions.empty();
+    complete_all(std::move(completions));
+    for (EngineJob& job : jobs) dispatch_job(std::move(job));
+    if (completed_any) drain_cv_.notify_all();
+    if (exit_after_flush && scheduler_.queued() == 0) return;
+
+    std::unique_lock lk(mu_);
+    if (signal_ || stopping_ || scheduler_.queued() > 0) {
+      signal_ = false;
+      continue;
+    }
+    const auto deadline = batcher_.next_deadline();
+    if (deadline.has_value()) {
+      const double wait_s = std::max(0.0, *deadline - now_s());
+      cv_.wait_for(lk, std::chrono::duration<double>(wait_s),
+                   [this] { return signal_ || stopping_; });
+    } else {
+      cv_.wait(lk, [this] { return signal_ || stopping_; });
+    }
+    signal_ = false;
+  }
+}
+
+void AnalysisService::drain() {
+  // The dispatcher does the flushing (it may still hold requests that
+  // have not reached the batcher yet); draining_ > 0 makes it flush
+  // open batches on every pass until everything resolved.
+  {
+    std::lock_guard lk(mu_);
+    ++draining_;
+    signal_ = true;
+  }
+  cv_.notify_all();
+  std::unique_lock lk(mu_);
+  drain_cv_.wait(lk, [this] { return outstanding_ == 0; });
+  --draining_;
+}
+
+AnalysisService::Stats AnalysisService::stats() const {
+  Stats out;
+  out.admission = admission_.stats();
+  out.cache = cache_.stats();
+  out.engine_jobs = engine_jobs_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace mdtask::service

@@ -1,0 +1,282 @@
+#include "mdtask/service/sim_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "mdtask/autoscale/metrics.h"
+#include "mdtask/sim/simulation.h"
+
+namespace mdtask::service {
+namespace {
+
+/// Fixed-precision virtual timestamp: canonical log lines must render
+/// identically across runs and platforms.
+std::string fmt_time(double t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", t);
+  return buf;
+}
+
+constexpr std::size_t kMaxLogLines = 50000;
+
+}  // namespace
+
+ServiceSimReport simulate_service(const ServiceSimConfig& config) {
+  ServiceSimReport report;
+  const std::vector<TrafficEvent> traffic = generate_traffic(config.traffic);
+  report.requests = traffic.size();
+
+  sim::Simulation simulation;
+  const std::size_t servers0 = std::max<std::size_t>(1, config.servers);
+  sim::Resource pool(simulation, servers0);
+  report.initial_servers = servers0;
+  report.peak_servers = servers0;
+
+  trace::Track frontend_track{};
+  if (config.tracer != nullptr) {
+    pool.set_trace(config.tracer, config.trace_pid, "server",
+                   "engine-job");
+    frontend_track =
+        config.tracer->thread(config.trace_pid, "frontend");
+  }
+
+  AdmissionController admission(config.service.admission);
+  FairShareScheduler scheduler(config.service.fair_share);
+  ResultCache cache(config.service.cache);
+  Batcher batcher(config.service.batch);
+  autoscale::MetricsWindow metrics;
+  autoscale::TargetUtilizationPolicy policy(config.autoscale);
+
+  std::array<std::vector<double>, kTenantClasses> latencies;
+  std::unordered_map<std::uint64_t, double> arrival_of;
+  std::unordered_map<RequestKey, std::vector<AnalysisRequest>,
+                     RequestKeyHash>
+      joiners;
+
+  auto log_line = [&report](std::string line) {
+    if (report.log.size() < kMaxLogLines) {
+      report.log.push_back(std::move(line));
+    } else if (report.log.size() == kMaxLogLines) {
+      report.log.push_back("(log truncated)");
+    }
+  };
+
+  auto complete_request = [&](const AnalysisRequest& request, double now) {
+    const auto c = static_cast<std::size_t>(request.tenant_class);
+    double latency = 0.0;
+    const auto it = arrival_of.find(request.id);
+    if (it != arrival_of.end()) {
+      latency = now - it->second;
+      arrival_of.erase(it);
+    }
+    latencies[c].push_back(latency);
+    ++report.classes[c].completed;
+    admission.release(request);
+  };
+
+  auto job_cost = [&config](const EngineJob& job) {
+    const double mb =
+        static_cast<double>(job.total_bytes()) / (1024.0 * 1024.0);
+    const double extra =
+        job.requests.empty()
+            ? 0.0
+            : static_cast<double>(job.requests.size() - 1);
+    return config.service_base_s + config.service_per_mb_s * mb +
+           config.per_request_overhead_s * extra;
+  };
+
+  std::function<void()> pump;
+  std::function<void(EngineJob)> dispatch;
+
+  dispatch = [&](EngineJob job) {
+    const double now = simulation.now();
+    const double cost = job_cost(job);
+    ++report.engine_jobs;
+    report.batched_requests += job.requests.size();
+    log_line("t=" + fmt_time(now) + " dispatch job=" +
+             std::to_string(job.job_id) + " family=" +
+             to_string(job.family) + " requests=" +
+             std::to_string(job.requests.size()) + " bytes=" +
+             std::to_string(job.total_bytes()));
+    if (config.tracer != nullptr) {
+      config.tracer->counter(frontend_track, "service:queue-depth",
+                             now * 1e6,
+                             static_cast<double>(scheduler.queued()));
+    }
+    auto shared = std::make_shared<EngineJob>(std::move(job));
+    pool.acquire(cost, [&, shared, cost] {
+      const double done = simulation.now();
+      for (const AnalysisRequest& request : shared->requests) {
+        const RequestKey key = request_key(request);
+        auto payload = std::make_shared<const ResultPayload>(ResultPayload{
+            {static_cast<double>(key.params % 1024)},
+            4096 + request.input_bytes / 256});
+        cache.fulfill(key, CachedResult(payload));
+        complete_request(request, done);
+        const auto joined = joiners.find(key);
+        if (joined != joiners.end()) {
+          const std::vector<AnalysisRequest> waiters =
+              std::move(joined->second);
+          joiners.erase(joined);
+          for (const AnalysisRequest& waiter : waiters) {
+            complete_request(waiter, done);
+          }
+        }
+      }
+      log_line("t=" + fmt_time(done) + " complete job=" +
+               std::to_string(shared->job_id) + " requests=" +
+               std::to_string(shared->requests.size()));
+      metrics.record_task_duration(cost);
+      pump();
+    });
+  };
+
+  // Open batches flush when their delay window expires: every add that
+  // leaves a batch open arms an event at the earliest deadline, and
+  // each flush re-arms for the next one. due() is idempotent, so the
+  // occasional duplicate event is harmless (and deterministic).
+  std::function<void()> arm_flush;
+  arm_flush = [&] {
+    const auto deadline = batcher.next_deadline();
+    if (!deadline.has_value()) return;
+    const double at = std::max(*deadline, simulation.now());
+    simulation.at(at, [&] {
+      for (EngineJob& job : batcher.due(simulation.now())) {
+        dispatch(std::move(job));
+      }
+      arm_flush();
+    });
+  };
+
+  pump = [&] {
+    AnalysisRequest request;
+    // One free server is reserved per open batch (it will need one at
+    // its deadline); the rest of the free capacity pulls from the
+    // fair-share scheduler in DRR order.
+    while (pool.free_servers() > batcher.open_batches() &&
+           scheduler.pop(&request)) {
+      const double now = simulation.now();
+      const auto c = static_cast<std::size_t>(request.tenant_class);
+      const RequestKey key = request_key(request);
+      const ResultCache::Lookup lookup = cache.lookup_or_join(key);
+      if (lookup.outcome == ResultCache::Outcome::kHit) {
+        ++report.classes[c].cache_hits;
+        complete_request(request, now);
+        continue;
+      }
+      if (lookup.outcome == ResultCache::Outcome::kJoined) {
+        ++report.classes[c].dedup_joins;
+        joiners[key].push_back(std::move(request));
+        continue;
+      }
+      if (auto job = batcher.add(std::move(request), now)) {
+        dispatch(std::move(*job));
+      } else {
+        arm_flush();
+      }
+    }
+  };
+
+  for (const TrafficEvent& event : traffic) {
+    simulation.at(event.arrival_s, [&, event] {
+      const double now = simulation.now();
+      const auto c = static_cast<std::size_t>(event.request.tenant_class);
+      ++report.classes[c].requests;
+      const Status admitted = admission.admit(event.request);
+      if (!admitted.ok()) {
+        ++report.classes[c].rejected;
+        log_line("t=" + fmt_time(now) + " reject id=" +
+                 std::to_string(event.request.id) + " class=" +
+                 to_string(event.request.tenant_class));
+        return;
+      }
+      ++report.classes[c].admitted;
+      arrival_of[event.request.id] = now;
+      if (config.log_arrivals) {
+        log_line("t=" + fmt_time(now) + " arrive id=" +
+                 std::to_string(event.request.id) + " class=" +
+                 to_string(event.request.tenant_class) + " tenant=" +
+                 std::to_string(event.request.tenant));
+      }
+      scheduler.push(event.request);
+      pump();
+    });
+  }
+
+  const double tick_dt = std::max(1e-3, config.tick_interval_s);
+  std::function<void()> tick;
+  tick = [&] {
+    const double now = simulation.now();
+    const std::size_t size = pool.servers();
+    const std::size_t free = std::min(size, pool.free_servers());
+    const std::size_t depth =
+        scheduler.queued() + pool.queued() + batcher.pending();
+    metrics.observe_pool(size, size - free, depth);
+    const autoscale::Decision decision =
+        policy.decide(metrics.snapshot(now));
+    if (decision.kind == autoscale::Decision::Kind::kScaleUp &&
+        decision.count > 0) {
+      pool.add_servers(decision.count);
+      ++report.scale_ups;
+      log_line("t=" + fmt_time(now) + " scale-up +" +
+               std::to_string(decision.count) + " pool=" +
+               std::to_string(pool.servers()));
+      pump();
+    } else if (decision.kind == autoscale::Decision::Kind::kScaleDown &&
+               decision.count > 0) {
+      pool.remove_servers(decision.count);
+      ++report.scale_downs;
+      log_line("t=" + fmt_time(now) + " scale-down -" +
+               std::to_string(decision.count) + " pool=" +
+               std::to_string(pool.servers()));
+    }
+    report.peak_servers = std::max(report.peak_servers, pool.servers());
+    if (config.tracer != nullptr) {
+      config.tracer->counter(frontend_track, "service:pool", now * 1e6,
+                             static_cast<double>(pool.servers()));
+      config.tracer->counter(frontend_track, "service:queue-depth",
+                             now * 1e6, static_cast<double>(depth));
+    }
+    const bool work_left =
+        scheduler.queued() + pool.queued() + batcher.pending() > 0 ||
+        pool.free_servers() < pool.servers();
+    if (now + tick_dt <= config.traffic.duration_s || work_left) {
+      simulation.after(tick_dt, tick);
+    }
+  };
+  if (config.autoscale_enabled) simulation.after(tick_dt, tick);
+
+  report.horizon_s = simulation.run();
+  report.final_servers = pool.servers();
+  report.busy_time_s = pool.busy_time();
+
+  for (std::size_t c = 0; c < kTenantClasses; ++c) {
+    ClassOutcome& out = report.classes[c];
+    std::vector<double>& lat = latencies[c];
+    out.p50_s = autoscale::duration_percentile(lat, 50.0);
+    out.p95_s = autoscale::duration_percentile(lat, 95.0);
+    out.p99_s = autoscale::duration_percentile(lat, 99.0);
+    for (const double l : lat) out.max_s = std::max(out.max_s, l);
+    std::uint64_t within = 0;
+    for (const double l : lat) {
+      if (l <= config.slo.latency_s[c]) ++within;
+    }
+    const std::uint64_t judged = out.completed + out.rejected;
+    out.slo_attainment =
+        judged == 0 ? 1.0
+                    : static_cast<double>(within) /
+                          static_cast<double>(judged);
+    report.admitted += out.admitted;
+    report.rejected += out.rejected;
+    report.completed += out.completed;
+    report.cache_hits += out.cache_hits;
+    report.dedup_joins += out.dedup_joins;
+  }
+  return report;
+}
+
+}  // namespace mdtask::service

@@ -1,0 +1,160 @@
+#include "mdtask/service/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "mdtask/common/rng.h"
+
+namespace mdtask::service {
+namespace {
+
+/// Uniform in [0,1) from a stateless hash draw.
+double hash_uniform(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic synthetic fingerprint of store index `store`.
+std::uint64_t synthetic_store_fingerprint(std::uint64_t seed,
+                                          std::uint64_t store) noexcept {
+  return hash_combine(hash_mix(seed ^ 0x53544f52ULL), store);
+}
+
+/// The canonical parameter set of (family, variant): small, readable
+/// and order-shuffled by variant so canonicalization is exercised.
+std::vector<std::pair<std::string, std::string>> make_params(
+    AnalysisFamily family, std::uint64_t variant) {
+  std::vector<std::pair<std::string, std::string>> params;
+  params.emplace_back("stride", std::to_string(1 + variant % 4));
+  // The raw variant index keeps distinct variants distinct under
+  // canonicalization (stride/selection alone collapse mod 4).
+  params.emplace_back("window", std::to_string(variant));
+  params.emplace_back("selection", variant % 2 == 0 ? "all" : "backbone");
+  params.emplace_back("family", to_string(family));
+  if (variant % 2 == 1) std::reverse(params.begin(), params.end());
+  return params;
+}
+
+}  // namespace
+
+const char* to_string(ArrivalPattern pattern) noexcept {
+  switch (pattern) {
+    case ArrivalPattern::kPoisson: return "poisson";
+    case ArrivalPattern::kDiurnal: return "diurnal";
+    case ArrivalPattern::kBursty: return "bursty";
+  }
+  return "poisson";
+}
+
+TenantClass tenant_class_of(std::uint64_t tenant,
+                            const TrafficConfig& config) {
+  double total = 0.0;
+  for (const double w : config.class_mix) total += std::max(0.0, w);
+  if (total <= 0.0) return TenantClass::kBatch;
+  const double u =
+      hash_uniform(hash_mix(tenant ^ hash_mix(config.seed ^ 0x434c53ULL)));
+  double cumulative = 0.0;
+  for (std::size_t c = 0; c < kTenantClasses; ++c) {
+    cumulative += std::max(0.0, config.class_mix[c]) / total;
+    if (u < cumulative) return static_cast<TenantClass>(c);
+  }
+  return TenantClass::kBestEffort;
+}
+
+double rate_modulation(const TrafficConfig& config, double t) noexcept {
+  switch (config.pattern) {
+    case ArrivalPattern::kPoisson:
+      return 1.0;
+    case ArrivalPattern::kDiurnal: {
+      const double period =
+          config.diurnal_period_s > 0.0 ? config.diurnal_period_s : 1.0;
+      const double m =
+          1.0 + config.diurnal_depth * std::sin(6.283185307179586 * t / period);
+      return std::max(0.0, m);
+    }
+    case ArrivalPattern::kBursty: {
+      const double period =
+          config.burst_period_s > 0.0 ? config.burst_period_s : 1.0;
+      const double f = std::clamp(config.burst_fraction, 0.0, 1.0);
+      const double phase = t - std::floor(t / period) * period;
+      if (phase < f * period) return std::max(0.0, config.burst_factor);
+      // Off-burst base chosen so the mean multiplier stays 1.0.
+      if (f >= 1.0) return std::max(0.0, config.burst_factor);
+      const double base = (1.0 - f * config.burst_factor) / (1.0 - f);
+      return std::max(0.0, base);
+    }
+  }
+  return 1.0;
+}
+
+std::vector<TrafficEvent> generate_traffic(const TrafficConfig& config) {
+  std::vector<TrafficEvent> events;
+  if (config.duration_s <= 0.0 || config.rate_per_s <= 0.0) return events;
+
+  double peak = 1.0;
+  if (config.pattern == ArrivalPattern::kDiurnal) {
+    peak = std::max(1e-9, 1.0 + std::abs(config.diurnal_depth));
+  } else if (config.pattern == ArrivalPattern::kBursty) {
+    peak = std::max(1.0, config.burst_factor);
+  }
+
+  Xoshiro256StarStar rng(config.seed);
+  const std::size_t tenants = std::max<std::size_t>(1, config.tenants);
+  const std::size_t stores = std::max<std::size_t>(1, config.stores);
+  const std::size_t variants =
+      std::max<std::size_t>(1, config.param_variants);
+  const std::size_t hot = std::max<std::size_t>(1, config.hot_keys);
+  const double peak_rate = config.rate_per_s * peak;
+
+  std::uint64_t next_id = 0;
+  double t = 0.0;
+  for (;;) {
+    // Exponential inter-arrival at the peak rate, thinned to rate(t).
+    const double u = std::max(1e-18, 1.0 - rng.uniform());
+    t += -std::log(u) / peak_rate;
+    if (t >= config.duration_s) break;
+    const double accept = rate_modulation(config, t) / peak;
+    if (rng.uniform() >= accept) continue;
+
+    AnalysisRequest request;
+    request.id = ++next_id;
+    request.tenant = rng.bounded(tenants);
+    request.tenant_class = tenant_class_of(request.tenant, config);
+
+    std::uint64_t store_index;
+    std::uint64_t family_index;
+    std::uint64_t variant;
+    if (rng.uniform() < config.repeat_fraction) {
+      // Hot key: the popular combinations every tenant keeps asking
+      // for. Derived from the hot index alone, so repeats collide.
+      const std::uint64_t h =
+          hash_mix(hash_mix(config.seed ^ 0x484f54ULL) ^ rng.bounded(hot));
+      store_index = h % stores;
+      family_index = (h >> 20) % kAnalysisFamilies;
+      variant = (h >> 40) % variants;
+    } else {
+      store_index = rng.bounded(stores);
+      family_index = rng.bounded(kAnalysisFamilies);
+      variant = rng.bounded(variants);
+    }
+    request.family = static_cast<AnalysisFamily>(family_index);
+    request.store_fingerprint =
+        synthetic_store_fingerprint(config.seed, store_index);
+    request.params = make_params(request.family, variant);
+    // Size spreads around the mean, pinned to the request's key so a
+    // repeated key always costs the same.
+    const std::uint64_t mean = std::max<std::uint64_t>(1, config.mean_input_bytes);
+    const std::uint64_t kh =
+        hash_combine(hash_combine(request.store_fingerprint, family_index),
+                     variant);
+    request.input_bytes = mean / 2 + hash_mix(kh) % mean;
+
+    TrafficEvent event;
+    event.arrival_s = t;
+    event.request = std::move(request);
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace mdtask::service

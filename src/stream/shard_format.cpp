@@ -24,15 +24,6 @@ bool write_u64(std::FILE* f, std::uint64_t v) {
 
 }  // namespace
 
-std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (std::uint8_t b : bytes) {
-    hash ^= b;
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
 std::vector<std::uint8_t> delta_encode(std::span<const std::uint8_t> raw,
                                        std::size_t frame_bytes) {
   // Pass 1: XOR each frame's bytes with the previous frame's (the first

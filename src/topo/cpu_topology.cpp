@@ -167,10 +167,27 @@ std::vector<int> CpuTopology::worker_placement(std::size_t workers) const {
   return placement;
 }
 
+const char* to_string(StealTier tier) noexcept {
+  switch (tier) {
+    case StealTier::kSmt: return "smt";
+    case StealTier::kL2: return "l2";
+    case StealTier::kPackage: return "package";
+    case StealTier::kRest: return "rest";
+  }
+  return "rest";
+}
+
 std::vector<std::size_t> CpuTopology::victim_order(
     const std::vector<int>& assignment, std::size_t self) const {
+  return victim_order(assignment, self, nullptr);
+}
+
+std::vector<std::size_t> CpuTopology::victim_order(
+    const std::vector<int>& assignment, std::size_t self,
+    std::vector<StealTier>* tiers) const {
   const std::size_t n = assignment.size();
   std::vector<std::size_t> order;
+  if (tiers != nullptr) tiers->clear();
   if (n <= 1 || self >= n) return order;
   order.reserve(n - 1);
 
@@ -210,7 +227,10 @@ std::vector<std::size_t> CpuTopology::victim_order(
                    [](const auto& a, const auto& b) {
                      return a.first < b.first;
                    });
-  for (const auto& [t, w] : keyed) order.push_back(w);
+  for (const auto& [t, w] : keyed) {
+    order.push_back(w);
+    if (tiers != nullptr) tiers->push_back(static_cast<StealTier>(t));
+  }
   return order;
 }
 

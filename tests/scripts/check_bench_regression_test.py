@@ -78,6 +78,16 @@ class BehaviouralSkipListTest(unittest.TestCase):
                 MOD.behavioural({"kernel": kernel, "policy": "single_fifo"}),
                 kernel)
 
+    def test_service_family_is_registered(self):
+        self.assertIn("service", [k for k, _ in MOD.BEHAVIOURAL_FAMILIES])
+
+    def test_service_kernels_match_by_prefix(self):
+        for kernel in ("service_diurnal", "service_bursty", "service_cache",
+                       "service_autoscale"):
+            self.assertIsNotNone(
+                MOD.behavioural({"kernel": kernel, "policy": "interactive"}),
+                kernel)
+
 
 class EndToEndGateTest(unittest.TestCase):
     @staticmethod
@@ -176,6 +186,34 @@ class EndToEndGateTest(unittest.TestCase):
                                ["--min-speedup", "autoscale_wave=2.0"])
         self.assertEqual(result.returncode, 0, result.stderr)
         self.assertIn("skipped", result.stdout)
+
+    SERVICE_DOC = [
+        {"kernel": "service_cache", "policy": "on", "ns_per_unit": 190.0},
+        {"kernel": "service_cache", "policy": "off", "ns_per_unit": 850.0},
+        {"kernel": "service_diurnal", "policy": "interactive",
+         "ns_per_unit": 1.6e8},
+    ]
+
+    def test_service_entries_skip_the_absolute_ns_gate(self):
+        # Serving-layer p95s move with the traffic schedule; a big
+        # absolute shift must not trip the cross-run gate.
+        slower = [dict(e, ns_per_unit=e["ns_per_unit"] * 1000)
+                  for e in self.SERVICE_DOC]
+        result = self.run_gate(self.SERVICE_DOC, slower)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("skipped", result.stdout)
+
+    def test_service_cache_ratio_opts_into_the_gate(self):
+        # 850/190 = 4.47x fewer engine jobs with the cache on: the
+        # explicit off/on pair gates the same-run ratio even though
+        # "service" is behavioural.
+        ok = self.run_gate(self.SERVICE_DOC, self.SERVICE_DOC,
+                           ["--min-speedup", "service_cache=2.0:off/on"])
+        self.assertEqual(ok.returncode, 0, ok.stderr)
+        bad = self.run_gate(self.SERVICE_DOC, self.SERVICE_DOC,
+                            ["--min-speedup", "service_cache=10.0:off/on"])
+        self.assertNotEqual(bad.returncode, 0)
+        self.assertIn("TOO SLOW", bad.stdout)
 
     def test_missing_pair_cell_fails_the_gate(self):
         result = self.run_gate(

@@ -1,0 +1,88 @@
+#include "mdtask/service/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mdtask::service {
+namespace {
+
+AnalysisRequest make_request(std::uint64_t id, std::uint64_t tenant,
+                             std::uint64_t bytes) {
+  AnalysisRequest request;
+  request.id = id;
+  request.tenant = tenant;
+  request.input_bytes = bytes;
+  return request;
+}
+
+TEST(AdmissionTest, AdmitsWithinBudgets) {
+  AdmissionController admission(AdmissionConfig{});
+  EXPECT_TRUE(admission.admit(make_request(1, 1, 1024)).ok());
+  const auto stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.in_flight, 1u);
+  EXPECT_EQ(stats.in_flight_bytes, 1024u);
+  EXPECT_EQ(stats.shed_total(), 0u);
+}
+
+TEST(AdmissionTest, ShedsOnGlobalRequestBudget) {
+  AdmissionConfig config;
+  config.max_global_requests = 2;
+  AdmissionController admission(config);
+  EXPECT_TRUE(admission.admit(make_request(1, 1, 1)).ok());
+  EXPECT_TRUE(admission.admit(make_request(2, 2, 1)).ok());
+  const Status shed = admission.admit(make_request(3, 3, 1));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.error().code(), ErrorCode::kOverloaded);
+  EXPECT_NE(shed.error().message().find("request budget"), std::string::npos);
+  EXPECT_EQ(admission.stats().shed_requests, 1u);
+}
+
+TEST(AdmissionTest, ShedsOnGlobalByteBudget) {
+  AdmissionConfig config;
+  config.max_global_bytes = 1000;
+  AdmissionController admission(config);
+  EXPECT_TRUE(admission.admit(make_request(1, 1, 600)).ok());
+  const Status shed = admission.admit(make_request(2, 2, 600));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.error().code(), ErrorCode::kOverloaded);
+  EXPECT_NE(shed.error().message().find("byte budget"), std::string::npos);
+  EXPECT_EQ(admission.stats().shed_bytes, 1u);
+}
+
+TEST(AdmissionTest, ShedsOnPerTenantBudget) {
+  AdmissionConfig config;
+  config.max_tenant_requests = 1;
+  AdmissionController admission(config);
+  EXPECT_TRUE(admission.admit(make_request(1, 7, 1)).ok());
+  const Status shed = admission.admit(make_request(2, 7, 1));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.error().code(), ErrorCode::kOverloaded);
+  EXPECT_NE(shed.error().message().find("tenant"), std::string::npos);
+  // A different tenant still fits.
+  EXPECT_TRUE(admission.admit(make_request(3, 8, 1)).ok());
+  EXPECT_EQ(admission.stats().shed_tenant, 1u);
+}
+
+TEST(AdmissionTest, ReleaseReturnsEveryReservation) {
+  AdmissionConfig config;
+  config.max_global_requests = 1;
+  config.max_tenant_requests = 1;
+  config.max_global_bytes = 100;
+  AdmissionController admission(config);
+
+  const AnalysisRequest request = make_request(1, 7, 100);
+  EXPECT_TRUE(admission.admit(request).ok());
+  EXPECT_FALSE(admission.admit(make_request(2, 7, 1)).ok());
+  admission.release(request);
+
+  const auto stats = admission.stats();
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.in_flight_bytes, 0u);
+  // The full budget is available again — same tenant, same size.
+  EXPECT_TRUE(admission.admit(make_request(3, 7, 100)).ok());
+}
+
+}  // namespace
+}  // namespace mdtask::service

@@ -1,0 +1,133 @@
+// Direct Batcher unit tests: coalescing keys, the size and delay
+// windows, drain, and the capacity-reservation counters the DES pump
+// gates on. Time is always caller-supplied, so every case is exact.
+#include "mdtask/service/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+namespace mdtask::service {
+namespace {
+
+AnalysisRequest make_request(std::uint64_t id, std::uint64_t store,
+                             AnalysisFamily family,
+                             std::uint64_t bytes = 1024) {
+  AnalysisRequest request;
+  request.id = id;
+  request.tenant = id % 7;
+  request.family = family;
+  request.store_fingerprint = store;
+  request.input_bytes = bytes;
+  request.params = {{"stride", std::to_string(id)}};
+  return request;
+}
+
+TEST(BatcherTest, SizeLimitSealsTheBatch) {
+  Batcher batcher(BatchConfig{.max_batch = 3, .max_delay_s = 10.0});
+  EXPECT_FALSE(
+      batcher.add(make_request(1, 5, AnalysisFamily::kPsa), 0.0));
+  EXPECT_FALSE(
+      batcher.add(make_request(2, 5, AnalysisFamily::kPsa), 0.1));
+  EXPECT_EQ(batcher.pending(), 2u);
+  EXPECT_EQ(batcher.open_batches(), 1u);
+  const auto job =
+      batcher.add(make_request(3, 5, AnalysisFamily::kPsa), 0.2);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->requests.size(), 3u);
+  EXPECT_EQ(job->store_fingerprint, 5u);
+  EXPECT_EQ(job->family, AnalysisFamily::kPsa);
+  // Submission order is preserved inside the job.
+  EXPECT_EQ(job->requests[0].id, 1u);
+  EXPECT_EQ(job->requests[2].id, 3u);
+  EXPECT_EQ(batcher.pending(), 0u);
+  EXPECT_EQ(batcher.open_batches(), 0u);
+  EXPECT_EQ(batcher.jobs(), 1u);
+}
+
+TEST(BatcherTest, DifferentStoreOrFamilyNeverCoalesce) {
+  Batcher batcher(BatchConfig{.max_batch = 8, .max_delay_s = 10.0});
+  EXPECT_FALSE(
+      batcher.add(make_request(1, 5, AnalysisFamily::kPsa), 0.0));
+  EXPECT_FALSE(
+      batcher.add(make_request(2, 6, AnalysisFamily::kPsa), 0.0));
+  EXPECT_FALSE(
+      batcher.add(make_request(3, 5, AnalysisFamily::kLeaflet), 0.0));
+  EXPECT_EQ(batcher.open_batches(), 3u);
+  const std::vector<EngineJob> jobs = batcher.flush_all();
+  ASSERT_EQ(jobs.size(), 3u);
+  for (const EngineJob& job : jobs) EXPECT_EQ(job.requests.size(), 1u);
+}
+
+TEST(BatcherTest, DelayWindowExpiresOnTheOldestMember) {
+  Batcher batcher(BatchConfig{.max_batch = 8, .max_delay_s = 1.0});
+  EXPECT_FALSE(
+      batcher.add(make_request(1, 5, AnalysisFamily::kPsa), 0.0));
+  // A later add does NOT extend the window: it is anchored on the
+  // oldest request in the batch.
+  EXPECT_FALSE(
+      batcher.add(make_request(2, 5, AnalysisFamily::kPsa), 0.9));
+  const std::optional<double> deadline = batcher.next_deadline();
+  ASSERT_TRUE(deadline.has_value());
+  EXPECT_DOUBLE_EQ(*deadline, 1.0);
+  EXPECT_TRUE(batcher.due(0.99).empty());
+  const std::vector<EngineJob> jobs = batcher.due(1.0);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].requests.size(), 2u);
+  EXPECT_FALSE(batcher.next_deadline().has_value());
+}
+
+TEST(BatcherTest, DueEmitsExpiredBatchesInKeyOrder) {
+  Batcher batcher(BatchConfig{.max_batch = 8, .max_delay_s = 0.5});
+  EXPECT_FALSE(
+      batcher.add(make_request(1, 9, AnalysisFamily::kPsa), 0.0));
+  EXPECT_FALSE(
+      batcher.add(make_request(2, 3, AnalysisFamily::kPsa), 0.1));
+  EXPECT_FALSE(
+      batcher.add(make_request(3, 3, AnalysisFamily::kPsa), 5.0));
+  const std::vector<EngineJob> jobs = batcher.due(1.0);
+  // Both batches expired (the t=5.0 add joined the already-open
+  // store-3 batch, whose window stays anchored on its oldest member),
+  // and they emit ordered by (store, family) key.
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].store_fingerprint, 3u);
+  EXPECT_EQ(jobs[0].requests.size(), 2u);
+  EXPECT_EQ(jobs[1].store_fingerprint, 9u);
+}
+
+TEST(BatcherTest, DisabledBatchingShipsEveryRequestAlone) {
+  Batcher batcher(
+      BatchConfig{.max_batch = 8, .max_delay_s = 10.0, .enabled = false});
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    const auto job =
+        batcher.add(make_request(i, 5, AnalysisFamily::kPsa), 0.0);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->requests.size(), 1u);
+  }
+  EXPECT_EQ(batcher.pending(), 0u);
+  EXPECT_EQ(batcher.jobs(), 4u);
+}
+
+TEST(BatcherTest, TotalBytesSumsTheBatch) {
+  Batcher batcher(BatchConfig{.max_batch = 2, .max_delay_s = 10.0});
+  EXPECT_FALSE(
+      batcher.add(make_request(1, 5, AnalysisFamily::kPsa, 100), 0.0));
+  const auto job =
+      batcher.add(make_request(2, 5, AnalysisFamily::kPsa, 250), 0.0);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->total_bytes(), 350u);
+}
+
+TEST(BatcherTest, JobIdsAreDenseAndOrdered) {
+  Batcher batcher(BatchConfig{.max_batch = 1, .max_delay_s = 10.0});
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    const auto job =
+        batcher.add(make_request(i, i, AnalysisFamily::kPsa), 0.0);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->job_id, i);
+  }
+}
+
+}  // namespace
+}  // namespace mdtask::service

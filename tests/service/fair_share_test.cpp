@@ -1,0 +1,150 @@
+#include "mdtask/service/fair_share.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace mdtask::service {
+namespace {
+
+AnalysisRequest make_request(std::uint64_t id, std::uint64_t tenant,
+                             TenantClass tenant_class,
+                             std::uint64_t bytes = 1024) {
+  AnalysisRequest request;
+  request.id = id;
+  request.tenant = tenant;
+  request.tenant_class = tenant_class;
+  request.input_bytes = bytes;
+  return request;
+}
+
+TEST(FairShareTest, PopOnEmptyIsFalse) {
+  FairShareScheduler scheduler;
+  AnalysisRequest out;
+  EXPECT_FALSE(scheduler.pop(&out));
+  EXPECT_EQ(scheduler.queued(), 0u);
+}
+
+TEST(FairShareTest, FifoWithinOneTenant) {
+  FairShareScheduler scheduler;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    scheduler.push(make_request(id, 7, TenantClass::kBatch));
+  }
+  AnalysisRequest out;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(scheduler.pop(&out));
+    EXPECT_EQ(out.id, id);
+  }
+  EXPECT_FALSE(scheduler.pop(&out));
+}
+
+TEST(FairShareTest, RoundRobinAcrossTenantsWithinClass) {
+  FairShareScheduler scheduler;
+  // Tenant 1 floods before tenant 2's first request arrives.
+  scheduler.push(make_request(1, 1, TenantClass::kBatch));
+  scheduler.push(make_request(2, 1, TenantClass::kBatch));
+  scheduler.push(make_request(3, 1, TenantClass::kBatch));
+  scheduler.push(make_request(4, 2, TenantClass::kBatch));
+
+  std::vector<std::uint64_t> tenants;
+  AnalysisRequest out;
+  while (scheduler.pop(&out)) tenants.push_back(out.tenant);
+  // Tenant 2 is served second, not after the whole tenant-1 burst.
+  ASSERT_EQ(tenants.size(), 4u);
+  EXPECT_EQ(tenants[0], 1u);
+  EXPECT_EQ(tenants[1], 2u);
+  EXPECT_EQ(tenants[2], 1u);
+  EXPECT_EQ(tenants[3], 1u);
+}
+
+TEST(FairShareTest, DrainOrderIsWeightProportionalUnderSaturation) {
+  FairShareConfig config;
+  config.weights = {8, 3, 1};
+  config.quantum_bytes = 1024;  // one request per weight unit per visit
+  FairShareScheduler scheduler(config);
+
+  constexpr std::size_t kPerClass = 120;
+  std::uint64_t id = 0;
+  for (std::size_t c = 0; c < kTenantClasses; ++c) {
+    for (std::size_t i = 0; i < kPerClass; ++i) {
+      scheduler.push(
+          make_request(++id, c, static_cast<TenantClass>(c), 1024));
+    }
+  }
+
+  // Over the first 60 pops (half the backlog, every class saturated)
+  // class bandwidth should track the 8:3:1 weights.
+  std::array<std::size_t, kTenantClasses> served{};
+  AnalysisRequest out;
+  for (std::size_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(scheduler.pop(&out));
+    ++served[static_cast<std::size_t>(out.tenant_class)];
+  }
+  EXPECT_GT(served[0], served[1]);
+  EXPECT_GT(served[1], served[2]);
+  // 8/12, 3/12, 1/12 of 60 = 40/15/5; allow one visit of slack.
+  EXPECT_NEAR(static_cast<double>(served[0]), 40.0, 8.0);
+  EXPECT_NEAR(static_cast<double>(served[1]), 15.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(served[2]), 5.0, 2.0);
+
+  // Everything eventually drains.
+  std::size_t rest = 0;
+  while (scheduler.pop(&out)) ++rest;
+  EXPECT_EQ(rest, kTenantClasses * kPerClass - 60);
+}
+
+TEST(FairShareTest, EmptyClassesDoNotStallTheRing) {
+  FairShareScheduler scheduler;
+  scheduler.push(make_request(1, 1, TenantClass::kBestEffort));
+  AnalysisRequest out;
+  ASSERT_TRUE(scheduler.pop(&out));
+  EXPECT_EQ(out.id, 1u);
+  EXPECT_FALSE(scheduler.pop(&out));
+}
+
+TEST(FairShareTest, LargeRequestsEventuallyAccumulateCredit) {
+  FairShareConfig config;
+  config.weights = {1, 1, 1};
+  config.quantum_bytes = 16;  // far below the request cost
+  FairShareScheduler scheduler(config);
+  scheduler.push(
+      make_request(1, 1, TenantClass::kInteractive, 1 << 20));
+  AnalysisRequest out;
+  ASSERT_TRUE(scheduler.pop(&out));  // terminates: credit accumulates
+  EXPECT_EQ(out.id, 1u);
+}
+
+TEST(FairShareTest, QueuedPerClassTracksPushesAndPops) {
+  FairShareScheduler scheduler;
+  scheduler.push(make_request(1, 1, TenantClass::kInteractive));
+  scheduler.push(make_request(2, 2, TenantClass::kBatch));
+  scheduler.push(make_request(3, 3, TenantClass::kBatch));
+  EXPECT_EQ(scheduler.queued(), 3u);
+  EXPECT_EQ(scheduler.queued(TenantClass::kInteractive), 1u);
+  EXPECT_EQ(scheduler.queued(TenantClass::kBatch), 2u);
+  EXPECT_EQ(scheduler.queued(TenantClass::kBestEffort), 0u);
+  AnalysisRequest out;
+  ASSERT_TRUE(scheduler.pop(&out));
+  EXPECT_EQ(scheduler.queued(), 2u);
+}
+
+TEST(FairShareTest, PopOrderIsDeterministic) {
+  auto run = [] {
+    FairShareScheduler scheduler;
+    std::uint64_t id = 0;
+    for (std::size_t i = 0; i < 30; ++i) {
+      scheduler.push(make_request(
+          ++id, i % 5, static_cast<TenantClass>(i % kTenantClasses),
+          512 + 256 * (i % 3)));
+    }
+    std::vector<std::uint64_t> order;
+    AnalysisRequest out;
+    while (scheduler.pop(&out)) order.push_back(out.id);
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mdtask::service

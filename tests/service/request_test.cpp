@@ -1,0 +1,113 @@
+#include "mdtask/service/request.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mdtask/stream/shard_format.h"
+
+namespace mdtask::service {
+namespace {
+
+TEST(RequestTest, ClassAndFamilyLabels) {
+  EXPECT_STREQ(to_string(TenantClass::kInteractive), "interactive");
+  EXPECT_STREQ(to_string(TenantClass::kBatch), "batch");
+  EXPECT_STREQ(to_string(TenantClass::kBestEffort), "best-effort");
+  EXPECT_STREQ(to_string(AnalysisFamily::kRmsdSeries), "rmsd-series");
+  EXPECT_STREQ(to_string(AnalysisFamily::kPsa), "psa");
+  EXPECT_STREQ(to_string(AnalysisFamily::kLeaflet), "leaflet");
+}
+
+TEST(RequestTest, CanonicalParamsHashIgnoresOrder) {
+  const std::vector<std::pair<std::string, std::string>> forward{
+      {"stride", "2"}, {"selection", "backbone"}, {"ref", "frame0"}};
+  std::vector<std::pair<std::string, std::string>> shuffled{
+      {"ref", "frame0"}, {"stride", "2"}, {"selection", "backbone"}};
+  EXPECT_EQ(canonical_params_hash(forward),
+            canonical_params_hash(shuffled));
+}
+
+TEST(RequestTest, CanonicalParamsHashSeesValueChanges) {
+  const std::vector<std::pair<std::string, std::string>> a{
+      {"stride", "2"}, {"selection", "backbone"}};
+  const std::vector<std::pair<std::string, std::string>> b{
+      {"stride", "4"}, {"selection", "backbone"}};
+  EXPECT_NE(canonical_params_hash(a), canonical_params_hash(b));
+}
+
+TEST(RequestTest, CanonicalParamsHashKeepsKeyValueBoundary) {
+  // "ab"/"c" vs "a"/"bc": without a separator between key and value the
+  // concatenated bytes would be identical.
+  const std::vector<std::pair<std::string, std::string>> a{{"ab", "c"}};
+  const std::vector<std::pair<std::string, std::string>> b{{"a", "bc"}};
+  EXPECT_NE(canonical_params_hash(a), canonical_params_hash(b));
+}
+
+TEST(RequestTest, RequestKeyEquatesReorderedParams) {
+  AnalysisRequest first;
+  first.id = 1;
+  first.tenant = 7;
+  first.family = AnalysisFamily::kPsa;
+  first.store_fingerprint = 0xabcdef;
+  first.params = {{"stride", "2"}, {"selection", "all"}};
+
+  AnalysisRequest second = first;
+  second.id = 2;       // identity fields are NOT part of the key
+  second.tenant = 99;
+  second.params = {{"selection", "all"}, {"stride", "2"}};
+
+  EXPECT_EQ(request_key(first), request_key(second));
+  EXPECT_EQ(RequestKeyHash{}(request_key(first)),
+            RequestKeyHash{}(request_key(second)));
+}
+
+TEST(RequestTest, RequestKeySeparatesStoreAndFamily) {
+  AnalysisRequest request;
+  request.store_fingerprint = 42;
+  request.family = AnalysisFamily::kRmsdSeries;
+  const RequestKey base = request_key(request);
+
+  AnalysisRequest other_family = request;
+  other_family.family = AnalysisFamily::kLeaflet;
+  EXPECT_NE(base, request_key(other_family));
+
+  AnalysisRequest other_store = request;
+  other_store.store_fingerprint = 43;
+  EXPECT_NE(base, request_key(other_store));
+}
+
+stream::ShardStoreInfo make_store() {
+  stream::ShardStoreInfo info;
+  info.frames = 128;
+  info.atoms = 64;
+  info.frames_per_shard = 32;
+  info.flags = stream::kFlagDeltaCompressed;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    stream::ShardIndexEntry entry;
+    entry.offset = s * 1000;
+    entry.stored_bytes = 900 + s;
+    entry.raw_bytes = 2048;
+    entry.checksum = 0x1000 + s;
+    info.index.push_back(entry);
+  }
+  return info;
+}
+
+TEST(RequestTest, StoreFingerprintIsStable) {
+  EXPECT_EQ(store_fingerprint(make_store()), store_fingerprint(make_store()));
+}
+
+TEST(RequestTest, StoreFingerprintSeesContentChanges) {
+  const std::uint64_t base = store_fingerprint(make_store());
+
+  stream::ShardStoreInfo corrupt = make_store();
+  corrupt.index[2].checksum ^= 1;  // one shard's bytes differ
+  EXPECT_NE(base, store_fingerprint(corrupt));
+
+  stream::ShardStoreInfo reshaped = make_store();
+  reshaped.frames_per_shard = 16;
+  EXPECT_NE(base, store_fingerprint(reshaped));
+}
+
+}  // namespace
+}  // namespace mdtask::service

@@ -1,0 +1,236 @@
+#include "mdtask/service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mdtask::service {
+namespace {
+
+AnalysisRequest make_request(std::uint64_t tenant, std::uint64_t store,
+                             AnalysisFamily family = AnalysisFamily::kRmsdSeries,
+                             std::uint64_t bytes = 4096) {
+  AnalysisRequest request;
+  request.tenant = tenant;
+  request.tenant_class = TenantClass::kBatch;
+  request.family = family;
+  request.store_fingerprint = store;
+  request.params = {{"stride", "1"}, {"selection", "all"}};
+  request.input_bytes = bytes;
+  return request;
+}
+
+/// Executor returning one payload per request whose value encodes the
+/// store fingerprint; optionally counts jobs and simulates work.
+struct CountingExecutor {
+  std::atomic<std::uint64_t>* jobs = nullptr;
+  std::chrono::microseconds delay{0};
+
+  Result<std::vector<ResultPayload>> operator()(const EngineJob& job) const {
+    if (jobs != nullptr) jobs->fetch_add(1, std::memory_order_relaxed);
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    std::vector<ResultPayload> payloads;
+    for (const AnalysisRequest& request : job.requests) {
+      payloads.push_back(ResultPayload{
+          {static_cast<double>(request.store_fingerprint)}, 0});
+    }
+    return payloads;
+  }
+};
+
+TEST(ServiceTest, SubmitResolvesWithPayload) {
+  ThreadPool pool(2);
+  AnalysisService service(ServiceConfig{}, pool, CountingExecutor{});
+  auto future = service.submit(make_request(1, 42));
+  const CachedResult result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value()->values.at(0), 42.0);
+}
+
+TEST(ServiceTest, OverloadShedsWithTypedError) {
+  ServiceConfig config;
+  config.admission.max_global_requests = 1;
+  config.batch.max_delay_s = 10.0;  // hold the first request open
+  config.batch.max_batch = 64;
+  ThreadPool pool(2);
+  AnalysisService service(config, pool, CountingExecutor{});
+
+  auto first = service.submit(make_request(1, 1));
+  // The first request occupies the only admission slot (it sits in an
+  // open batch); the second must shed immediately.
+  CachedResult shed = service.submit(make_request(2, 2)).get();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.error().code(), ErrorCode::kOverloaded);
+
+  service.drain();
+  EXPECT_TRUE(first.get().ok());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_GE(stats.admission.shed_total(), 1u);
+}
+
+TEST(ServiceTest, BatchingCoalescesCompatibleRequests) {
+  ServiceConfig config;
+  config.cache.enabled = false;  // force every request into the batcher
+  config.batch.max_batch = 4;
+  config.batch.max_delay_s = 60.0;  // dispatch only on a full batch
+  std::atomic<std::uint64_t> jobs{0};
+  ThreadPool pool(2);
+  AnalysisService service(config, pool, CountingExecutor{&jobs});
+
+  std::vector<std::future<CachedResult>> futures;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    AnalysisRequest request = make_request(i, /*store=*/7);
+    request.params = {{"stride", std::to_string(i)}};  // distinct keys
+    futures.push_back(service.submit(std::move(request)));
+  }
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+  // 8 compatible requests, max_batch 4 -> exactly 2 engine jobs.
+  EXPECT_EQ(jobs.load(), 2u);
+  EXPECT_EQ(service.stats().engine_jobs, 2u);
+}
+
+TEST(ServiceTest, IncompatibleRequestsNeverCoalesce) {
+  ServiceConfig config;
+  config.cache.enabled = false;
+  config.batch.max_batch = 8;
+  config.batch.max_delay_s = 0.0;  // flush immediately
+  std::atomic<std::uint64_t> jobs{0};
+  ThreadPool pool(2);
+  AnalysisService service(config, pool, CountingExecutor{&jobs});
+
+  auto a = service.submit(make_request(1, 1, AnalysisFamily::kRmsdSeries));
+  auto b = service.submit(make_request(2, 1, AnalysisFamily::kLeaflet));
+  auto c = service.submit(make_request(3, 2, AnalysisFamily::kRmsdSeries));
+  EXPECT_TRUE(a.get().ok());
+  EXPECT_TRUE(b.get().ok());
+  EXPECT_TRUE(c.get().ok());
+  EXPECT_EQ(jobs.load(), 3u);
+}
+
+TEST(ServiceTest, CacheCollapsesRepeatedRequests) {
+  ServiceConfig config;
+  config.batch.enabled = false;
+  std::atomic<std::uint64_t> jobs{0};
+  ThreadPool pool(2);
+  AnalysisService service(config, pool, CountingExecutor{&jobs});
+
+  EXPECT_TRUE(service.submit(make_request(1, 5)).get().ok());
+  for (std::uint64_t tenant = 2; tenant <= 6; ++tenant) {
+    EXPECT_TRUE(service.submit(make_request(tenant, 5)).get().ok());
+  }
+  EXPECT_EQ(jobs.load(), 1u);
+  EXPECT_EQ(service.stats().cache.hits, 5u);
+}
+
+TEST(ServiceTest, ExecutorFailureFailsEveryRequestWithoutPoisoning) {
+  ServiceConfig config;
+  config.batch.enabled = false;
+  std::atomic<bool> fail{true};
+  ThreadPool pool(2);
+  AnalysisService service(
+      config, pool,
+      [&fail](const EngineJob& job) -> Result<std::vector<ResultPayload>> {
+        if (fail.load()) return Error(ErrorCode::kIoError, "store offline");
+        return CountingExecutor{}(job);
+      });
+
+  CachedResult failed = service.submit(make_request(1, 9)).get();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code(), ErrorCode::kIoError);
+
+  // The failure was not cached: the same key succeeds once the engine
+  // recovers.
+  fail.store(false);
+  CachedResult ok = service.submit(make_request(1, 9)).get();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok.value()->values.at(0), 9.0);
+}
+
+TEST(ServiceTest, WrongPayloadCountIsAnInternalError) {
+  ServiceConfig config;
+  config.batch.enabled = false;
+  config.cache.enabled = false;
+  ThreadPool pool(2);
+  AnalysisService service(
+      config, pool,
+      [](const EngineJob&) -> Result<std::vector<ResultPayload>> {
+        return std::vector<ResultPayload>{};  // always zero payloads
+      });
+  CachedResult result = service.submit(make_request(1, 1)).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kInternal);
+}
+
+// The TSan matrix cell runs this file: many tenants submitting
+// concurrently from their own threads while the dispatcher batches,
+// the cache dedups and the pool executes.
+TEST(ServiceTest, ConcurrentMultiTenantLoad) {
+  ServiceConfig config;
+  config.admission.max_global_requests = 4096;
+  config.admission.max_tenant_requests = 4096;
+  config.batch.max_batch = 4;
+  config.batch.max_delay_s = 0.0005;
+  std::atomic<std::uint64_t> jobs{0};
+  ThreadPool pool(4);
+  AnalysisService service(config, pool,
+                          CountingExecutor{&jobs, std::chrono::microseconds(50)});
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> shed_count{0};
+  std::vector<std::thread> tenants;
+  tenants.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    tenants.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        AnalysisRequest request = make_request(
+            static_cast<std::uint64_t>(t), /*store=*/i % 4,
+            static_cast<AnalysisFamily>(i % 3));
+        request.tenant_class = static_cast<TenantClass>(t % 3);
+        request.params = {{"stride", std::to_string(i % 5)}};
+        const CachedResult result = service.submit(std::move(request)).get();
+        if (result.ok()) {
+          ok_count.fetch_add(1);
+        } else {
+          ASSERT_EQ(result.error().code(), ErrorCode::kOverloaded);
+          shed_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& tenant : tenants) tenant.join();
+  service.drain();
+
+  EXPECT_EQ(ok_count.load() + shed_count.load(), kThreads * kPerThread);
+  EXPECT_GT(ok_count.load(), 0);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed + stats.rejected,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  // Identical (store, family, params) keys recur across tenants: the
+  // cache plus batching must have collapsed SOME of the 400 requests.
+  EXPECT_LT(jobs.load(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(ServiceTest, DrainFlushesOpenBatches) {
+  ServiceConfig config;
+  config.cache.enabled = false;
+  config.batch.max_batch = 64;
+  config.batch.max_delay_s = 3600.0;  // would wait an hour without drain
+  std::atomic<std::uint64_t> jobs{0};
+  ThreadPool pool(2);
+  AnalysisService service(config, pool, CountingExecutor{&jobs});
+  auto future = service.submit(make_request(1, 1));
+  service.drain();
+  EXPECT_TRUE(future.get().ok());
+  EXPECT_EQ(jobs.load(), 1u);
+}
+
+}  // namespace
+}  // namespace mdtask::service

@@ -1,0 +1,180 @@
+#include "mdtask/service/sim_service.h"
+
+#include <gtest/gtest.h>
+
+#include "mdtask/trace/chrome_export.h"
+
+namespace mdtask::service {
+namespace {
+
+ServiceSimConfig quick_config() {
+  ServiceSimConfig config;
+  config.traffic.duration_s = 20.0;
+  config.traffic.rate_per_s = 40.0;
+  config.traffic.tenants = 200;
+  config.servers = 8;
+  return config;
+}
+
+TEST(SimServiceTest, ReportCountsAreConsistent) {
+  const ServiceSimReport report = simulate_service(quick_config());
+  ASSERT_GT(report.requests, 100u);
+  EXPECT_EQ(report.admitted + report.rejected, report.requests);
+  // Every admitted request resolves by the end of the run.
+  EXPECT_EQ(report.completed, report.admitted);
+  EXPECT_GE(report.horizon_s, 0.0);
+  EXPECT_GT(report.busy_time_s, 0.0);
+  EXPECT_GT(report.engine_jobs, 0u);
+  // Cache hits and joins never reach the engine.
+  EXPECT_EQ(report.batched_requests + report.cache_hits + report.dedup_joins,
+            report.completed);
+  std::uint64_t class_completed = 0;
+  for (const ClassOutcome& out : report.classes) {
+    class_completed += out.completed;
+    EXPECT_LE(out.p50_s, out.p95_s);
+    EXPECT_LE(out.p95_s, out.p99_s);
+    EXPECT_LE(out.p99_s, out.max_s + 1e-12);
+    EXPECT_GE(out.slo_attainment, 0.0);
+    EXPECT_LE(out.slo_attainment, 1.0);
+  }
+  EXPECT_EQ(class_completed, report.completed);
+}
+
+TEST(SimServiceTest, SameSeedIsByteIdentical) {
+  const ServiceSimConfig config = quick_config();
+  trace::Tracer tracer_a;
+  tracer_a.set_enabled(true);
+  trace::Tracer tracer_b;
+  tracer_b.set_enabled(true);
+  ServiceSimConfig with_a = config;
+  with_a.tracer = &tracer_a;
+  ServiceSimConfig with_b = config;
+  with_b.tracer = &tracer_b;
+
+  const ServiceSimReport a = simulate_service(with_a);
+  const ServiceSimReport b = simulate_service(with_b);
+  ASSERT_EQ(a.log.size(), b.log.size());
+  ASSERT_FALSE(a.log.empty());
+  for (std::size_t i = 0; i < a.log.size(); ++i) {
+    EXPECT_EQ(a.log[i], b.log[i]) << "log line " << i;
+  }
+  EXPECT_EQ(a.engine_jobs, b.engine_jobs);
+  EXPECT_EQ(a.completed, b.completed);
+  // The mirrored traces are byte-identical too.
+  EXPECT_EQ(trace::to_chrome_json(tracer_a), trace::to_chrome_json(tracer_b));
+}
+
+TEST(SimServiceTest, DifferentSeedsDiverge) {
+  ServiceSimConfig config = quick_config();
+  const ServiceSimReport a = simulate_service(config);
+  config.traffic.seed ^= 1;
+  const ServiceSimReport b = simulate_service(config);
+  EXPECT_NE(a.log, b.log);
+}
+
+TEST(SimServiceTest, CacheOnUsesStrictlyFewerEngineJobs) {
+  ServiceSimConfig config = quick_config();
+  config.traffic.repeat_fraction = 0.8;  // repeat-heavy workload
+  config.traffic.hot_keys = 8;
+  config.service.cache.enabled = true;
+  const ServiceSimReport cached = simulate_service(config);
+  config.service.cache.enabled = false;
+  const ServiceSimReport uncached = simulate_service(config);
+
+  EXPECT_GT(cached.cache_hits + cached.dedup_joins, 0u);
+  EXPECT_LT(cached.engine_jobs, uncached.engine_jobs);
+  // Same demand either way.
+  EXPECT_EQ(cached.requests, uncached.requests);
+}
+
+TEST(SimServiceTest, InteractiveClassWinsUnderSaturation) {
+  ServiceSimConfig config;
+  config.traffic.duration_s = 30.0;
+  config.traffic.rate_per_s = 120.0;
+  config.traffic.tenants = 500;
+  config.traffic.repeat_fraction = 0.0;  // every request costs a job
+  config.traffic.mean_input_bytes = 4ull << 20;
+  config.service.batch.enabled = false;
+  config.service.admission.max_global_requests = 100000;
+  config.service.admission.max_tenant_requests = 100000;
+  config.service.admission.max_global_bytes = ~0ull;
+  config.servers = 4;  // heavily oversubscribed
+
+  const ServiceSimReport report = simulate_service(config);
+  const ClassOutcome& interactive =
+      report.classes[static_cast<std::size_t>(TenantClass::kInteractive)];
+  const ClassOutcome& best_effort =
+      report.classes[static_cast<std::size_t>(TenantClass::kBestEffort)];
+  ASSERT_GT(interactive.completed, 50u);
+  ASSERT_GT(best_effort.completed, 50u);
+  // Weighted DRR gives the interactive class dramatically better tail
+  // latency when the pool saturates.
+  EXPECT_LT(interactive.p95_s, best_effort.p95_s);
+}
+
+TEST(SimServiceTest, OverloadSheds) {
+  ServiceSimConfig config = quick_config();
+  config.traffic.rate_per_s = 200.0;
+  config.traffic.repeat_fraction = 0.0;
+  config.traffic.mean_input_bytes = 8ull << 20;
+  config.service.admission.max_global_requests = 16;
+  config.servers = 2;
+  const ServiceSimReport report = simulate_service(config);
+  EXPECT_GT(report.rejected, 0u);
+  EXPECT_EQ(report.admitted + report.rejected, report.requests);
+  EXPECT_EQ(report.completed, report.admitted);
+  bool saw_reject_line = false;
+  for (const auto& line : report.log) {
+    if (line.find(" reject ") != std::string::npos) {
+      saw_reject_line = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_reject_line);
+}
+
+TEST(SimServiceTest, AutoscaleGrowsThePoolUnderDiurnalLoad) {
+  ServiceSimConfig config;
+  config.traffic.duration_s = 60.0;
+  config.traffic.rate_per_s = 80.0;
+  config.traffic.pattern = ArrivalPattern::kDiurnal;
+  config.traffic.repeat_fraction = 0.2;
+  config.traffic.mean_input_bytes = 4ull << 20;
+  config.service.admission.max_global_requests = 100000;
+  config.service.admission.max_tenant_requests = 100000;
+  config.service.admission.max_global_bytes = ~0ull;
+  config.servers = 2;
+  config.autoscale_enabled = true;
+  config.autoscale.min_pool = 2;
+  config.autoscale.max_pool = 64;
+  config.autoscale.cooldown_s = 1.0;
+
+  const ServiceSimReport report = simulate_service(config);
+  EXPECT_GT(report.scale_ups, 0u);
+  EXPECT_GT(report.peak_servers, report.initial_servers);
+  EXPECT_EQ(report.completed, report.admitted);
+  bool saw_scale_line = false;
+  for (const auto& line : report.log) {
+    if (line.find(" scale-up ") != std::string::npos) {
+      saw_scale_line = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_scale_line);
+}
+
+TEST(SimServiceTest, BatchingReducesEngineJobs) {
+  ServiceSimConfig config = quick_config();
+  config.service.cache.enabled = false;  // isolate the batching effect
+  config.traffic.repeat_fraction = 0.6;
+  config.service.batch.max_batch = 8;
+  config.service.batch.max_delay_s = 0.05;
+  const ServiceSimReport batched = simulate_service(config);
+  config.service.batch.enabled = false;
+  const ServiceSimReport unbatched = simulate_service(config);
+  EXPECT_LT(batched.engine_jobs, unbatched.engine_jobs);
+  EXPECT_EQ(batched.completed, unbatched.completed);
+}
+
+}  // namespace
+}  // namespace mdtask::service

@@ -1,0 +1,150 @@
+#include "mdtask/service/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace mdtask::service {
+namespace {
+
+TEST(TrafficTest, SameSeedSameSchedule) {
+  TrafficConfig config;
+  config.duration_s = 20.0;
+  config.rate_per_s = 40.0;
+  const auto a = generate_traffic(config);
+  const auto b = generate_traffic(config);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].request.id, b[i].request.id);
+    EXPECT_EQ(a[i].request.tenant, b[i].request.tenant);
+    EXPECT_EQ(a[i].request.store_fingerprint, b[i].request.store_fingerprint);
+    EXPECT_EQ(a[i].request.params, b[i].request.params);
+    EXPECT_EQ(a[i].request.input_bytes, b[i].request.input_bytes);
+  }
+}
+
+TEST(TrafficTest, DifferentSeedsDiffer) {
+  TrafficConfig config;
+  config.duration_s = 10.0;
+  const auto a = generate_traffic(config);
+  config.seed ^= 1;
+  const auto b = generate_traffic(config);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_TRUE(a.size() != b.size() ||
+              a.front().arrival_s != b.front().arrival_s);
+}
+
+TEST(TrafficTest, ArrivalsAreOrderedAndBounded) {
+  TrafficConfig config;
+  config.duration_s = 15.0;
+  const auto events = generate_traffic(config);
+  double last = 0.0;
+  for (const auto& event : events) {
+    EXPECT_GE(event.arrival_s, last);
+    EXPECT_LT(event.arrival_s, config.duration_s);
+    last = event.arrival_s;
+  }
+}
+
+TEST(TrafficTest, MeanRateIsRoughlyHonored) {
+  TrafficConfig config;
+  config.duration_s = 100.0;
+  config.rate_per_s = 50.0;
+  for (const auto pattern :
+       {ArrivalPattern::kPoisson, ArrivalPattern::kDiurnal,
+        ArrivalPattern::kBursty}) {
+    config.pattern = pattern;
+    const auto events = generate_traffic(config);
+    const double mean_rate =
+        static_cast<double>(events.size()) / config.duration_s;
+    // Thinning is mean-preserving for every pattern; 15% tolerance.
+    EXPECT_NEAR(mean_rate, config.rate_per_s, 0.15 * config.rate_per_s)
+        << to_string(pattern);
+  }
+}
+
+TEST(TrafficTest, ClassMixIsRoughlyHonored) {
+  TrafficConfig config;
+  config.duration_s = 100.0;
+  config.rate_per_s = 50.0;
+  config.class_mix = {0.2, 0.5, 0.3};
+  const auto events = generate_traffic(config);
+  std::array<double, kTenantClasses> counts{};
+  for (const auto& event : events) {
+    counts[static_cast<std::size_t>(event.request.tenant_class)] += 1.0;
+  }
+  const double total = static_cast<double>(events.size());
+  EXPECT_NEAR(counts[0] / total, 0.2, 0.06);
+  EXPECT_NEAR(counts[1] / total, 0.5, 0.06);
+  EXPECT_NEAR(counts[2] / total, 0.3, 0.06);
+}
+
+TEST(TrafficTest, TenantClassIsStablePerTenant) {
+  TrafficConfig config;
+  config.duration_s = 30.0;
+  const auto events = generate_traffic(config);
+  std::set<std::pair<std::uint64_t, std::uint8_t>> seen;
+  for (const auto& event : events) {
+    seen.emplace(event.request.tenant,
+                 static_cast<std::uint8_t>(event.request.tenant_class));
+  }
+  std::set<std::uint64_t> tenants;
+  for (const auto& [tenant, cls] : seen) {
+    // A tenant appearing twice with different classes would inflate
+    // `seen` past the tenant count.
+    EXPECT_TRUE(tenants.insert(tenant).second)
+        << "tenant " << tenant << " changed class";
+  }
+}
+
+TEST(TrafficTest, RepeatFractionConcentratesKeys) {
+  TrafficConfig config;
+  config.duration_s = 60.0;
+  config.rate_per_s = 50.0;
+  config.hot_keys = 4;
+  config.repeat_fraction = 0.9;
+  const auto hot_heavy = generate_traffic(config);
+  config.repeat_fraction = 0.0;
+  const auto uniform = generate_traffic(config);
+
+  auto distinct_keys = [](const std::vector<TrafficEvent>& events) {
+    std::set<std::uint64_t> keys;
+    for (const auto& event : events) {
+      keys.insert(request_key(event.request).params ^
+                  request_key(event.request).store ^
+                  (std::uint64_t{request_key(event.request).family} << 56));
+    }
+    return keys.size();
+  };
+  EXPECT_LT(distinct_keys(hot_heavy), distinct_keys(uniform));
+}
+
+TEST(TrafficTest, DiurnalModulationFollowsTheSine) {
+  TrafficConfig config;
+  config.pattern = ArrivalPattern::kDiurnal;
+  config.diurnal_depth = 0.8;
+  config.diurnal_period_s = 40.0;
+  EXPECT_NEAR(rate_modulation(config, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(rate_modulation(config, 10.0), 1.8, 1e-12);  // peak
+  EXPECT_NEAR(rate_modulation(config, 30.0), 0.2, 1e-12);  // trough
+}
+
+TEST(TrafficTest, BurstyModulationIsMeanPreserving) {
+  TrafficConfig config;
+  config.pattern = ArrivalPattern::kBursty;
+  config.burst_factor = 6.0;
+  config.burst_fraction = 0.1;
+  config.burst_period_s = 10.0;
+  EXPECT_NEAR(rate_modulation(config, 0.5), 6.0, 1e-12);  // in burst
+  const double off = rate_modulation(config, 5.0);
+  // f*factor + (1-f)*off == 1.
+  EXPECT_NEAR(0.1 * 6.0 + 0.9 * off, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mdtask::service
