@@ -17,6 +17,12 @@
 // --json [--quick] [--out=PATH] writes BENCH_service.json (kernels are
 // "service_"-prefixed: the regression gate treats them as behavioural
 // and skips absolute-time comparisons).
+//
+// --chaos adds the reliability study: the same diurnal schedule with
+// seeded fail/slow/hang chaos at the executor boundary, reliability
+// layer off vs on (deadlines + retry + hedging + brownout). The chaos
+// kernels ("service_chaos") are written to the JSON only under
+// --chaos, so the published default BENCH_service.json is untouched.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -93,20 +99,22 @@ void write_json(const std::vector<JsonEntry>& entries,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false, quick = false;
+  bool json = false, quick = false, chaos = false;
   std::string out_path = "BENCH_service.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       ++i;  // handled by parse_seed
     } else {
       std::cerr << "usage: bench_service [--seed N] [--json] [--quick] "
-                   "[--out=PATH]\n";
+                   "[--chaos] [--out=PATH]\n";
       return 2;
     }
   }
@@ -120,11 +128,16 @@ int main(int argc, char** argv) {
       "8:3:1, batching on, cache on, 6 engine servers)");
   slo_table.set_header({"schedule", "class", "requests", "shed",
                         "hits+joins", "p50_s", "p95_s", "p99_s", "slo"});
+  std::vector<std::pair<const char*, ServiceSimReport>> slo_reports;
   for (const auto pattern :
        {ArrivalPattern::kDiurnal, ArrivalPattern::kBursty}) {
     ServiceSimConfig config = base_config(seed, quick);
     config.traffic.pattern = pattern;
-    const ServiceSimReport report = simulate_service(config);
+    // Observation only (tenant tracking changes no serving decision):
+    // the per-class rows stay byte-identical with the pre-tenant-table
+    // tables for the same seed.
+    config.top_tenants = 8;
+    ServiceSimReport report = simulate_service(config);
     add_class_rows(slo_table, to_string(pattern), report);
     for (std::size_t c = 0; c < kTenantClasses; ++c) {
       entries.push_back(
@@ -132,8 +145,28 @@ int main(int argc, char** argv) {
            to_string(static_cast<TenantClass>(c)), "p95_request",
            report.classes[c].p95_s * 1e9});
     }
+    slo_reports.emplace_back(to_string(pattern), std::move(report));
   }
   bench::emit(slo_table, "service_slo");
+
+  // ---- Per-tenant SLO: the top tenants by arrival volume ----
+  Table tenant_table(
+      "Per-tenant SLO attainment (top 8 tenants by volume per "
+      "schedule; same runs as the per-class table)");
+  tenant_table.set_header({"schedule", "tenant", "class", "requests",
+                           "completed", "missed", "p50_s", "p95_s",
+                           "p99_s", "slo"});
+  for (const auto& [schedule, report] : slo_reports) {
+    for (const TenantOutcome& t : report.tenants) {
+      tenant_table.add_row(
+          {schedule, std::to_string(t.tenant), to_string(t.tenant_class),
+           std::to_string(t.requests), std::to_string(t.completed),
+           std::to_string(t.missed), Table::fmt(t.p50_s, 4),
+           Table::fmt(t.p95_s, 4), Table::fmt(t.p99_s, 4),
+           Table::fmt(t.slo_attainment, 4)});
+    }
+  }
+  bench::emit(tenant_table, "service_tenants");
 
   // ---- Result cache on/off over a repeat-heavy workload ----
   Table cache_table(
@@ -210,6 +243,62 @@ int main(int argc, char** argv) {
                        slo_all * 1e9});
   }
   bench::emit(scale_table, "service_autoscale");
+
+  // ---- Chaos study: reliability layer off vs on under injected faults ----
+  if (chaos) {
+    Table chaos_table(
+        "Chaos study (diurnal schedule; executor chaos fail 8% / slow "
+        "15% / hang 5%; reliability = deadlines + retry + hedging + "
+        "brownout)");
+    chaos_table.set_header({"reliability", "class", "requests",
+                            "completed", "failed", "expired", "shed",
+                            "p95_s", "slo"});
+    for (const bool reliable : {false, true}) {
+      ServiceSimConfig config = base_config(seed, quick);
+      config.traffic.pattern = ArrivalPattern::kDiurnal;
+      config.service.chaos.enabled = true;
+      config.service.chaos.seed = seed;
+      config.service.chaos.fail_rate = 0.08;
+      config.service.chaos.slow_rate = 0.15;
+      config.service.chaos.hang_rate = 0.05;
+      if (reliable) {
+        config.service.reliability.deadline.enabled = true;
+        config.service.reliability.retry.enabled = true;
+        config.service.reliability.hedge.enabled = true;
+        config.service.reliability.brownout.enabled = true;
+      }
+      const ServiceSimReport report = simulate_service(config);
+      for (std::size_t c = 0; c < kTenantClasses; ++c) {
+        const ClassOutcome& out = report.classes[c];
+        chaos_table.add_row(
+            {reliable ? "on" : "off",
+             to_string(static_cast<TenantClass>(c)),
+             std::to_string(out.requests), std::to_string(out.completed),
+             std::to_string(out.failed),
+             std::to_string(out.deadline_expired),
+             std::to_string(out.rejected + out.brownout_shed),
+             Table::fmt(out.p95_s, 4), Table::fmt(out.slo_attainment, 4)});
+        entries.push_back({"service_chaos",
+                           std::string(reliable ? "on-" : "off-") +
+                               to_string(static_cast<TenantClass>(c)),
+                           "slo_x1e9", out.slo_attainment * 1e9});
+      }
+      std::printf(
+          "  reliability %s: retries=%llu hedges=%llu (wins=%llu) "
+          "chaos_failures=%llu chaos_delays=%llu stale_served=%llu "
+          "max_deadline_overrun_s=%.6f\n",
+          reliable ? "on " : "off",
+          static_cast<unsigned long long>(report.retries),
+          static_cast<unsigned long long>(report.hedges),
+          static_cast<unsigned long long>(report.hedge_wins),
+          static_cast<unsigned long long>(report.chaos_failures),
+          static_cast<unsigned long long>(report.chaos_delays),
+          static_cast<unsigned long long>(report.stale_served),
+          report.max_deadline_overrun_s);
+    }
+    bench::emit(chaos_table, "service_chaos");
+  }
+
   std::printf("(all cells are virtual-time DES replays of the seeded "
               "schedule: byte-identical per seed)\n");
 

@@ -23,6 +23,8 @@ enum class ErrorCode {
   kResourceExhausted,  ///< e.g. simulated worker memory limit exceeded
   kUnavailable,        ///< e.g. simulated database unreachable
   kOverloaded,         ///< service admission control shed the request
+  kDeadlineExceeded,   ///< the request's completion deadline passed
+  kCircuitOpen,        ///< a tripped circuit breaker rejected the request
   kCancelled,
   kInternal,
 };

@@ -34,8 +34,11 @@ enum class FaultKind {
 };
 const char* to_string(FaultKind kind) noexcept;
 
-/// The engine whose recovery policy handles an injected fault.
-enum class EngineId { kSpark, kDask, kRp, kMpi };
+/// The engine whose recovery policy handles an injected fault. kService
+/// scopes the serving front end's chaos harness (docs/SERVICE.md): the
+/// executor boundary retries with backoff like RP, and the same scope
+/// salt drives byte-identical verdicts on the live and DES paths.
+enum class EngineId { kSpark, kDask, kRp, kMpi, kService };
 const char* to_string(EngineId engine) noexcept;
 
 /// One scheduled injection. Explicit entries fire when task and attempt

@@ -31,6 +31,9 @@ struct EngineJob {
   std::uint64_t job_id = 0;
   AnalysisFamily family = AnalysisFamily::kRmsdSeries;
   std::uint64_t store_fingerprint = 0;
+  /// Tightest ABSOLUTE member deadline (0 = no member carries one):
+  /// the whole job must land by the earliest deadline it answers.
+  double deadline_s = 0.0;
   std::vector<AnalysisRequest> requests;
 
   std::uint64_t total_bytes() const noexcept {
@@ -83,7 +86,8 @@ class Batcher {
   using BatchKey = std::pair<std::uint64_t, std::uint8_t>;
   struct Open {
     std::vector<AnalysisRequest> requests;
-    double deadline_s = 0.0;
+    double deadline_s = 0.0;      ///< flush deadline (delay window)
+    double job_deadline_s = 0.0;  ///< tightest member deadline (0 = none)
   };
 
   EngineJob seal(BatchKey key, Open&& open);  // mu_ held

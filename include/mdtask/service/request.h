@@ -64,6 +64,12 @@ struct AnalysisRequest {
   /// Bytes of trajectory data the request touches; the admission
   /// controller budgets on it and fair-share uses it as the DRR cost.
   std::uint64_t input_bytes = 0;
+  /// Completion budget. RELATIVE seconds at submission (0 = use the
+  /// tenant-class default from DeadlineConfig); the service rewrites it
+  /// to an ABSOLUTE service-clock deadline at admission. Stays 0 when
+  /// deadlines are disabled. Not part of the RequestKey: equivalent
+  /// requests with different budgets still share one execution.
+  double deadline_s = 0.0;
 };
 
 /// Equivalence key of a request: same store bytes, same analysis

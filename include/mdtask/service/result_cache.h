@@ -38,6 +38,10 @@ namespace mdtask::service {
 struct ResultPayload {
   std::vector<double> values;
   std::uint64_t weight_bytes = 0;
+  /// True when this answer was computed for a DIFFERENT store snapshot
+  /// of the same analysis (brownout stale-serve); callers must treat it
+  /// as advisory. Entries are cached with stale = false.
+  bool stale = false;
 
   std::uint64_t charge() const noexcept {
     return weight_bytes != 0
@@ -78,12 +82,28 @@ class ResultCache {
   /// capacity bounds). An error resolves waiters and caches nothing.
   void fulfill(const RequestKey& key, CachedResult result);
 
+  /// Evicts every COMPLETED entry computed against `store` (a
+  /// re-ingested trajectory invalidates all of its cached answers).
+  /// In-flight computations are untouched: their owners were admitted
+  /// against the old bytes and still resolve their joiners. Returns the
+  /// number of entries evicted.
+  std::size_t invalidate_store(std::uint64_t store);
+
+  /// Brownout stale-serve: the freshest cached answer for the SAME
+  /// analysis (family + params) computed against a DIFFERENT store
+  /// snapshot, flagged stale = true, or nullptr. Scans LRU order, so
+  /// the result is deterministic for a given access history. Does not
+  /// touch recency or in-flight state.
+  std::shared_ptr<const ResultPayload> lookup_stale(const RequestKey& key);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t inflight_joins = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;  ///< entries dropped by invalidate_store
+    std::uint64_t stale_serves = 0;   ///< lookup_stale answers handed out
   };
 
   Stats stats() const;

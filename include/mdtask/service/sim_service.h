@@ -9,6 +9,14 @@
 // pool. Optionally the autoscale TargetUtilizationPolicy closes the
 // loop on the pool, scaling it with the diurnal/bursty demand.
 //
+// The reliability layer is mirrored in virtual time when enabled in
+// config.service: deadline reapers fire as DES events, the executor
+// boundary retries with virtual backoff and hedges at k x p95, the
+// SAME CircuitBreakerBank / DegradationController / ChaosInjector
+// classes run on the virtual clock, and chaos verdicts are keyed by
+// chaos_job_id — so the live service and this twin agree byte for
+// byte on every injected fault for the same seed.
+//
 // The report carries per-tenant-class latency percentiles and SLO
 // attainment — the tables bench_service prints — plus a canonical
 // event log: everything is a pure function of the config, so two runs
@@ -22,6 +30,7 @@
 #include <vector>
 
 #include "mdtask/autoscale/policy.h"
+#include "mdtask/fault/recovery.h"
 #include "mdtask/service/service.h"
 #include "mdtask/service/traffic.h"
 #include "mdtask/trace/tracer.h"
@@ -56,6 +65,13 @@ struct ServiceSimConfig {
   /// Mirror engine-job spans and service:* counters (virtual time).
   trace::Tracer* tracer = nullptr;
   std::uint32_t trace_pid = 40;
+  /// Mirror chaos-failure / recovery decisions (scope kService) — the
+  /// live service writes byte-identical canonical lines for the same
+  /// chaos seed (the determinism tests diff the two).
+  fault::RecoveryLog* recovery_log = nullptr;
+  /// Track the N highest-volume tenants individually (0 = off); fills
+  /// ServiceSimReport::tenants. Observation only: no behaviour change.
+  std::size_t top_tenants = 0;
 };
 
 /// Outcome for one tenant class.
@@ -66,12 +82,32 @@ struct ClassOutcome {
   std::uint64_t cache_hits = 0;
   std::uint64_t dedup_joins = 0; ///< joined an in-flight computation
   std::uint64_t completed = 0;
+  // Reliability outcomes (all zero with the mechanisms disabled).
+  std::uint64_t deadline_expired = 0;  ///< reaped kDeadlineExceeded
+  std::uint64_t circuit_rejected = 0;  ///< rejected kCircuitOpen
+  std::uint64_t brownout_shed = 0;     ///< best-effort shed by brownout
+  std::uint64_t failed = 0;            ///< engine failure surfaced
   double p50_s = 0.0;  ///< completion latency percentiles (arrival ->
   double p95_s = 0.0;  ///< resolution, nearest-rank)
   double p99_s = 0.0;
   double max_s = 0.0;
-  /// Completions within the class SLO / (completed + rejected): a shed
-  /// request counts as a miss.
+  /// Completions within the class SLO over every judged request
+  /// (completed + rejected + deadline_expired + circuit_rejected +
+  /// brownout_shed + failed): any shed/miss/failure counts against.
+  double slo_attainment = 0.0;
+};
+
+/// Outcome for one individual tenant (top-N by arrival volume).
+struct TenantOutcome {
+  std::uint64_t tenant = 0;
+  TenantClass tenant_class = TenantClass::kBatch;
+  std::uint64_t requests = 0;   ///< arrivals
+  std::uint64_t completed = 0;
+  std::uint64_t missed = 0;     ///< sheds + deadline misses + failures
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  /// Completions within the tenant's class SLO / (completed + missed).
   double slo_attainment = 0.0;
 };
 
@@ -90,6 +126,22 @@ struct ServiceSimReport {
   std::size_t final_servers = 0;
   std::uint64_t scale_ups = 0;
   std::uint64_t scale_downs = 0;
+  // Reliability totals (all zero with the mechanisms disabled).
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t circuit_rejected = 0;
+  std::uint64_t brownout_shed = 0;
+  std::uint64_t stale_served = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t chaos_failures = 0;
+  std::uint64_t chaos_delays = 0;
+  /// Largest (resolution time - deadline) over requests carrying one:
+  /// the deadline reaper keeps this at 0 — the acceptance bound.
+  double max_deadline_overrun_s = 0.0;
+  /// Top-N tenants by arrival volume (config.top_tenants), volume-desc
+  /// then tenant-id-asc; empty when tracking is off.
+  std::vector<TenantOutcome> tenants;
   double horizon_s = 0.0;   ///< virtual time of the last event
   double busy_time_s = 0.0; ///< pool busy-time integral
   /// Canonical event log: deterministic, byte-identical across runs of

@@ -23,6 +23,7 @@ const char* to_string(EngineId engine) noexcept {
     case EngineId::kDask: return "dask";
     case EngineId::kRp: return "rp";
     case EngineId::kMpi: return "mpi";
+    case EngineId::kService: return "service";
   }
   return "?";
 }

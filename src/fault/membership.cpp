@@ -49,7 +49,9 @@ DeparturePolicy departure_for(EngineId engine,
       return DeparturePolicy::kKill;
     case EngineId::kDask:
     case EngineId::kRp:
-      // Dask's retire_workers and RP's pilot shrink are graceful.
+    case EngineId::kService:
+      // Dask's retire_workers, RP's pilot shrink and the serving
+      // front end's drain protocol are graceful.
       return DeparturePolicy::kDrain;
     case EngineId::kMpi:
       break;

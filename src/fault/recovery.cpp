@@ -35,6 +35,10 @@ RecoveryAction recovery_action(EngineId engine, FaultKind kind, int attempt,
                  : RecoveryAction::kRetryWithBackoff;
     case EngineId::kRp:
       return RecoveryAction::kRetryWithBackoff;
+    case EngineId::kService:
+      // The serving front end's executor boundary retries the whole
+      // engine job with bounded exponential backoff (docs/SERVICE.md).
+      return RecoveryAction::kRetryWithBackoff;
     case EngineId::kMpi:
       return RecoveryAction::kCheckpointRestart;
   }

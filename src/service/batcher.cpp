@@ -7,6 +7,7 @@ EngineJob Batcher::seal(BatchKey key, Open&& open) {
   job.job_id = ++next_job_;
   job.store_fingerprint = key.first;
   job.family = static_cast<AnalysisFamily>(key.second);
+  job.deadline_s = open.job_deadline_s;
   job.requests = std::move(open.requests);
   pending_ -= job.requests.size() <= pending_ ? job.requests.size()
                                               : pending_;
@@ -18,15 +19,29 @@ std::optional<EngineJob> Batcher::add(AnalysisRequest request,
   std::lock_guard lk(mu_);
   const BatchKey key{request.store_fingerprint,
                      static_cast<std::uint8_t>(request.family)};
+  const double member_deadline = request.deadline_s;
   if (!config_.enabled || config_.max_batch <= 1) {
     Open single;
+    single.job_deadline_s = member_deadline;
     single.requests.push_back(std::move(request));
     ++pending_;
     return seal(key, std::move(single));
   }
   auto [it, inserted] = open_.try_emplace(key);
   if (inserted) it->second.deadline_s = now_s + config_.max_delay_s;
-  it->second.requests.push_back(std::move(request));
+  Open& open = it->second;
+  if (member_deadline > 0.0) {
+    // The batch must answer its tightest member: the job inherits the
+    // minimum absolute deadline, and the delay window never outwaits it.
+    if (open.job_deadline_s == 0.0 ||
+        member_deadline < open.job_deadline_s) {
+      open.job_deadline_s = member_deadline;
+    }
+    if (member_deadline < open.deadline_s) {
+      open.deadline_s = member_deadline;
+    }
+  }
+  open.requests.push_back(std::move(request));
   ++pending_;
   if (it->second.requests.size() >= config_.max_batch) {
     Open full = std::move(it->second);

@@ -67,6 +67,49 @@ void ResultCache::fulfill(const RequestKey& key, CachedResult result) {
   if (resolve) promise.set_value(std::move(result));
 }
 
+std::size_t ResultCache::invalidate_store(std::uint64_t store) {
+  std::lock_guard lk(mu_);
+  std::size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->store != store) {
+      ++it;
+      continue;
+    }
+    const auto entry = entries_.find(*it);
+    if (entry != entries_.end()) {
+      bytes_ -= entry->second.payload->charge() <= bytes_
+                    ? entry->second.payload->charge()
+                    : bytes_;
+      entries_.erase(entry);
+    }
+    it = lru_.erase(it);
+    ++dropped;
+  }
+  stats_.invalidations += dropped;
+  return dropped;
+}
+
+std::shared_ptr<const ResultPayload> ResultCache::lookup_stale(
+    const RequestKey& key) {
+  if (!config_.enabled) return nullptr;
+  std::lock_guard lk(mu_);
+  // Front of lru_ is most recently used: the first match is the
+  // freshest stale candidate.
+  for (const RequestKey& cached : lru_) {
+    if (cached.store == key.store || cached.family != key.family ||
+        cached.params != key.params) {
+      continue;
+    }
+    const auto entry = entries_.find(cached);
+    if (entry == entries_.end()) continue;
+    auto stale = std::make_shared<ResultPayload>(*entry->second.payload);
+    stale->stale = true;
+    ++stats_.stale_serves;
+    return stale;
+  }
+  return nullptr;
+}
+
 void ResultCache::evict_to_capacity() {
   while (!lru_.empty() && (entries_.size() > config_.max_entries ||
                            bytes_ > config_.max_bytes)) {

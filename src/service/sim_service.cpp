@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <utility>
 
 #include "mdtask/autoscale/metrics.h"
+#include "mdtask/service/reliability.h"
 #include "mdtask/sim/simulation.h"
 
 namespace mdtask::service {
@@ -22,6 +24,25 @@ std::string fmt_time(double t) {
 }
 
 constexpr std::size_t kMaxLogLines = 50000;
+
+/// Per-tenant observation record (top_tenants tracking).
+struct TenantTrack {
+  TenantClass tenant_class = TenantClass::kBatch;
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t missed = 0;
+  std::vector<double> latencies;
+};
+
+/// One dispatched job shared by its primary attempt chain, an optional
+/// hedge chain and the deadline machinery (the DES JobState twin).
+struct SimJob {
+  EngineJob job;
+  std::uint64_t chaos_id = 0;
+  double dispatched_at_s = 0.0;
+  bool resolved = false;  ///< first-completion-wins gate
+  bool hedged = false;
+};
 
 }  // namespace
 
@@ -44,11 +65,22 @@ ServiceSimReport simulate_service(const ServiceSimConfig& config) {
         config.tracer->thread(config.trace_pid, "frontend");
   }
 
+  const ReliabilityConfig& rel = config.service.reliability;
+  fault::RetryPolicy retry_policy = rel.retry.policy;
+  if (!rel.retry.enabled) retry_policy.max_attempts = 1;
+  const int max_attempts = std::max(1, retry_policy.max_attempts);
+
   AdmissionController admission(config.service.admission);
   FairShareScheduler scheduler(config.service.fair_share);
   ResultCache cache(config.service.cache);
   Batcher batcher(config.service.batch);
+  ChaosInjector chaos(config.service.chaos);
+  CircuitBreakerBank breakers(rel.breaker);
+  DegradationController degradation(rel.brownout);
   autoscale::MetricsWindow metrics;
+  /// Job-latency window feeding the hedge threshold (the live twin of
+  /// AnalysisService::job_latency_).
+  autoscale::MetricsWindow job_latency(256);
   autoscale::TargetUtilizationPolicy policy(config.autoscale);
 
   std::array<std::vector<double>, kTenantClasses> latencies;
@@ -56,6 +88,9 @@ ServiceSimReport simulate_service(const ServiceSimConfig& config) {
   std::unordered_map<RequestKey, std::vector<AnalysisRequest>,
                      RequestKeyHash>
       joiners;
+  /// std::map: the final top-N selection iterates in deterministic
+  /// tenant-id order before sorting by volume.
+  std::map<std::uint64_t, TenantTrack> tenants;
 
   auto log_line = [&report](std::string line) {
     if (report.log.size() < kMaxLogLines) {
@@ -65,17 +100,61 @@ ServiceSimReport simulate_service(const ServiceSimConfig& config) {
     }
   };
 
-  auto complete_request = [&](const AnalysisRequest& request, double now) {
-    const auto c = static_cast<std::size_t>(request.tenant_class);
-    double latency = 0.0;
-    const auto it = arrival_of.find(request.id);
-    if (it != arrival_of.end()) {
-      latency = now - it->second;
-      arrival_of.erase(it);
+  auto tenant_track = [&](const AnalysisRequest& request) -> TenantTrack* {
+    if (config.top_tenants == 0) return nullptr;
+    TenantTrack& track = tenants[request.tenant];
+    track.tenant_class = request.tenant_class;
+    return &track;
+  };
+
+  auto note_overrun = [&](const AnalysisRequest& request, double now) {
+    if (request.deadline_s > 0.0 && now > request.deadline_s) {
+      report.max_deadline_overrun_s = std::max(
+          report.max_deadline_overrun_s, now - request.deadline_s);
     }
-    latencies[c].push_back(latency);
-    ++report.classes[c].completed;
+  };
+
+  /// Resolves one admitted request (success or engine failure). No-op
+  /// when the deadline reaper already resolved it — resolution is
+  /// idempotent by arrival_of membership.
+  auto resolve_request = [&](const AnalysisRequest& request, double now,
+                             bool ok) {
+    const auto it = arrival_of.find(request.id);
+    if (it == arrival_of.end()) return;
+    const double latency = now - it->second;
+    arrival_of.erase(it);
+    const auto c = static_cast<std::size_t>(request.tenant_class);
+    note_overrun(request, now);
+    if (ok) {
+      latencies[c].push_back(latency);
+      ++report.classes[c].completed;
+      if (TenantTrack* track = tenant_track(request)) {
+        ++track->completed;
+        track->latencies.push_back(latency);
+      }
+    } else {
+      ++report.classes[c].failed;
+      if (TenantTrack* track = tenant_track(request)) ++track->missed;
+    }
     admission.release(request);
+    breakers.record(request.tenant_class, request.family, ok, now);
+  };
+
+  /// The deadline reaper's half: fails one overdue request with
+  /// kDeadlineExceeded accounting (live: timer_loop + finish).
+  auto reap_request = [&](const AnalysisRequest& request, double now) {
+    const auto it = arrival_of.find(request.id);
+    if (it == arrival_of.end()) return;
+    arrival_of.erase(it);
+    const auto c = static_cast<std::size_t>(request.tenant_class);
+    ++report.classes[c].deadline_expired;
+    ++report.deadline_expired;
+    if (TenantTrack* track = tenant_track(request)) ++track->missed;
+    admission.release(request);
+    breakers.record(request.tenant_class, request.family, false, now);
+    log_line("t=" + fmt_time(now) + " deadline id=" +
+             std::to_string(request.id) + " class=" +
+             to_string(request.tenant_class));
   };
 
   auto job_cost = [&config](const EngineJob& job) {
@@ -91,10 +170,130 @@ ServiceSimReport simulate_service(const ServiceSimConfig& config) {
 
   std::function<void()> pump;
   std::function<void(EngineJob)> dispatch;
+  std::function<void(std::shared_ptr<SimJob>, int, bool)> run_attempt;
+
+  /// Applies one finished job (first completion wins): fulfills every
+  /// member's cache slot, resolves owner and joiners, logs.
+  auto finish_job = [&](const std::shared_ptr<SimJob>& sim_job, double done,
+                        bool ok, bool is_hedge) {
+    if (sim_job->resolved) return;
+    sim_job->resolved = true;
+    if (is_hedge) ++report.hedge_wins;
+    job_latency.record_task_duration(done - sim_job->dispatched_at_s);
+    for (const AnalysisRequest& request : sim_job->job.requests) {
+      const RequestKey key = request_key(request);
+      if (ok) {
+        auto payload = std::make_shared<const ResultPayload>(ResultPayload{
+            {static_cast<double>(key.params % 1024)},
+            4096 + request.input_bytes / 256});
+        cache.fulfill(key, CachedResult(payload));
+      } else {
+        cache.fulfill(key, CachedResult(Error(ErrorCode::kUnavailable,
+                                              "engine job failed")));
+      }
+      resolve_request(request, done, ok);
+      const auto joined = joiners.find(key);
+      if (joined != joiners.end()) {
+        const std::vector<AnalysisRequest> waiters =
+            std::move(joined->second);
+        joiners.erase(joined);
+        for (const AnalysisRequest& waiter : waiters) {
+          resolve_request(waiter, done, ok);
+        }
+      }
+    }
+    if (ok) {
+      log_line("t=" + fmt_time(done) + " complete job=" +
+               std::to_string(sim_job->job.job_id) + " requests=" +
+               std::to_string(sim_job->job.requests.size()));
+    } else {
+      log_line("t=" + fmt_time(done) + " fail job=" +
+               std::to_string(sim_job->job.job_id) + " requests=" +
+               std::to_string(sim_job->job.requests.size()));
+    }
+  };
+
+  /// One executor attempt in virtual time: the chaos verdict, the pool
+  /// acquisition, and the retry continuation — the DES twin of
+  /// AnalysisService::run_attempts, attempt for attempt.
+  run_attempt = [&](std::shared_ptr<SimJob> sim_job, int i, bool is_hedge) {
+    const double now = simulation.now();
+    if (sim_job->resolved) return;  // sibling runner already won
+    if (sim_job->job.deadline_s > 0.0 && now >= sim_job->job.deadline_s) {
+      finish_job(sim_job, now, /*ok=*/false, is_hedge);
+      pump();
+      return;
+    }
+    const int base = is_hedge ? kHedgeAttemptBase : 0;
+    const ChaosOutcome verdict = chaos.decide(sim_job->chaos_id, base + i);
+    double cost = job_cost(sim_job->job);
+    if (verdict.delay_s > 0.0) {
+      ++report.chaos_delays;
+      cost += verdict.delay_s;
+    }
+    pool.acquire(cost, [&, sim_job, i, is_hedge, base, verdict, cost] {
+      const double done = simulation.now();
+      metrics.record_task_duration(cost);
+      if (verdict.fails()) {
+        ++report.chaos_failures;
+        log_line("t=" + fmt_time(done) + " chaos-fail job=" +
+                 std::to_string(sim_job->job.job_id) + " attempt=" +
+                 std::to_string(base + i));
+        if (config.recovery_log != nullptr) {
+          fault::RecoveryEvent event;
+          event.engine = fault::EngineId::kService;
+          event.task_id = sim_job->chaos_id;
+          event.attempt = base + i;
+          event.fault = verdict.kind;
+          event.action = fault::recovery_action(
+              fault::EngineId::kService, verdict.kind, i, retry_policy);
+          event.backoff_s = fault::backoff_for_attempt(retry_policy, i + 1);
+          event.ts_us = done * 1e6;
+          config.recovery_log->record(event);
+        }
+        if (i + 1 < max_attempts && !sim_job->resolved) {
+          ++report.retries;
+          const double backoff =
+              fault::backoff_for_attempt(retry_policy, i + 1);
+          simulation.after(backoff, [&, sim_job, i, is_hedge] {
+            run_attempt(sim_job, i + 1, is_hedge);
+          });
+        } else {
+          finish_job(sim_job, done, /*ok=*/false, is_hedge);
+        }
+        pump();
+        return;
+      }
+      finish_job(sim_job, done, /*ok=*/true, is_hedge);
+      pump();
+    });
+  };
 
   dispatch = [&](EngineJob job) {
     const double now = simulation.now();
-    const double cost = job_cost(job);
+    if (rel.deadline.enabled) {
+      // Fail-fast strip (live dispatch_job twin): a member that is
+      // overdue or already reaped, and that nobody joined, never
+      // reaches the pool; its in-flight cache slot resolves so later
+      // lookups get a fresh miss.
+      auto& members = job.requests;
+      for (auto it = members.begin(); it != members.end();) {
+        const RequestKey key = request_key(*it);
+        const bool owner_alive = arrival_of.contains(it->id);
+        const bool expired =
+            it->deadline_s > 0.0 && now >= it->deadline_s;
+        if ((owner_alive && !expired) || joiners.contains(key)) {
+          ++it;
+          continue;
+        }
+        cache.fulfill(key, CachedResult(Error(
+                               ErrorCode::kDeadlineExceeded,
+                               "deadline passed in batch")));
+        if (owner_alive) reap_request(*it, now);
+        it = members.erase(it);
+      }
+      if (members.empty()) return;
+    }
     ++report.engine_jobs;
     report.batched_requests += job.requests.size();
     log_line("t=" + fmt_time(now) + " dispatch job=" +
@@ -107,32 +306,25 @@ ServiceSimReport simulate_service(const ServiceSimConfig& config) {
                              now * 1e6,
                              static_cast<double>(scheduler.queued()));
     }
-    auto shared = std::make_shared<EngineJob>(std::move(job));
-    pool.acquire(cost, [&, shared, cost] {
-      const double done = simulation.now();
-      for (const AnalysisRequest& request : shared->requests) {
-        const RequestKey key = request_key(request);
-        auto payload = std::make_shared<const ResultPayload>(ResultPayload{
-            {static_cast<double>(key.params % 1024)},
-            4096 + request.input_bytes / 256});
-        cache.fulfill(key, CachedResult(payload));
-        complete_request(request, done);
-        const auto joined = joiners.find(key);
-        if (joined != joiners.end()) {
-          const std::vector<AnalysisRequest> waiters =
-              std::move(joined->second);
-          joiners.erase(joined);
-          for (const AnalysisRequest& waiter : waiters) {
-            complete_request(waiter, done);
-          }
-        }
+    auto sim_job = std::make_shared<SimJob>();
+    sim_job->job = std::move(job);
+    sim_job->chaos_id = chaos.enabled() ? chaos_job_id(sim_job->job)
+                                        : sim_job->job.job_id;
+    sim_job->dispatched_at_s = now;
+    if (rel.hedge.enabled) {
+      if (const auto delay =
+              hedge_delay_s(rel.hedge, job_latency.snapshot(now))) {
+        simulation.at(now + *delay, [&, sim_job] {
+          if (sim_job->resolved || sim_job->hedged) return;
+          sim_job->hedged = true;
+          ++report.hedges;
+          log_line("t=" + fmt_time(simulation.now()) + " hedge job=" +
+                   std::to_string(sim_job->job.job_id));
+          run_attempt(sim_job, 0, /*is_hedge=*/true);
+        });
       }
-      log_line("t=" + fmt_time(done) + " complete job=" +
-               std::to_string(shared->job_id) + " requests=" +
-               std::to_string(shared->requests.size()));
-      metrics.record_task_duration(cost);
-      pump();
-    });
+    }
+    run_attempt(std::move(sim_job), 0, /*is_hedge=*/false);
   };
 
   // Open batches flush when their delay window expires: every add that
@@ -153,6 +345,14 @@ ServiceSimReport simulate_service(const ServiceSimConfig& config) {
   };
 
   pump = [&] {
+    // Brownout L2: under pressure the delay window shrinks to nothing —
+    // every open batch flushes immediately (live dispatcher twin).
+    if (rel.brownout.enabled &&
+        degradation.level() >= BrownoutLevel::kShrinkBatch) {
+      for (EngineJob& job : batcher.flush_all()) {
+        dispatch(std::move(job));
+      }
+    }
     AnalysisRequest request;
     // One free server is reserved per open batch (it will need one at
     // its deadline); the rest of the free capacity pulls from the
@@ -162,16 +362,32 @@ ServiceSimReport simulate_service(const ServiceSimConfig& config) {
       const double now = simulation.now();
       const auto c = static_cast<std::size_t>(request.tenant_class);
       const RequestKey key = request_key(request);
+      if (!arrival_of.contains(request.id)) continue;  // reaped in queue
       const ResultCache::Lookup lookup = cache.lookup_or_join(key);
       if (lookup.outcome == ResultCache::Outcome::kHit) {
         ++report.classes[c].cache_hits;
-        complete_request(request, now);
+        resolve_request(request, now, /*ok=*/true);
         continue;
       }
       if (lookup.outcome == ResultCache::Outcome::kJoined) {
         ++report.classes[c].dedup_joins;
         joiners[key].push_back(std::move(request));
         continue;
+      }
+      // Brownout L3: answer the miss from a stale same-analysis entry;
+      // the fresh in-flight slot resolves uncached (live route twin).
+      if (rel.brownout.enabled &&
+          degradation.level() >= BrownoutLevel::kServeStale) {
+        if (auto stale = cache.lookup_stale(key)) {
+          cache.fulfill(key, CachedResult(Error(
+                                 ErrorCode::kUnavailable,
+                                 "brownout: stale-served")));
+          ++report.stale_served;
+          log_line("t=" + fmt_time(now) + " stale-serve id=" +
+                   std::to_string(request.id));
+          resolve_request(request, now, /*ok=*/true);
+          continue;
+        }
       }
       if (auto job = batcher.add(std::move(request), now)) {
         dispatch(std::move(*job));
@@ -184,25 +400,68 @@ ServiceSimReport simulate_service(const ServiceSimConfig& config) {
   for (const TrafficEvent& event : traffic) {
     simulation.at(event.arrival_s, [&, event] {
       const double now = simulation.now();
-      const auto c = static_cast<std::size_t>(event.request.tenant_class);
+      AnalysisRequest request = event.request;
+      const auto c = static_cast<std::size_t>(request.tenant_class);
       ++report.classes[c].requests;
-      const Status admitted = admission.admit(event.request);
+      if (TenantTrack* track = tenant_track(request)) ++track->requests;
+      // Brownout observation + L1: pressure is the admitted-unresolved
+      // backlog (the live dispatcher observes outstanding_).
+      if (rel.brownout.enabled) {
+        const BrownoutLevel level = degradation.update(
+            arrival_of.size(), breakers.open_cells(now));
+        if (level >= BrownoutLevel::kShedBestEffort &&
+            request.tenant_class == TenantClass::kBestEffort) {
+          ++report.classes[c].brownout_shed;
+          ++report.brownout_shed;
+          if (TenantTrack* track = tenant_track(request)) ++track->missed;
+          log_line("t=" + fmt_time(now) + " brownout-shed id=" +
+                   std::to_string(request.id));
+          return;
+        }
+      }
+      const Status admitted = admission.admit(request);
       if (!admitted.ok()) {
         ++report.classes[c].rejected;
+        if (TenantTrack* track = tenant_track(request)) ++track->missed;
         log_line("t=" + fmt_time(now) + " reject id=" +
-                 std::to_string(event.request.id) + " class=" +
-                 to_string(event.request.tenant_class));
+                 std::to_string(request.id) + " class=" +
+                 to_string(request.tenant_class));
+        return;
+      }
+      // Breaker AFTER admission, releasing on rejection (live twin:
+      // every allow() is balanced by one record() at resolution).
+      if (!breakers.allow(request.tenant_class, request.family, now)) {
+        admission.release(request);
+        ++report.classes[c].circuit_rejected;
+        ++report.circuit_rejected;
+        if (TenantTrack* track = tenant_track(request)) ++track->missed;
+        log_line("t=" + fmt_time(now) + " circuit-open id=" +
+                 std::to_string(request.id) + " class=" +
+                 to_string(request.tenant_class));
         return;
       }
       ++report.classes[c].admitted;
-      arrival_of[event.request.id] = now;
+      if (const double budget = deadline_budget_s(rel.deadline, request);
+          budget > 0.0) {
+        request.deadline_s = now + budget;
+        // The reaper: at the deadline the future fails NOW, wherever
+        // the request sits (queue, open batch, joiner list, running
+        // job) — resolution later is a harmless no-op.
+        const AnalysisRequest reaped = request;
+        simulation.at(request.deadline_s, [&, reaped] {
+          reap_request(reaped, simulation.now());
+        });
+      } else {
+        request.deadline_s = 0.0;
+      }
+      arrival_of[request.id] = now;
       if (config.log_arrivals) {
         log_line("t=" + fmt_time(now) + " arrive id=" +
-                 std::to_string(event.request.id) + " class=" +
-                 to_string(event.request.tenant_class) + " tenant=" +
-                 std::to_string(event.request.tenant));
+                 std::to_string(request.id) + " class=" +
+                 to_string(request.tenant_class) + " tenant=" +
+                 std::to_string(request.tenant));
       }
-      scheduler.push(event.request);
+      scheduler.push(std::move(request));
       pump();
     });
   }
@@ -265,7 +524,10 @@ ServiceSimReport simulate_service(const ServiceSimConfig& config) {
     for (const double l : lat) {
       if (l <= config.slo.latency_s[c]) ++within;
     }
-    const std::uint64_t judged = out.completed + out.rejected;
+    const std::uint64_t judged = out.completed + out.rejected +
+                                 out.deadline_expired +
+                                 out.circuit_rejected + out.brownout_shed +
+                                 out.failed;
     out.slo_attainment =
         judged == 0 ? 1.0
                     : static_cast<double>(within) /
@@ -275,6 +537,49 @@ ServiceSimReport simulate_service(const ServiceSimConfig& config) {
     report.completed += out.completed;
     report.cache_hits += out.cache_hits;
     report.dedup_joins += out.dedup_joins;
+  }
+
+  if (config.top_tenants > 0 && !tenants.empty()) {
+    std::vector<std::pair<std::uint64_t, const TenantTrack*>> order;
+    order.reserve(tenants.size());
+    for (const auto& [tenant, track] : tenants) {
+      order.emplace_back(tenant, &track);
+    }
+    // Volume-desc, tenant-id-asc: a deterministic top-N selection.
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second->requests != b.second->requests) {
+                  return a.second->requests > b.second->requests;
+                }
+                return a.first < b.first;
+              });
+    const std::size_t n = std::min(config.top_tenants, order.size());
+    report.tenants.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& [tenant, track] = order[i];
+      TenantOutcome out;
+      out.tenant = tenant;
+      out.tenant_class = track->tenant_class;
+      out.requests = track->requests;
+      out.completed = track->completed;
+      out.missed = track->missed;
+      std::vector<double> lat = track->latencies;
+      out.p50_s = autoscale::duration_percentile(lat, 50.0);
+      out.p95_s = autoscale::duration_percentile(lat, 95.0);
+      out.p99_s = autoscale::duration_percentile(lat, 99.0);
+      const double target = config.slo.latency_s[static_cast<std::size_t>(
+          track->tenant_class)];
+      std::uint64_t within = 0;
+      for (const double l : track->latencies) {
+        if (l <= target) ++within;
+      }
+      const std::uint64_t judged = track->completed + track->missed;
+      out.slo_attainment =
+          judged == 0 ? 1.0
+                      : static_cast<double>(within) /
+                            static_cast<double>(judged);
+      report.tenants.push_back(out);
+    }
   }
   return report;
 }

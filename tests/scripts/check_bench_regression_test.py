@@ -88,6 +88,16 @@ class BehaviouralSkipListTest(unittest.TestCase):
                 MOD.behavioural({"kernel": kernel, "policy": "interactive"}),
                 kernel)
 
+    def test_service_chaos_tables_are_behavioural(self):
+        # bench_service --chaos emits SLO-attainment kernels (reliability
+        # on vs off) and the per-tenant table: behavioural by the
+        # "service" family prefix, never gated on absolute time.
+        for kernel in ("service_chaos", "service_tenants"):
+            for policy in ("on-interactive", "off-interactive", "tenant-7"):
+                self.assertIsNotNone(
+                    MOD.behavioural({"kernel": kernel, "policy": policy}),
+                    f"{kernel}/{policy}")
+
 
 class EndToEndGateTest(unittest.TestCase):
     @staticmethod

@@ -176,5 +176,105 @@ TEST(SimServiceTest, BatchingReducesEngineJobs) {
   EXPECT_EQ(batched.completed, unbatched.completed);
 }
 
+// ---------------------------------------------------------------------------
+// Reliability layer in the DES twin
+
+/// Chaos rates and the full reliability ladder over a pressured
+/// schedule (the bench_service --chaos regime, shrunk for test time).
+ServiceSimConfig chaos_config(bool reliable) {
+  ServiceSimConfig config = quick_config();
+  config.traffic.pattern = ArrivalPattern::kDiurnal;
+  config.traffic.duration_s = 30.0;
+  config.traffic.mean_input_bytes = 4ull << 20;
+  config.servers = 6;
+  config.service.chaos.enabled = true;
+  config.service.chaos.fail_rate = 0.08;
+  config.service.chaos.slow_rate = 0.15;
+  config.service.chaos.hang_rate = 0.05;
+  if (reliable) {
+    config.service.reliability.deadline.enabled = true;
+    config.service.reliability.retry.enabled = true;
+    config.service.reliability.hedge.enabled = true;
+    config.service.reliability.brownout.enabled = true;
+  }
+  return config;
+}
+
+TEST(SimServiceReliabilityTest, ChaosRunsAreByteIdenticalPerSeed) {
+  fault::RecoveryLog log_a;
+  fault::RecoveryLog log_b;
+  ServiceSimConfig config_a = chaos_config(/*reliable=*/true);
+  config_a.recovery_log = &log_a;
+  ServiceSimConfig config_b = chaos_config(/*reliable=*/true);
+  config_b.recovery_log = &log_b;
+  const ServiceSimReport a = simulate_service(config_a);
+  const ServiceSimReport b = simulate_service(config_b);
+  ASSERT_FALSE(a.log.empty());
+  ASSERT_EQ(a.log.size(), b.log.size());
+  for (std::size_t i = 0; i < a.log.size(); ++i) {
+    ASSERT_EQ(a.log[i], b.log[i]) << "log line " << i;
+  }
+  EXPECT_GT(a.chaos_failures, 0u);
+  EXPECT_GT(a.retries, 0u);
+  ASSERT_GT(log_a.size(), 0u);
+  EXPECT_EQ(log_a.canonical(), log_b.canonical());
+}
+
+TEST(SimServiceReliabilityTest, ReliabilityOnBeatsOffForInteractiveSlo) {
+  const ServiceSimReport off = simulate_service(chaos_config(false));
+  const ServiceSimReport on = simulate_service(chaos_config(true));
+  const auto interactive =
+      static_cast<std::size_t>(TenantClass::kInteractive);
+  // The acceptance criterion: at the same chaos seed, the reliability
+  // layer strictly raises interactive SLO attainment.
+  EXPECT_GT(on.classes[interactive].slo_attainment,
+            off.classes[interactive].slo_attainment);
+  // Retry converted chaos failures into completions.
+  EXPECT_GT(off.classes[interactive].failed, 0u);
+  EXPECT_EQ(on.classes[interactive].failed, 0u);
+  // The reaper bound: nothing ever resolved past its deadline.
+  EXPECT_DOUBLE_EQ(on.max_deadline_overrun_s, 0.0);
+}
+
+TEST(SimServiceReliabilityTest, EveryRequestIsAccountedForUnderChaos) {
+  const ServiceSimReport report = simulate_service(chaos_config(true));
+  std::uint64_t accounted = 0;
+  for (const ClassOutcome& out : report.classes) {
+    accounted += out.completed + out.rejected + out.deadline_expired +
+                 out.circuit_rejected + out.brownout_shed + out.failed;
+    EXPECT_GE(out.slo_attainment, 0.0);
+    EXPECT_LE(out.slo_attainment, 1.0);
+  }
+  EXPECT_EQ(accounted, report.requests);
+}
+
+TEST(SimServiceReliabilityTest, TenantTableIsObservationOnly) {
+  ServiceSimConfig config = quick_config();
+  const ServiceSimReport plain = simulate_service(config);
+  config.top_tenants = 8;
+  const ServiceSimReport tracked = simulate_service(config);
+  // Tracking the top tenants changes no serving decision: the logs are
+  // byte-identical and only the tenants table appears.
+  ASSERT_EQ(plain.log.size(), tracked.log.size());
+  for (std::size_t i = 0; i < plain.log.size(); ++i) {
+    ASSERT_EQ(plain.log[i], tracked.log[i]) << "log line " << i;
+  }
+  EXPECT_TRUE(plain.tenants.empty());
+  ASSERT_EQ(tracked.tenants.size(), 8u);
+  // Ordered by volume desc, tenant id asc; outcomes reconcile.
+  for (std::size_t i = 1; i < tracked.tenants.size(); ++i) {
+    const TenantOutcome& prev = tracked.tenants[i - 1];
+    const TenantOutcome& cur = tracked.tenants[i];
+    EXPECT_TRUE(prev.requests > cur.requests ||
+                (prev.requests == cur.requests && prev.tenant < cur.tenant));
+  }
+  for (const TenantOutcome& tenant : tracked.tenants) {
+    EXPECT_GT(tenant.requests, 0u);
+    EXPECT_LE(tenant.completed + tenant.missed, tenant.requests);
+    EXPECT_GE(tenant.slo_attainment, 0.0);
+    EXPECT_LE(tenant.slo_attainment, 1.0);
+  }
+}
+
 }  // namespace
 }  // namespace mdtask::service
