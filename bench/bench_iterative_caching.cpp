@@ -4,8 +4,17 @@
 // (Sec. 4.4.2). Measured on the REAL mini-Spark engine: an iterative
 // workload makes repeated passes over a transformed dataset, with and
 // without cache(); we report wall time and how many times the expensive
-// transformation actually ran.
+// transformation actually ran — and FAIL (exit 1) if the cached variant
+// evaluates it more than once per element, so the invariant is gated,
+// not just printed. --json [--out=PATH] additionally writes the two
+// variants as BENCH-style entries for scripts/check_bench_regression.py.
+// The same scenario, scaled to a full replica-exchange workflow (and
+// including the degenerate single-exchange case), lives in bench_repex.
 #include <atomic>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
 
 #include "bench_common.h"
 #include "mdtask/analysis/hausdorff.h"
@@ -15,7 +24,20 @@
 
 using namespace mdtask;
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string out_path = "BENCH_iterative.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::cerr << "usage: bench_iterative_caching [--json] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
   // Expensive transformation: per-element Hausdorff between two small
   // trajectories derived from the element seed.
   auto expensive = [](const int& seed) {
@@ -34,6 +56,8 @@ int main() {
   Table table("Iterative passes over a transformed RDD (real mini-Spark)");
   table.set_header(
       {"variant", "passes", "wall_s", "transform_evaluations"});
+  double wall_by_variant[2] = {0.0, 0.0};
+  int evals_by_variant[2] = {0, 0};
   for (bool cached : {false, true}) {
     spark::SparkContext sc(spark::SparkConfig{.executor_threads = 4});
     std::vector<int> seeds(kElements);
@@ -55,8 +79,41 @@ int main() {
     table.add_row({cached ? "cache()" : "no cache",
                    std::to_string(kPasses), Table::fmt(timer.seconds(), 3),
                    std::to_string(evaluations.load())});
+    wall_by_variant[cached ? 1 : 0] = timer.seconds();
+    evals_by_variant[cached ? 1 : 0] = evaluations.load();
     (void)checksum;
   }
   bench::emit(table, "iterative_caching");
+
+  // The gated invariant: with cache() the expensive transformation runs
+  // exactly one pass (once per element) no matter how many actions
+  // follow; without it, the lineage recomputes on every pass.
+  if (evals_by_variant[1] != kElements) {
+    std::fprintf(stderr,
+                 "FAIL: cache() evaluated the transform %d times across %d "
+                 "passes, want one pass (%d)\n",
+                 evals_by_variant[1], kPasses, kElements);
+    return 1;
+  }
+  if (evals_by_variant[0] != kElements * kPasses) {
+    std::fprintf(stderr,
+                 "FAIL: uncached lineage evaluated %d times, want %d\n",
+                 evals_by_variant[0], kElements * kPasses);
+    return 1;
+  }
+
+  if (json) {
+    std::ofstream out(out_path);
+    out << "{\n  \"schema\": \"mdtask-bench-iterative-v1\",\n"
+        << "  \"entries\": [\n";
+    const char* policies[2] = {"off", "on"};
+    for (int v = 0; v < 2; ++v) {
+      out << "    {\"kernel\": \"iterative_caching\", \"policy\": \""
+          << policies[v] << "\", \"unit\": \"pass\", \"ns_per_unit\": "
+          << wall_by_variant[v] / kPasses * 1e9 << "}"
+          << (v == 0 ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
   return 0;
 }

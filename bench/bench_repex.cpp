@@ -1,0 +1,234 @@
+// RepEx workflow bench (caps the mdtask::repex subsystem): the
+// iterative, synchronization-heavy workload of Table 3 measured on all
+// four live engines plus the DES twin.
+//
+//  * per-engine wall time and driver-side exchange-barrier cost,
+//  * the Spark static-state cache-hit effect (cache() on/off, with the
+//    actual base-observable evaluation counts — the iterative-caching
+//    scenario of bench_iterative_caching at RepEx scale, including its
+//    degenerate single-exchange case where caching cannot help),
+//  * the seeded acceptance trajectory (deterministic per seed), and
+//  * the virtual-time DES view (makespan + barrier share per engine).
+//
+// --json [--quick] [--out=PATH] writes BENCH_repex.json for the CI
+// ratio gate: absolute per-round ns is machine-bound ("repex" is a
+// behavioural family in scripts/check_bench_regression.py), the gated
+// invariant is the same-run cache off/on ratio.
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "mdtask/common/timer.h"
+#include "mdtask/workflows/repex_runner.h"
+
+using namespace mdtask;
+using workflows::EngineKind;
+
+namespace {
+
+constexpr EngineKind kEngines[] = {EngineKind::kRp, EngineKind::kSpark,
+                                   EngineKind::kDask, EngineKind::kMpi};
+
+repex::RepexConfig base_config(std::uint64_t seed, bool quick) {
+  repex::RepexConfig config;
+  config.params.replicas = 8;
+  config.params.max_rounds = quick ? 4 : 6;
+  config.params.min_rounds = 1;
+  // Fixed round count: the bench compares engines on identical work.
+  config.params.acceptance_window = 0;
+  config.params.atoms = 48;
+  config.params.frames = 24;
+  config.params.window_frames = 4;
+  config.params.seed = seed;
+  config.workers = 4;
+  return config;
+}
+
+struct JsonEntry {
+  std::string kernel;
+  std::string policy;
+  std::string unit;
+  double ns_per_unit = 0.0;
+};
+
+void write_json(const std::vector<JsonEntry>& entries,
+                const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"mdtask-bench-repex-v1\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    out << "    {\"kernel\": \"" << e.kernel << "\", \"policy\": \""
+        << e.policy << "\", \"unit\": \"" << e.unit
+        << "\", \"ns_per_unit\": " << e.ns_per_unit << "}"
+        << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+const char* engine_name(EngineKind kind) {
+  return workflows::to_string(kind);
+}
+
+/// Best-of-N wall seconds for one Spark cache variant (N small: the
+/// gate reads a ratio, not an absolute).
+double spark_cache_wall_s(const repex::RepexConfig& base, bool cached,
+                          int reps, std::uint64_t* evaluations) {
+  double best = 0.0;
+  std::uint64_t evals = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    repex::RepexConfig config = base;
+    config.cache_static = cached;
+    std::atomic<std::uint64_t> counter{0};
+    config.params.base_evaluations = &counter;
+    WallTimer timer;
+    repex::run_repex(EngineKind::kSpark, config);
+    const double wall = timer.seconds();
+    if (rep == 0 || wall < best) best = wall;
+    evals = counter.load();
+  }
+  if (evaluations != nullptr) *evaluations = evals;
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = bench::parse_seed(argc, argv);
+  bool json = false, quick = false;
+  std::string out_path = "BENCH_repex.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      ++i;  // parsed by parse_seed
+    } else {
+      std::cerr << "usage: bench_repex [--seed N] [--json] [--quick] "
+                   "[--out=PATH]\n";
+      return 2;
+    }
+  }
+  bench::print_seed(seed);
+  const repex::RepexConfig base = base_config(seed, quick);
+  std::vector<JsonEntry> entries;
+
+  // ---- Per-engine live runs ----
+  Table engines_table(
+      "RepEx live: synchronous exchange rounds per engine (" +
+      std::to_string(base.params.replicas) + " replicas x " +
+      std::to_string(base.params.max_rounds) + " rounds)");
+  engines_table.set_header({"engine", "rounds", "attempted", "accepted",
+                            "acceptance", "barrier_wait_s", "wall_s"});
+  std::vector<double> acceptance_trajectory;
+  for (const EngineKind engine : kEngines) {
+    const repex::Runner runner(base);
+    WallTimer timer;
+    const auto result = runner.run(engine);
+    const double wall = timer.seconds();
+    const double rate =
+        result.attempted == 0
+            ? 0.0
+            : static_cast<double>(result.accepted) /
+                  static_cast<double>(result.attempted);
+    engines_table.add_row(
+        {engine_name(engine), std::to_string(result.rounds),
+         std::to_string(result.attempted), std::to_string(result.accepted),
+         Table::fmt(rate, 3), Table::fmt(result.barrier_wait_s, 4),
+         Table::fmt(wall, 3)});
+    acceptance_trajectory = result.acceptance_trajectory;
+    entries.push_back(
+        {"repex_engine", engine_name(engine), "round",
+         wall / static_cast<double>(result.rounds) * 1e9});
+  }
+  bench::emit(engines_table, "repex_engines");
+
+  // ---- Spark cache-hit effect (the Table 3 "caching: Spark ++" axis,
+  // bench_iterative_caching at RepEx scale) ----
+  Table cache_table(
+      "RepEx Spark: static replica-state cache effect (base evaluations "
+      "= passes over the expensive observable)");
+  cache_table.set_header(
+      {"scenario", "cache", "rounds", "base_evaluations", "wall_s"});
+  const int reps = quick ? 2 : 3;
+  std::uint64_t evals_on = 0, evals_off = 0;
+  const double wall_on = spark_cache_wall_s(base, true, reps, &evals_on);
+  const double wall_off = spark_cache_wall_s(base, false, reps, &evals_off);
+  cache_table.add_row({"iterative", "cache()",
+                       std::to_string(base.params.max_rounds),
+                       std::to_string(evals_on), Table::fmt(wall_on, 3)});
+  cache_table.add_row({"iterative", "no cache",
+                       std::to_string(base.params.max_rounds),
+                       std::to_string(evals_off), Table::fmt(wall_off, 3)});
+  // Degenerate single-exchange case (one round): the cache has nothing
+  // to reuse, both variants evaluate every base exactly once.
+  repex::RepexConfig single = base;
+  single.params.max_rounds = 1;
+  std::uint64_t single_on = 0, single_off = 0;
+  const double single_wall_on =
+      spark_cache_wall_s(single, true, 1, &single_on);
+  const double single_wall_off =
+      spark_cache_wall_s(single, false, 1, &single_off);
+  cache_table.add_row({"single-exchange", "cache()", "1",
+                       std::to_string(single_on),
+                       Table::fmt(single_wall_on, 3)});
+  cache_table.add_row({"single-exchange", "no cache", "1",
+                       std::to_string(single_off),
+                       Table::fmt(single_wall_off, 3)});
+  bench::emit(cache_table, "repex_cache");
+
+  // Hard invariants, not just reporting: cached iterative runs make ONE
+  // pass over the static state; the degenerate case is pass-equal.
+  if (evals_on != base.params.replicas) {
+    std::fprintf(stderr,
+                 "FAIL: cached RepEx evaluated bases %llu times, want one "
+                 "pass (%llu)\n",
+                 static_cast<unsigned long long>(evals_on),
+                 static_cast<unsigned long long>(base.params.replicas));
+    return 1;
+  }
+  if (evals_off <= evals_on || single_on != single_off) {
+    std::fprintf(stderr, "FAIL: cache-off lineage should recompute bases "
+                         "every round\n");
+    return 1;
+  }
+  entries.push_back({"repex_spark_cache", "on", "round",
+                     wall_on / base.params.max_rounds * 1e9});
+  entries.push_back({"repex_spark_cache", "off", "round",
+                     wall_off / base.params.max_rounds * 1e9});
+
+  // ---- Acceptance trajectory (deterministic per seed) ----
+  Table accept_table("RepEx acceptance trajectory (seed " +
+                     std::to_string(seed) +
+                     ", identical on every engine and the DES twin)");
+  accept_table.set_header({"round", "acceptance"});
+  for (std::size_t round = 0; round < acceptance_trajectory.size();
+       ++round) {
+    accept_table.add_row({std::to_string(round),
+                          Table::fmt(acceptance_trajectory[round], 3)});
+  }
+  bench::emit(accept_table, "repex_acceptance");
+
+  // ---- DES twin: exchange-barrier share per engine (virtual time) ----
+  Table des_table(
+      "RepEx DES twin: virtual makespan and barrier share per engine");
+  des_table.set_header(
+      {"engine", "makespan_s", "barrier_wait_s", "barrier_share"});
+  for (const EngineKind engine : kEngines) {
+    const auto outcome = repex::simulate_repex_wave(base, engine);
+    des_table.add_row(
+        {engine_name(engine), Table::fmt(outcome.makespan_s, 4),
+         Table::fmt(outcome.barrier_wait_s, 4),
+         Table::fmt(outcome.barrier_wait_s / outcome.makespan_s, 3)});
+  }
+  bench::emit(des_table, "repex_des");
+
+  if (json) write_json(entries, out_path);
+  return 0;
+}

@@ -22,7 +22,7 @@ mdtask_bench(bench_fig8_broadcast mdtask_perf)
 mdtask_bench(bench_fig9_rp_leaflet mdtask_perf)
 mdtask_bench(bench_tab1_properties mdtask_perf)
 mdtask_bench(bench_tab2_shuffle_volumes mdtask_workflows)
-mdtask_bench(bench_tab3_decision mdtask_perf)
+mdtask_bench(bench_tab3_decision mdtask_perf mdtask_repex)
 mdtask_bench(bench_ablations mdtask_workflows mdtask_cpptraj)
 mdtask_bench(bench_pool mdtask_common)
 mdtask_bench(bench_kernels mdtask_analysis mdtask_cpptraj)
@@ -32,3 +32,4 @@ mdtask_bench(bench_future_work mdtask_perf mdtask_workflows)
 mdtask_bench(bench_iterative_caching mdtask_analysis mdtask_engines)
 mdtask_bench(bench_utilization mdtask_perf mdtask_autoscale)
 mdtask_bench(bench_service mdtask_service)
+mdtask_bench(bench_repex mdtask_repex)

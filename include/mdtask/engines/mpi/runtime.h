@@ -109,6 +109,19 @@ class Communicator {
     return out;
   }
 
+  /// Combined exchange with one peer (MPI_Sendrecv analogue): ships
+  /// `data` to `dest` and blocks for the matching message from
+  /// `source`. Deadlock-free regardless of call order because sends are
+  /// buffered mailbox deposits — both peers may issue their sendrecv
+  /// simultaneously, the neighbour-exchange idiom of the repex
+  /// nearest-neighbour rounds.
+  template <typename T>
+  std::vector<T> sendrecv(int dest, int source, int tag,
+                          std::span<const T> data) {
+    send<T>(dest, tag, data);
+    return recv<T>(source, tag);
+  }
+
   /// Buffered nonblocking send (MPI_Ibsend analogue): the payload is
   /// delivered to the destination mailbox immediately, so the "request"
   /// completes at once; provided for source-code symmetry with irecv.

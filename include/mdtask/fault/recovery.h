@@ -115,6 +115,27 @@ struct AutoscaleRecord {
   std::string to_string() const;
 };
 
+/// One attempted replica-exchange swap (mdtask::repex). Deliberately
+/// engine-free: the exchange decision stream is a pure function of
+/// (seed, round, slots, energies), so the same seed must render the
+/// same canonical lines on every engine and in the DES twin — an
+/// engine tag here would break the cross-engine byte-identity contract.
+struct ExchangeRecord {
+  std::size_t round = 0;
+  std::size_t slot_lo = 0;    ///< lower ladder slot of the pair
+  std::size_t slot_hi = 0;    ///< upper ladder slot of the pair
+  std::size_t config_lo = 0;  ///< configuration at slot_lo pre-swap
+  std::size_t config_hi = 0;  ///< configuration at slot_hi pre-swap
+  bool accepted = false;
+  /// Virtual timestamp for DES emitters, wall microseconds otherwise
+  /// (trace mirroring only; the canonical order ignores it).
+  double ts_us = 0.0;
+
+  /// "repex round=2 pair=1/2 configs=3/0 accept=1" — the comparison
+  /// key of the cross-engine and live-vs-DES determinism tests.
+  std::string to_string() const;
+};
+
 /// Thread-safe ordered log of fault/recovery events. Worker threads
 /// append concurrently, so the raw order is scheduling-dependent;
 /// canonical() sorts by (task, attempt, fault, action) to give the
@@ -136,16 +157,19 @@ class RecoveryLog {
   void record(RecoveryEvent event);
   void record_membership(MembershipRecord event);
   void record_autoscale(AutoscaleRecord event);
+  void record_exchange(ExchangeRecord event);
 
   std::vector<RecoveryEvent> events() const;
   std::vector<MembershipRecord> membership_events() const;
   std::vector<AutoscaleRecord> autoscale_events() const;
+  std::vector<ExchangeRecord> exchange_events() const;
   /// Interleaving-independent rendering: one line per event (fault,
-  /// membership and autoscale alike), sorted.
+  /// membership, autoscale and exchange alike), sorted.
   std::vector<std::string> canonical() const;
   std::size_t size() const;  ///< fault/recovery events only
   std::size_t membership_size() const;
   std::size_t autoscale_size() const;
+  std::size_t exchange_size() const;
   void clear();
 
  private:
@@ -153,6 +177,7 @@ class RecoveryLog {
   std::vector<RecoveryEvent> events_;
   std::vector<MembershipRecord> membership_;
   std::vector<AutoscaleRecord> autoscale_;
+  std::vector<ExchangeRecord> exchange_;
   trace::Tracer* tracer_ = nullptr;
   trace::Track track_{};
 };

@@ -1,0 +1,54 @@
+// Discrete-event twin of the live replica-exchange runner.
+//
+// simulate_repex_wave() replays the same synchronous RepEx rounds as
+// run_repex() in virtual time: per-replica advance tasks are held on a
+// simulated core pool with engine-calibrated dispatch overheads, each
+// round ends in an engine-shaped exchange barrier (shuffle, dynamic
+// decision graph, collective, or DB dispatch), and the exchange
+// decisions themselves come from the SAME pure functions of
+// repex/model.h the live engines use. Because ExchangeRecord renders
+// without engine or timestamp fields, a same-seed DES replay produces a
+// canonical RecoveryLog byte-identical to the live run's — the
+// contract sim_repex_test.cpp pins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mdtask/fault/recovery.h"
+#include "mdtask/repex/runner.h"
+#include "mdtask/workflows/common.h"
+
+namespace mdtask::repex {
+
+/// Outcome of a virtual-time RepEx replay. The decision-stream fields
+/// mirror RepexResult exactly (and are equal to the live run's for the
+/// same seed); the time fields are virtual seconds from the DES clock.
+struct SimRepexOutcome {
+  std::size_t rounds = 0;
+  bool converged = false;
+  std::uint64_t attempted = 0;
+  std::uint64_t accepted = 0;
+  std::vector<double> acceptance_trajectory;
+  std::vector<std::size_t> final_configs;
+  std::vector<double> final_energies;
+  /// Virtual makespan of the whole run.
+  double makespan_s = 0.0;
+  /// Virtual seconds lost to round synchronization: per-round completion
+  /// skew (fast replicas idling at the barrier) plus the engine's
+  /// modelled exchange cost, accumulated across rounds.
+  double barrier_wait_s = 0.0;
+  std::uint64_t events_processed = 0;  ///< DES events (determinism probe)
+};
+
+/// Replays config.params on `engine`'s cost model in virtual time.
+/// `log` (optional) receives the same ExchangeRecord stream as the live
+/// run, stamped with virtual microseconds. config.workers sizes the
+/// simulated core pool; config.cache_static and
+/// config.db_roundtrip_latency_s shape the Spark/RP cost models the
+/// same way they shape the live engines.
+SimRepexOutcome simulate_repex_wave(const RepexConfig& config,
+                                    workflows::EngineKind engine,
+                                    fault::RecoveryLog* log = nullptr);
+
+}  // namespace mdtask::repex

@@ -35,6 +35,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -96,6 +97,19 @@ class AnalysisService {
   /// Evicts every cached answer computed against `fingerprint` (a
   /// re-ingested store invalidates its results). Returns evictions.
   std::size_t invalidate_store(std::uint64_t fingerprint);
+
+  /// Registers the store at `path` with its content fingerprint. When
+  /// the path was ingested before under a DIFFERENT fingerprint (the
+  /// file was rewritten), every cached answer computed against the old
+  /// fingerprint is evicted automatically — a stale store can never
+  /// serve stale answers past its re-ingest. Returns the evictions (0
+  /// on first ingest or when the fingerprint is unchanged).
+  std::size_t ingest_store(const std::string& path,
+                           std::uint64_t fingerprint);
+  /// Convenience overload fingerprinting a shard store's header info
+  /// (stream::ShardStoreInfo) via store_fingerprint().
+  std::size_t ingest_store(const std::string& path,
+                           const stream::ShardStoreInfo& info);
 
   /// Mirrors chaos-failure / recovery decisions into `log` (the shared
   /// fault vocabulary; scope EngineId::kService). Call before
@@ -206,6 +220,10 @@ class AnalysisService {
       joiners_;
   /// Unresolved dispatched jobs the timer may hedge, by job id.
   std::unordered_map<std::uint64_t, JobPtr> inflight_jobs_;
+  /// Ingest registry: store path -> last-seen fingerprint, so a
+  /// re-ingest under a changed fingerprint auto-invalidates the old
+  /// one's cached answers (ingest_store).
+  std::unordered_map<std::string, std::uint64_t> ingested_;
   /// Atomic: runners read it lock-free; RecoveryLog locks internally.
   std::atomic<fault::RecoveryLog*> recovery_log_{nullptr};
 

@@ -47,6 +47,11 @@ BEHAVIOURAL_FAMILIES = (
              "same-run policy ratio instead"),
     ("service", "serving-layer entry; latencies depend on the traffic "
                 "schedule, gate same-run ratios instead"),
+    ("repex", "replica-exchange entry; absolute ns is machine-bound, gate "
+              "the same-run cache off/on ratio instead"),
+    ("iterative_caching", "iterative-caching entry; absolute ns is "
+                          "machine-bound, gate the same-run off/on ratio "
+                          "instead"),
 )
 
 

@@ -100,6 +100,22 @@ std::string MembershipRecord::to_string() const {
   return out;
 }
 
+std::string ExchangeRecord::to_string() const {
+  std::string out = "repex round=";
+  out += std::to_string(round);
+  out += " pair=";
+  out += std::to_string(slot_lo);
+  out += '/';
+  out += std::to_string(slot_hi);
+  out += " configs=";
+  out += std::to_string(config_lo);
+  out += '/';
+  out += std::to_string(config_hi);
+  out += " accept=";
+  out += accepted ? '1' : '0';
+  return out;
+}
+
 void RecoveryLog::record(RecoveryEvent event) {
   trace::Tracer* tracer = nullptr;
   trace::Track track{};
@@ -169,6 +185,28 @@ void RecoveryLog::record_autoscale(AutoscaleRecord event) {
   }
 }
 
+void RecoveryLog::record_exchange(ExchangeRecord event) {
+  trace::Tracer* tracer = nullptr;
+  trace::Track track{};
+  {
+    std::lock_guard lk(mu_);
+    tracer = tracer_;
+    track = track_;
+    exchange_.push_back(event);
+  }
+  if (tracer != nullptr) {
+    trace::Args args;
+    args.emplace_back("round", std::to_string(event.round));
+    args.emplace_back("pair", std::to_string(event.slot_lo) + "/" +
+                                  std::to_string(event.slot_hi));
+    args.emplace_back("configs", std::to_string(event.config_lo) + "/" +
+                                     std::to_string(event.config_hi));
+    args.emplace_back("accept", event.accepted ? "1" : "0");
+    tracer->complete(track, "repex:exchange", "repex", event.ts_us, 0.0,
+                     std::move(args));
+  }
+}
+
 std::vector<RecoveryEvent> RecoveryLog::events() const {
   std::lock_guard lk(mu_);
   return events_;
@@ -184,14 +222,21 @@ std::vector<AutoscaleRecord> RecoveryLog::autoscale_events() const {
   return autoscale_;
 }
 
+std::vector<ExchangeRecord> RecoveryLog::exchange_events() const {
+  std::lock_guard lk(mu_);
+  return exchange_;
+}
+
 std::vector<std::string> RecoveryLog::canonical() const {
   std::vector<std::string> lines;
   {
     std::lock_guard lk(mu_);
-    lines.reserve(events_.size() + membership_.size() + autoscale_.size());
+    lines.reserve(events_.size() + membership_.size() + autoscale_.size() +
+                  exchange_.size());
     for (const auto& e : events_) lines.push_back(e.to_string());
     for (const auto& m : membership_) lines.push_back(m.to_string());
     for (const auto& a : autoscale_) lines.push_back(a.to_string());
+    for (const auto& x : exchange_) lines.push_back(x.to_string());
   }
   std::sort(lines.begin(), lines.end());
   return lines;
@@ -212,11 +257,17 @@ std::size_t RecoveryLog::autoscale_size() const {
   return autoscale_.size();
 }
 
+std::size_t RecoveryLog::exchange_size() const {
+  std::lock_guard lk(mu_);
+  return exchange_.size();
+}
+
 void RecoveryLog::clear() {
   std::lock_guard lk(mu_);
   events_.clear();
   membership_.clear();
   autoscale_.clear();
+  exchange_.clear();
 }
 
 void CheckpointStore::set_cost_model(CheckpointCostModel model) {

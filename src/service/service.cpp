@@ -534,6 +534,21 @@ std::size_t AnalysisService::invalidate_store(std::uint64_t fingerprint) {
   return cache_.invalidate_store(fingerprint);
 }
 
+std::size_t AnalysisService::ingest_store(const std::string& path,
+                                          std::uint64_t fingerprint) {
+  std::lock_guard lk(mu_);
+  auto [it, inserted] = ingested_.try_emplace(path, fingerprint);
+  if (inserted || it->second == fingerprint) return 0;
+  const std::uint64_t stale = it->second;
+  it->second = fingerprint;
+  return cache_.invalidate_store(stale);
+}
+
+std::size_t AnalysisService::ingest_store(
+    const std::string& path, const stream::ShardStoreInfo& info) {
+  return ingest_store(path, store_fingerprint(info));
+}
+
 void AnalysisService::set_recovery_log(fault::RecoveryLog* log) {
   recovery_log_.store(log, std::memory_order_release);
 }

@@ -130,6 +130,46 @@ TEST(RecoveryLogTest, MirrorsEventsIntoTracer) {
   EXPECT_TRUE(saw_recovery);
 }
 
+TEST(RecoveryLogTest, ExchangeRecordsRenderEngineFree) {
+  RecoveryLog log;
+  log.record_exchange({2, 1, 2, 3, 0, true, 125.0});
+  ASSERT_EQ(log.exchange_size(), 1u);
+  const auto events = log.exchange_events();
+  // No engine, no timestamp in the rendering: the canonical exchange
+  // stream must be byte-identical across engines and live-vs-DES.
+  EXPECT_EQ(events[0].to_string(),
+            "repex round=2 pair=1/2 configs=3/0 accept=1");
+  log.clear();
+  EXPECT_EQ(log.exchange_size(), 0u);
+}
+
+TEST(RecoveryLogTest, CanonicalInterleavesExchangeAndRecoveryLines) {
+  RecoveryLog a;
+  RecoveryLog b;
+  const RecoveryEvent e{EngineId::kMpi, 1, 0, FaultKind::kNodeCrash,
+                        RecoveryAction::kCheckpointRestart, 0.0, 0.0};
+  a.record(e);
+  a.record_exchange({0, 0, 1, 0, 1, false, 1.0});
+  b.record_exchange({0, 0, 1, 0, 1, false, 99.0});  // ts differs: ignored
+  b.record(e);
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.canonical().size(), 2u);
+}
+
+TEST(RecoveryLogTest, ExchangeRecordsMirrorIntoTracer) {
+  trace::Tracer tracer;
+  tracer.set_enabled(true);
+  RecoveryLog log;
+  log.attach_tracer(&tracer,
+                    tracer.thread(tracer.process("fault-test"), "log"));
+  log.record_exchange({0, 0, 1, 0, 1, true, 10.0});
+  bool saw = false;
+  for (const auto& e : tracer.events()) {
+    if (e.name == "repex:exchange") saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
 TEST(CheckpointStoreTest, PutGetContains) {
   CheckpointStore store;
   EXPECT_FALSE(store.contains("phase1"));

@@ -88,6 +88,22 @@ class BehaviouralSkipListTest(unittest.TestCase):
                 MOD.behavioural({"kernel": kernel, "policy": "interactive"}),
                 kernel)
 
+    def test_repex_family_is_registered(self):
+        self.assertIn("repex", [k for k, _ in MOD.BEHAVIOURAL_FAMILIES])
+
+    def test_repex_kernels_match_by_prefix(self):
+        # bench_repex emits per-engine wall time and the Spark cache
+        # pair: both machine-bound, both covered by the "repex" family.
+        for kernel in ("repex", "repex_engine", "repex_spark_cache"):
+            for policy in ("Spark", "MPI", "on", "off"):
+                self.assertIsNotNone(
+                    MOD.behavioural({"kernel": kernel, "policy": policy}),
+                    f"{kernel}/{policy}")
+
+    def test_iterative_caching_family_is_registered(self):
+        self.assertIn("iterative_caching",
+                      [k for k, _ in MOD.BEHAVIOURAL_FAMILIES])
+
     def test_service_chaos_tables_are_behavioural(self):
         # bench_service --chaos emits SLO-attainment kernels (reliability
         # on vs off) and the per-tenant table: behavioural by the
@@ -222,6 +238,35 @@ class EndToEndGateTest(unittest.TestCase):
         self.assertEqual(ok.returncode, 0, ok.stderr)
         bad = self.run_gate(self.SERVICE_DOC, self.SERVICE_DOC,
                             ["--min-speedup", "service_cache=10.0:off/on"])
+        self.assertNotEqual(bad.returncode, 0)
+        self.assertIn("TOO SLOW", bad.stdout)
+
+    REPEX_DOC = [
+        {"kernel": "repex_engine", "policy": "Spark", "ns_per_unit": 6.2e5},
+        {"kernel": "repex_spark_cache", "policy": "on",
+         "ns_per_unit": 6.1e5},
+        {"kernel": "repex_spark_cache", "policy": "off",
+         "ns_per_unit": 2.2e6},
+    ]
+
+    def test_repex_entries_skip_the_absolute_ns_gate(self):
+        # Replica-exchange wall time is machine-bound; a big absolute
+        # shift on another machine must not trip the cross-run gate.
+        slower = [dict(e, ns_per_unit=e["ns_per_unit"] * 1000)
+                  for e in self.REPEX_DOC]
+        result = self.run_gate(self.REPEX_DOC, slower)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("skipped", result.stdout)
+
+    def test_repex_cache_ratio_opts_into_the_gate(self):
+        # 2.2e6/6.1e5 = 3.6x: cache() skips the base-observable recompute
+        # every round. The explicit off/on pair gates the same-run ratio
+        # (the CI step uses 1.3 as the floor); an absurd floor fails.
+        ok = self.run_gate(self.REPEX_DOC, self.REPEX_DOC,
+                           ["--min-speedup", "repex_spark_cache=1.3:off/on"])
+        self.assertEqual(ok.returncode, 0, ok.stderr)
+        bad = self.run_gate(self.REPEX_DOC, self.REPEX_DOC,
+                            ["--min-speedup", "repex_spark_cache=10.0:off/on"])
         self.assertNotEqual(bad.returncode, 0)
         self.assertIn("TOO SLOW", bad.stdout)
 

@@ -128,6 +128,55 @@ TEST(ServiceTest, CacheCollapsesRepeatedRequests) {
   EXPECT_EQ(service.stats().cache.hits, 5u);
 }
 
+TEST(ServiceTest, ReingestEvictsStaleAnswersAutomatically) {
+  ServiceConfig config;
+  config.batch.enabled = false;
+  std::atomic<std::uint64_t> jobs{0};
+  ThreadPool pool(2);
+  AnalysisService service(config, pool, CountingExecutor{&jobs});
+
+  // First ingest registers the store; answers get cached against it.
+  EXPECT_EQ(service.ingest_store("stores/traj.mdt", 5u), 0u);
+  EXPECT_TRUE(service.submit(make_request(1, 5)).get().ok());
+  EXPECT_TRUE(service.submit(make_request(2, 5)).get().ok());
+  EXPECT_EQ(jobs.load(), 1u);  // second answer came from the cache
+
+  // Re-ingesting the SAME bytes is a no-op: nothing evicted, cache
+  // still serves.
+  EXPECT_EQ(service.ingest_store("stores/traj.mdt", 5u), 0u);
+  EXPECT_TRUE(service.submit(make_request(3, 5)).get().ok());
+  EXPECT_EQ(jobs.load(), 1u);
+
+  // Rewriting the file changes the fingerprint: the re-ingest evicts
+  // the stale answer without an explicit invalidate_store call, so the
+  // next request recomputes.
+  EXPECT_EQ(service.ingest_store("stores/traj.mdt", 9u), 1u);
+  EXPECT_TRUE(service.submit(make_request(4, 5)).get().ok());
+  EXPECT_EQ(jobs.load(), 2u);
+  EXPECT_GE(service.stats().cache.invalidations, 1u);
+}
+
+TEST(ServiceTest, IngestTracksPathsIndependently) {
+  ServiceConfig config;
+  config.batch.enabled = false;
+  std::atomic<std::uint64_t> jobs{0};
+  ThreadPool pool(2);
+  AnalysisService service(config, pool, CountingExecutor{&jobs});
+
+  service.ingest_store("stores/a.mdt", 1u);
+  service.ingest_store("stores/b.mdt", 2u);
+  EXPECT_TRUE(service.submit(make_request(1, 1)).get().ok());
+  EXPECT_TRUE(service.submit(make_request(1, 2)).get().ok());
+  EXPECT_EQ(jobs.load(), 2u);
+
+  // Rewriting a.mdt leaves b.mdt's cached answers untouched.
+  EXPECT_EQ(service.ingest_store("stores/a.mdt", 7u), 1u);
+  EXPECT_TRUE(service.submit(make_request(2, 2)).get().ok());
+  EXPECT_EQ(jobs.load(), 2u);  // b's answer still cached
+  EXPECT_TRUE(service.submit(make_request(2, 1)).get().ok());
+  EXPECT_EQ(jobs.load(), 3u);  // a's stale answer was evicted
+}
+
 TEST(ServiceTest, ExecutorFailureFailsEveryRequestWithoutPoisoning) {
   ServiceConfig config;
   config.batch.enabled = false;
